@@ -1,0 +1,72 @@
+//! Ablation: sensitivity of Random-Schedule to the randomized-rounding
+//! budget. The paper notes that capacity violations are unlikely but
+//! suggests re-drawing until a feasible rounding is found; this experiment
+//! measures how many draws that takes in practice and how much the energy
+//! varies across seeds.
+//!
+//! ```text
+//! cargo run --release -p dcn-bench --bin ablation_rounding -- [--flows N] [--seeds S]
+//! ```
+
+use dcn_bench::{arg_value, harness_fmcf_config, print_table};
+use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
+use dcn_core::relaxation::interval_relaxation;
+use dcn_flow::workload::UniformWorkload;
+use dcn_power::PowerFunction;
+use dcn_topology::builders;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flows: usize = arg_value(&args, "--flows").unwrap_or(60);
+    let seeds: u64 = arg_value(&args, "--seeds").unwrap_or(8);
+
+    let topo = builders::fat_tree(4);
+    let power = PowerFunction::speed_scaling_only(1.0, 2.0, builders::DEFAULT_CAPACITY);
+    let flow_set = UniformWorkload::paper_defaults(flows, 99)
+        .generate(topo.hosts())
+        .expect("workload generates");
+    let relaxation = interval_relaxation(&topo.network, &flow_set, &power, &harness_fmcf_config());
+
+    println!(
+        "rounding sensitivity on {} with {} flows ({} rounding seeds)\n",
+        topo.name, flows, seeds
+    );
+
+    let mut rows = Vec::new();
+    for attempts in [1usize, 5, 25] {
+        let mut energies = Vec::new();
+        let mut total_attempts = 0usize;
+        let mut worst_excess: f64 = 0.0;
+        for seed in 0..seeds {
+            let outcome = RandomSchedule::new(RandomScheduleConfig {
+                fmcf: harness_fmcf_config(),
+                max_rounding_attempts: attempts,
+                seed,
+                ..Default::default()
+            })
+            .run_with_relaxation(&topo.network, &flow_set, &power, &relaxation)
+            .expect("rounding succeeds");
+            energies.push(outcome.schedule.energy(&power).total() / relaxation.lower_bound);
+            total_attempts += outcome.attempts;
+            worst_excess = worst_excess.max(outcome.capacity_excess);
+        }
+        let mean = energies.iter().sum::<f64>() / energies.len() as f64;
+        let max = energies.iter().cloned().fold(f64::MIN, f64::max);
+        let min = energies.iter().cloned().fold(f64::MAX, f64::min);
+        rows.push(vec![
+            attempts.to_string(),
+            format!("{:.3}", mean),
+            format!("{:.3}", min),
+            format!("{:.3}", max),
+            format!("{:.2}", total_attempts as f64 / seeds as f64),
+            format!("{:.3}", worst_excess),
+        ]);
+    }
+    print_table(
+        "Rounding-budget sensitivity (energies normalised by LB)",
+        &["budget", "mean", "min", "max", "avg draws", "worst excess"],
+        &rows,
+    );
+    println!("With the paper's Fig. 2 workload the first draw is almost always feasible;");
+    println!("a larger budget only matters when link capacities are tight.");
+}

@@ -1,0 +1,58 @@
+//! Regenerates the paper's worked Example 1 (Section III-C): the optimal
+//! DCFS schedule of two flows on a three-node line network with
+//! `f(x) = x^2`, and checks it against the closed form
+//! `sqrt(2) * s1 = s2 = (8 + 6 sqrt 2) / 3`.
+//!
+//! ```text
+//! cargo run --release -p dcn-bench --bin example1
+//! ```
+
+use dcn_bench::print_table;
+use dcn_core::{most_critical_first, Routing};
+use dcn_flow::FlowSet;
+use dcn_power::PowerFunction;
+use dcn_topology::builders;
+
+fn main() {
+    let topo = builders::line_with_capacity(3, 1e9);
+    let (a, b, c) = (topo.hosts()[0], topo.hosts()[1], topo.hosts()[2]);
+    let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
+    let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)])
+        .expect("example flows are valid");
+
+    let paths = Routing::ShortestPath
+        .compute(&topo.network, &flows)
+        .expect("line network is connected");
+    let schedule = most_critical_first(&topo.network, &flows, &paths, &power)
+        .expect("example instance is feasible");
+    schedule
+        .verify(&topo.network, &flows, &power)
+        .expect("optimal schedule is feasible");
+
+    let s2_paper = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
+    let s1_paper = s2_paper / 2f64.sqrt();
+    let energy_paper = 2.0 * 6.0 * s1_paper + 8.0 * s2_paper;
+
+    let rows = vec![
+        vec![
+            "j1 (A->C)".to_string(),
+            format!("{:.6}", schedule.flow_schedule(0).unwrap().profile.max_rate()),
+            format!("{s1_paper:.6}"),
+        ],
+        vec![
+            "j2 (A->B)".to_string(),
+            format!("{:.6}", schedule.flow_schedule(1).unwrap().profile.max_rate()),
+            format!("{s2_paper:.6}"),
+        ],
+        vec![
+            "energy".to_string(),
+            format!("{:.6}", schedule.energy(&power).total()),
+            format!("{energy_paper:.6}"),
+        ],
+    ];
+    print_table(
+        "Example 1 (line network, f(x) = x^2)",
+        &["quantity", "measured", "paper"],
+        &rows,
+    );
+}

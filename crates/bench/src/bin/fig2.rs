@@ -1,0 +1,68 @@
+//! Reproduces **Fig. 2** of the paper: the approximation performance of
+//! Random-Schedule versus the SP+MCF baseline, normalised by the fractional
+//! lower bound, on a fat-tree with 80 switches and 128 servers, for power
+//! functions `x^2` and `x^4`, as the number of flows grows from 40 to 200.
+//!
+//! ```text
+//! cargo run --release -p dcn-bench --bin fig2                 # quick: 3 runs, step 40
+//! cargo run --release -p dcn-bench --bin fig2 -- --full       # paper: 10 runs, step 20
+//! cargo run --release -p dcn-bench --bin fig2 -- --runs 5 --small
+//! ```
+//!
+//! `--small` swaps the k=8 fat-tree for a k=4 fat-tree, which is useful for
+//! smoke-testing the harness.
+
+use dcn_bench::{arg_present, arg_value, average, fig2_power_functions, print_table, run_instance};
+use dcn_topology::builders;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = arg_present(&args, "--full");
+    let small = arg_present(&args, "--small");
+    let runs: usize = arg_value(&args, "--runs").unwrap_or(if full { 10 } else { 3 });
+    let step: usize = arg_value(&args, "--step").unwrap_or(if full { 20 } else { 40 });
+
+    let topo = if small {
+        builders::fat_tree(4)
+    } else {
+        builders::fat_tree(8)
+    };
+    println!(
+        "Fig. 2 reproduction on {} ({} switches, {} hosts), {} run(s) per point\n",
+        topo.name,
+        topo.network.switch_count(),
+        topo.network.host_count(),
+        runs
+    );
+
+    let flow_counts: Vec<usize> = (40..=200).step_by(step).collect();
+    for power in fig2_power_functions() {
+        let mut rows = Vec::new();
+        for &n in &flow_counts {
+            let results: Vec<_> = (0..runs)
+                .map(|run| run_instance(&topo, n, 1000 * n as u64 + run as u64, &power))
+                .collect();
+            let avg = average(&results);
+            rows.push(vec![
+                n.to_string(),
+                "1.000".to_string(),
+                format!("{:.3}", avg.sp),
+                format!("{:.3}", avg.rs),
+            ]);
+            eprintln!(
+                "  [alpha = {}] n = {n}: SP+MCF = {:.3}, RS = {:.3}",
+                power.alpha(),
+                avg.sp,
+                avg.rs
+            );
+        }
+        print_table(
+            &format!("Fig. 2, power function x^{}", power.alpha()),
+            &["flows", "LB", "SP+MCF", "RS"],
+            &rows,
+        );
+    }
+
+    println!("Values are energies normalised by the fractional lower bound (LB = 1.0),");
+    println!("averaged over {runs} seeded runs, as in the paper's Section V-C.");
+}

@@ -1,0 +1,262 @@
+//! Shared harness code for the benchmark binaries that regenerate the
+//! paper's evaluation (Fig. 2) and the extension experiments documented in
+//! `EXPERIMENTS.md`.
+//!
+//! Every binary builds on [`run_instance`]: generate the paper's workload
+//! for a given flow count and seed, solve the per-interval relaxation once
+//! (its cost is the `LB` normaliser), run Random-Schedule on that
+//! relaxation, run the SP+MCF baseline, verify both against the instance
+//! with the fluid simulator, and report LB-normalised energies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use dcn_core::baselines;
+use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
+use dcn_core::relaxation::interval_relaxation;
+use dcn_flow::workload::UniformWorkload;
+use dcn_flow::FlowSet;
+use dcn_power::PowerFunction;
+use dcn_sim::Simulator;
+use dcn_solver::fmcf::FmcfSolverConfig;
+use dcn_topology::builders::BuiltTopology;
+use serde::Serialize;
+
+/// The result of one (topology, workload, power-function, seed) instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct InstanceResult {
+    /// Number of flows in the instance.
+    pub flows: usize,
+    /// RNG seed of the workload.
+    pub seed: u64,
+    /// The speed-scaling exponent alpha of the power function.
+    pub alpha: f64,
+    /// The fractional lower bound LB.
+    pub lower_bound: f64,
+    /// Energy of Random-Schedule (absolute).
+    pub rs_energy: f64,
+    /// Energy of the SP+MCF baseline (absolute).
+    pub sp_energy: f64,
+    /// Number of deadline misses measured by the simulator (must be zero).
+    pub deadline_misses: usize,
+    /// Worst per-link capacity excess of the Random-Schedule draw.
+    pub rs_capacity_excess: f64,
+}
+
+impl InstanceResult {
+    /// Random-Schedule energy normalised by the lower bound.
+    pub fn rs_normalized(&self) -> f64 {
+        self.rs_energy / self.lower_bound
+    }
+
+    /// SP+MCF energy normalised by the lower bound.
+    pub fn sp_normalized(&self) -> f64 {
+        self.sp_energy / self.lower_bound
+    }
+}
+
+/// A Frank–Wolfe configuration tuned for the benchmark harness: slightly
+/// looser than the library default so the fat-tree(8) sweeps finish in
+/// minutes rather than hours, while keeping the lower bound within a couple
+/// of percent of the converged value.
+pub fn harness_fmcf_config() -> FmcfSolverConfig {
+    FmcfSolverConfig {
+        max_iterations: 25,
+        tolerance: 1e-3,
+        line_search_steps: 24,
+        ..Default::default()
+    }
+}
+
+/// Runs one instance of the Fig. 2 experiment on an arbitrary topology and
+/// flow set.
+///
+/// # Panics
+///
+/// Panics if the schedulers fail or produce schedules with deadline misses
+/// — these are invariants of the algorithms, so a violation indicates a bug
+/// rather than an expected error path.
+pub fn run_flow_set(
+    topo: &BuiltTopology,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    seed: u64,
+) -> InstanceResult {
+    let relaxation = interval_relaxation(&topo.network, flows, power, &harness_fmcf_config());
+    let rs = RandomSchedule::new(RandomScheduleConfig {
+        fmcf: harness_fmcf_config(),
+        seed,
+        ..Default::default()
+    })
+    .run_with_relaxation(&topo.network, flows, power, &relaxation)
+    .expect("Random-Schedule must succeed on connected topologies");
+    let sp = baselines::sp_mcf(&topo.network, flows, power)
+        .expect("SP+MCF must succeed on connected topologies");
+
+    let simulator = Simulator::new(*power);
+    let rs_report = simulator.run(&topo.network, flows, &rs.schedule);
+    let sp_report = simulator.run(&topo.network, flows, &sp);
+    assert_eq!(
+        rs_report.deadline_misses, 0,
+        "Random-Schedule must meet every deadline (Theorem 4)"
+    );
+    assert_eq!(
+        sp_report.deadline_misses, 0,
+        "Most-Critical-First must meet every deadline"
+    );
+
+    InstanceResult {
+        flows: flows.len(),
+        seed,
+        alpha: power.alpha(),
+        lower_bound: relaxation.lower_bound,
+        rs_energy: rs_report.energy.total(),
+        sp_energy: sp_report.energy.total(),
+        deadline_misses: rs_report.deadline_misses + sp_report.deadline_misses,
+        rs_capacity_excess: rs.capacity_excess,
+    }
+}
+
+/// Generates the paper's uniform workload and runs one instance.
+pub fn run_instance(
+    topo: &BuiltTopology,
+    num_flows: usize,
+    seed: u64,
+    power: &PowerFunction,
+) -> InstanceResult {
+    let flows = UniformWorkload::paper_defaults(num_flows, seed)
+        .generate(topo.hosts())
+        .expect("workload generation succeeds on topologies with >= 2 hosts");
+    run_flow_set(topo, &flows, power, seed)
+}
+
+/// Averages the normalised energies of several runs of the same
+/// configuration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AveragedPoint {
+    /// Number of flows.
+    pub flows: usize,
+    /// Mean LB-normalised energy of Random-Schedule.
+    pub rs: f64,
+    /// Mean LB-normalised energy of SP+MCF.
+    pub sp: f64,
+    /// Number of runs averaged.
+    pub runs: usize,
+}
+
+/// Averages a slice of instance results (all with the same flow count).
+pub fn average(results: &[InstanceResult]) -> AveragedPoint {
+    assert!(!results.is_empty(), "cannot average zero runs");
+    let flows = results[0].flows;
+    let rs = results.iter().map(InstanceResult::rs_normalized).sum::<f64>() / results.len() as f64;
+    let sp = results.iter().map(InstanceResult::sp_normalized).sum::<f64>() / results.len() as f64;
+    AveragedPoint {
+        flows,
+        rs,
+        sp,
+        runs: results.len(),
+    }
+}
+
+/// The two power functions of the paper's Fig. 2: `x^2` and `x^4` on links
+/// of capacity 10 (the builders' default).
+pub fn fig2_power_functions() -> Vec<PowerFunction> {
+    vec![
+        PowerFunction::speed_scaling_only(1.0, 2.0, dcn_topology::builders::DEFAULT_CAPACITY),
+        PowerFunction::speed_scaling_only(1.0, 4.0, dcn_topology::builders::DEFAULT_CAPACITY),
+    ]
+}
+
+/// Prints an experiment table row-by-row in a fixed-width format shared by
+/// all binaries.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!();
+}
+
+/// Parses a `--flag value` style option from the command line.
+pub fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Returns `true` when `--flag` appears on the command line.
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+
+    #[test]
+    fn run_instance_produces_sane_numbers() {
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        let r = run_instance(&topo, 15, 3, &power);
+        assert_eq!(r.flows, 15);
+        assert!(r.lower_bound > 0.0);
+        assert!(r.rs_energy >= r.lower_bound - 1e-6);
+        assert!(r.sp_energy >= r.lower_bound - 1e-6);
+        assert!(r.rs_normalized() >= 1.0 - 1e-9);
+        assert!(r.sp_normalized() >= 1.0 - 1e-9);
+        assert_eq!(r.deadline_misses, 0);
+    }
+
+    #[test]
+    fn average_combines_runs() {
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        let results: Vec<_> = (0..2).map(|s| run_instance(&topo, 10, s, &power)).collect();
+        let avg = average(&results);
+        assert_eq!(avg.flows, 10);
+        assert_eq!(avg.runs, 2);
+        assert!(avg.rs >= 1.0 - 1e-9);
+        assert!(avg.sp >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn arg_parsing_helpers() {
+        let args: Vec<String> = ["--runs", "5", "--full"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value::<usize>(&args, "--runs"), Some(5));
+        assert_eq!(arg_value::<usize>(&args, "--flows"), None);
+        assert!(arg_present(&args, "--full"));
+        assert!(!arg_present(&args, "--quick"));
+    }
+
+    #[test]
+    fn fig2_power_functions_match_the_paper() {
+        let p = fig2_power_functions();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].alpha(), 2.0);
+        assert_eq!(p[1].alpha(), 4.0);
+        assert_eq!(p[0].sigma(), 0.0);
+    }
+}

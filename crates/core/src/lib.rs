@@ -1,0 +1,77 @@
+//! Core algorithms of *"Energy-Efficient Flow Scheduling and Routing with
+//! Hard Deadlines in Data Center Networks"* (Wang et al., ICDCS 2014).
+//!
+//! The paper studies how to transmit a set of deadline-constrained flows on
+//! a data-center network with minimum link energy, where every link follows
+//! the combined power-down / speed-scaling power model of [`dcn_power`].
+//! Two problem versions are treated, and this crate implements the paper's
+//! algorithm for each:
+//!
+//! * **DCFS** (Deadline-Constrained Flow Scheduling) — routing paths are
+//!   given, only transmission rates and timing are chosen. The optimal
+//!   combinatorial algorithm **Most-Critical-First** (paper Algorithm 1) is
+//!   implemented in [`dcfs`].
+//! * **DCFSR** (Deadline-Constrained Flow Scheduling and Routing) — paths
+//!   are chosen too. The problem is strongly NP-hard; the randomized
+//!   approximation algorithm **Random-Schedule** (paper Algorithm 2) is
+//!   implemented in [`dcfsr`], on top of the per-interval fractional
+//!   multi-commodity-flow relaxation in [`relaxation`].
+//!
+//! Supporting modules: [`schedule`] (the schedule data model, feasibility
+//! verification and energy accounting), [`routing`] (path selection
+//! strategies for the DCFS input and the SP+MCF baseline), and
+//! [`baselines`] (the comparison schemes used by the paper's Fig. 2 and the
+//! extension experiments).
+//!
+//! # Quick start
+//!
+//! ```
+//! use dcn_core::prelude::*;
+//! use dcn_flow::workload::UniformWorkload;
+//! use dcn_power::PowerFunction;
+//! use dcn_topology::builders;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small fat-tree and a random deadline-constrained workload.
+//! let topo = builders::fat_tree(4);
+//! let flows = UniformWorkload::paper_defaults(20, 42).generate(topo.hosts())?;
+//! let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+//!
+//! // Joint scheduling and routing with Random-Schedule.
+//! let outcome = RandomSchedule::new(RandomScheduleConfig::default())
+//!     .run(&topo.network, &flows, &power)?;
+//! outcome.schedule.verify(&topo.network, &flows, &power)?;
+//!
+//! // The energy is at least the fractional lower bound.
+//! assert!(outcome.schedule.energy(&power).total() >= outcome.lower_bound - 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod dcfs;
+pub mod dcfsr;
+pub mod exact;
+pub mod relaxation;
+pub mod routing;
+pub mod schedule;
+
+pub use dcfs::{most_critical_first, DcfsError};
+pub use exact::{exact_dcfsr, ExactError, ExactOutcome};
+pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
+pub use relaxation::{interval_relaxation, IntervalRelaxation, RelaxationSummary};
+pub use routing::{Routing, RoutingError};
+pub use schedule::{FlowSchedule, Schedule, ScheduleError, ScheduleViolation};
+
+/// Convenient glob import of the crate's main types.
+pub mod prelude {
+    pub use crate::baselines;
+    pub use crate::dcfs::most_critical_first;
+    pub use crate::dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
+    pub use crate::relaxation::interval_relaxation;
+    pub use crate::routing::Routing;
+    pub use crate::schedule::{FlowSchedule, Schedule};
+}

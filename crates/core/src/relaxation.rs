@@ -1,0 +1,234 @@
+//! The per-interval fractional relaxation of DCFSR and the lower bound it
+//! yields.
+//!
+//! Random-Schedule (paper Section V-A) relaxes DCFSR in three ways: flows
+//! are served exactly at their densities, flows may split over multiple
+//! paths, and links can be switched on and off freely at any moment. Under
+//! this relaxation the horizon decomposes into the intervals `I_k` between
+//! consecutive release times / deadlines, and the traffic inside each
+//! interval is constant — so each interval is an independent fractional
+//! multi-commodity flow (F-MCF) problem with convex link costs, solved here
+//! with the Frank–Wolfe solver of [`dcn_solver::fmcf`].
+//!
+//! The total relaxation cost `sum_k |I_k| * cost_k` is the lower bound
+//! ("LB") that the paper's Fig. 2 uses to normalise every algorithm's
+//! energy.
+
+use dcn_flow::{FlowId, FlowSet, Interval};
+use dcn_power::PowerFunction;
+use dcn_solver::fmcf::{Commodity, FmcfProblem, FmcfSolution, FmcfSolverConfig, PowerFlowCost};
+use dcn_topology::Network;
+
+/// The fractional solution of one interval's F-MCF subproblem.
+#[derive(Debug, Clone)]
+pub struct IntervalRelaxation {
+    /// The interval `I_k`.
+    pub interval: Interval,
+    /// Flows active throughout the interval, in commodity order (the `c`-th
+    /// commodity of [`Self::solution`] belongs to `flow_ids[c]`).
+    pub flow_ids: Vec<FlowId>,
+    /// The fractional multi-commodity flow solution for the interval.
+    pub solution: FmcfSolution,
+    /// The relaxation cost of the interval **per unit of time**.
+    pub cost_rate: f64,
+}
+
+impl IntervalRelaxation {
+    /// The relaxation cost contributed by this interval
+    /// (`cost_rate * |I_k|`).
+    pub fn cost(&self) -> f64 {
+        self.cost_rate * self.interval.length()
+    }
+
+    /// The commodity index of a flow inside this interval, if the flow is
+    /// active here.
+    pub fn commodity_index(&self, flow: FlowId) -> Option<usize> {
+        self.flow_ids.iter().position(|&f| f == flow)
+    }
+}
+
+/// The relaxation of a whole instance: one [`IntervalRelaxation`] per
+/// interval plus the aggregate lower bound.
+#[derive(Debug, Clone)]
+pub struct RelaxationSummary {
+    /// Per-interval solutions, in interval order.
+    pub intervals: Vec<IntervalRelaxation>,
+    /// The fractional lower bound on the energy of any feasible DCFSR
+    /// schedule: `sum_k |I_k| * cost_k`.
+    pub lower_bound: f64,
+}
+
+impl RelaxationSummary {
+    /// The relaxation of the interval with the given index.
+    pub fn interval(&self, index: usize) -> &IntervalRelaxation {
+        &self.intervals[index]
+    }
+}
+
+/// Solves the per-interval F-MCF relaxation of a DCFSR instance.
+///
+/// The cost function is [`PowerFlowCost`]: the paper's speed-scaling cost
+/// `mu * x^alpha`, plus a `sigma * x / C` term that lower-bounds the idle
+/// energy share when the power function has `sigma > 0`. The solver is
+/// configured with the link capacity so the relaxation respects
+/// `x_e(t) <= C`.
+///
+/// # Panics
+///
+/// Panics if some active flow's destination is unreachable from its source
+/// (propagated from the Frank–Wolfe solver).
+pub fn interval_relaxation(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    fmcf_config: &FmcfSolverConfig,
+) -> RelaxationSummary {
+    let cost = PowerFlowCost::new(*power);
+    let mut config = *fmcf_config;
+    if config.capacity.is_none() {
+        config.capacity = Some(power.capacity());
+    }
+
+    let mut intervals = Vec::new();
+    let mut lower_bound = 0.0;
+    for interval in flows.intervals() {
+        let flow_ids = flows.active_in_interval(&interval);
+        let commodities: Vec<Commodity> = flow_ids
+            .iter()
+            .map(|&id| {
+                let f = flows.flow(id);
+                Commodity {
+                    id,
+                    src: f.src,
+                    dst: f.dst,
+                    demand: f.density(),
+                }
+            })
+            .collect();
+        let problem = FmcfProblem::new(network, commodities);
+        let solution = problem.solve(&cost, &config);
+        let cost_rate = solution.total_cost(&cost);
+        lower_bound += cost_rate * interval.length();
+        intervals.push(IntervalRelaxation {
+            interval,
+            flow_ids,
+            solution,
+            cost_rate,
+        });
+    }
+
+    RelaxationSummary {
+        intervals,
+        lower_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_flow::workload::UniformWorkload;
+    use dcn_topology::builders;
+
+    fn x2(capacity: f64) -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+    }
+
+    #[test]
+    fn single_flow_lower_bound_is_its_density_cost_times_span() {
+        // One flow on a line: the relaxation must route its density over the
+        // shortest path in every interval of its span.
+        let topo = builders::line_with_capacity(3, 100.0);
+        let flows = dcn_flow::FlowSet::from_tuples([
+            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
+        ])
+        .unwrap();
+        let power = x2(100.0);
+        let summary = interval_relaxation(
+            &topo.network,
+            &flows,
+            &power,
+            &FmcfSolverConfig::default(),
+        );
+        assert_eq!(summary.intervals.len(), 1);
+        // Density 2 over 2 links for 4 time units: 2 * 2^2 * 4 = 32.
+        assert!((summary.lower_bound - 32.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn intervals_with_no_active_flows_cost_nothing() {
+        let topo = builders::line_with_capacity(3, 100.0);
+        // Two flows with a gap between their spans.
+        let flows = dcn_flow::FlowSet::from_tuples([
+            (topo.hosts()[0], topo.hosts()[1], 0.0, 2.0, 2.0),
+            (topo.hosts()[1], topo.hosts()[2], 6.0, 8.0, 2.0),
+        ])
+        .unwrap();
+        let summary = interval_relaxation(
+            &topo.network,
+            &flows,
+            &x2(100.0),
+            &FmcfSolverConfig::default(),
+        );
+        assert_eq!(summary.intervals.len(), 3);
+        assert_eq!(summary.intervals[1].flow_ids.len(), 0);
+        assert_eq!(summary.intervals[1].cost_rate, 0.0);
+        assert!(summary.lower_bound > 0.0);
+    }
+
+    #[test]
+    fn commodity_index_maps_flows() {
+        let topo = builders::line_with_capacity(4, 100.0);
+        let flows = dcn_flow::FlowSet::from_tuples([
+            (topo.hosts()[0], topo.hosts()[3], 0.0, 4.0, 4.0),
+            (topo.hosts()[1], topo.hosts()[2], 0.0, 4.0, 4.0),
+        ])
+        .unwrap();
+        let summary = interval_relaxation(
+            &topo.network,
+            &flows,
+            &x2(100.0),
+            &FmcfSolverConfig::default(),
+        );
+        let iv = &summary.intervals[0];
+        assert_eq!(iv.commodity_index(0), Some(0));
+        assert_eq!(iv.commodity_index(1), Some(1));
+        assert_eq!(iv.commodity_index(7), None);
+    }
+
+    #[test]
+    fn lower_bound_grows_with_the_number_of_flows() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let small = UniformWorkload::paper_defaults(10, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        let large = UniformWorkload::paper_defaults(40, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        let lb_small =
+            interval_relaxation(&topo.network, &small, &power, &FmcfSolverConfig::default())
+                .lower_bound;
+        let lb_large =
+            interval_relaxation(&topo.network, &large, &power, &FmcfSolverConfig::default())
+                .lower_bound;
+        assert!(lb_small > 0.0);
+        assert!(lb_large > lb_small);
+    }
+
+    #[test]
+    fn idle_power_increases_the_lower_bound() {
+        let topo = builders::line_with_capacity(3, 10.0);
+        let flows = dcn_flow::FlowSet::from_tuples([
+            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
+        ])
+        .unwrap();
+        let no_idle = x2(10.0);
+        let with_idle = PowerFunction::new(5.0, 1.0, 2.0, 10.0).unwrap();
+        let lb0 = interval_relaxation(&topo.network, &flows, &no_idle, &FmcfSolverConfig::default())
+            .lower_bound;
+        let lb1 =
+            interval_relaxation(&topo.network, &flows, &with_idle, &FmcfSolverConfig::default())
+                .lower_bound;
+        assert!(lb1 > lb0);
+    }
+}

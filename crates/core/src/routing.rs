@@ -1,0 +1,216 @@
+//! Routing strategies used to fix the paths of a DCFS instance.
+//!
+//! DCFS assumes "the routing paths for all the flows are provided"; in
+//! practice data centers obtain them from their routing protocol. This
+//! module provides the strategies used in the paper's evaluation and the
+//! extension experiments:
+//!
+//! * [`Routing::ShortestPath`] — minimum-hop routing, the `SP` part of the
+//!   paper's `SP+MCF` baseline.
+//! * [`Routing::Ecmp`] — ECMP-style routing: a uniformly random choice among
+//!   all minimum-hop paths (seeded, deterministic).
+//! * [`Routing::LeastLoadedKsp`] — a greedy load-aware heuristic that
+//!   considers the `k` shortest paths of every flow (in volume order) and
+//!   picks the one minimising the resulting maximum link volume; a stand-in
+//!   for the consolidation-style traffic engineering the paper's related
+//!   work discusses.
+
+use dcn_flow::FlowSet;
+use dcn_topology::{all_shortest_paths, k_shortest_paths, Network, Path};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// Errors raised while computing routes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// No path exists between a flow's endpoints.
+    Unreachable {
+        /// The flow that cannot be routed.
+        flow: dcn_flow::FlowId,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Unreachable { flow } => {
+                write!(f, "flow {flow} has no path between its endpoints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// A path-selection strategy: given the network and the flow set, produce
+/// one routing path per flow (indexed by flow id).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Routing {
+    /// Minimum-hop shortest path (deterministic tie-break).
+    ShortestPath,
+    /// Uniformly random choice among all minimum-hop paths, seeded.
+    Ecmp {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Greedy volume-aware choice among the `k` shortest paths of each flow.
+    LeastLoadedKsp {
+        /// Number of candidate shortest paths per flow.
+        k: usize,
+    },
+}
+
+impl Routing {
+    /// Computes one path per flow, indexed by flow id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::Unreachable`] if some flow has no path.
+    pub fn compute(&self, network: &Network, flows: &FlowSet) -> Result<Vec<Path>, RoutingError> {
+        match self {
+            Routing::ShortestPath => flows
+                .iter()
+                .map(|f| {
+                    network
+                        .shortest_path(f.src, f.dst)
+                        .ok_or(RoutingError::Unreachable { flow: f.id })
+                })
+                .collect(),
+            Routing::Ecmp { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                flows
+                    .iter()
+                    .map(|f| {
+                        let candidates = all_shortest_paths(network, f.src, f.dst, 64);
+                        candidates
+                            .choose(&mut rng)
+                            .cloned()
+                            .ok_or(RoutingError::Unreachable { flow: f.id })
+                    })
+                    .collect()
+            }
+            Routing::LeastLoadedKsp { k } => {
+                let k = (*k).max(1);
+                // Process flows in decreasing volume order (largest first),
+                // greedily balancing the per-link committed volume.
+                let mut order: Vec<usize> = (0..flows.len()).collect();
+                order.sort_by(|&a, &b| {
+                    flows
+                        .flow(b)
+                        .volume
+                        .partial_cmp(&flows.flow(a).volume)
+                        .expect("finite volumes")
+                });
+                let mut link_volume = vec![0.0_f64; network.link_count()];
+                let mut paths: Vec<Option<Path>> = vec![None; flows.len()];
+                for id in order {
+                    let f = flows.flow(id);
+                    let candidates = k_shortest_paths(network, f.src, f.dst, k, |_| 1.0);
+                    if candidates.is_empty() {
+                        return Err(RoutingError::Unreachable { flow: f.id });
+                    }
+                    let best = candidates
+                        .into_iter()
+                        .min_by(|a, b| {
+                            let load_a = path_peak_volume(a, &link_volume, f.volume);
+                            let load_b = path_peak_volume(b, &link_volume, f.volume);
+                            load_a
+                                .partial_cmp(&load_b)
+                                .expect("finite volumes")
+                                .then(a.len().cmp(&b.len()))
+                        })
+                        .expect("candidates is non-empty");
+                    for &l in best.links() {
+                        link_volume[l.index()] += f.volume;
+                    }
+                    paths[id] = Some(best);
+                }
+                Ok(paths.into_iter().map(|p| p.expect("every flow routed")).collect())
+            }
+        }
+    }
+}
+
+/// The maximum committed volume over the links of `path` if `volume` more
+/// units were added to each of them.
+fn path_peak_volume(path: &Path, link_volume: &[f64], volume: f64) -> f64 {
+    path.links()
+        .iter()
+        .map(|&l| link_volume[l.index()] + volume)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_flow::workload::UniformWorkload;
+    use dcn_topology::builders;
+
+    #[test]
+    fn shortest_path_routes_every_flow() {
+        let topo = builders::fat_tree(4);
+        let flows = UniformWorkload::paper_defaults(30, 5)
+            .generate(topo.hosts())
+            .unwrap();
+        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        assert_eq!(paths.len(), flows.len());
+        for (f, p) in flows.iter().zip(&paths) {
+            assert_eq!(p.source(), f.src);
+            assert_eq!(p.destination(), f.dst);
+            assert!(p.len() <= 6, "fat-tree paths are at most 6 hops");
+        }
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_seed_and_spreads_paths() {
+        let topo = builders::fat_tree(4);
+        let flows = UniformWorkload::paper_defaults(40, 11)
+            .generate(topo.hosts())
+            .unwrap();
+        let a = Routing::Ecmp { seed: 1 }.compute(&topo.network, &flows).unwrap();
+        let b = Routing::Ecmp { seed: 1 }.compute(&topo.network, &flows).unwrap();
+        let c = Routing::Ecmp { seed: 2 }.compute(&topo.network, &flows).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should give different ECMP draws");
+        for (f, p) in flows.iter().zip(&a) {
+            assert_eq!(p.source(), f.src);
+            assert_eq!(p.destination(), f.dst);
+        }
+    }
+
+    #[test]
+    fn least_loaded_ksp_spreads_volume_on_parallel_links() {
+        let topo = builders::parallel(4, 10.0);
+        // Four identical flows between the two hosts: each should get its
+        // own parallel link.
+        let flows = dcn_flow::FlowSet::from_tuples(
+            (0..4).map(|_| (topo.source(), topo.sink(), 0.0, 10.0, 5.0)),
+        )
+        .unwrap();
+        let paths = Routing::LeastLoadedKsp { k: 4 }
+            .compute(&topo.network, &flows)
+            .unwrap();
+        let mut used: Vec<_> = paths.iter().map(|p| p.links()[0]).collect();
+        used.sort();
+        used.dedup();
+        assert_eq!(used.len(), 4, "each flow should use a distinct link");
+    }
+
+    #[test]
+    fn unreachable_flow_is_an_error() {
+        // Two disconnected hosts.
+        let mut net = dcn_topology::Network::new();
+        let a = net.add_node(dcn_topology::NodeKind::Host, "a");
+        let b = net.add_node(dcn_topology::NodeKind::Host, "b");
+        let flows = dcn_flow::FlowSet::from_tuples([(a, b, 0.0, 1.0, 1.0)]).unwrap();
+        for strategy in [
+            Routing::ShortestPath,
+            Routing::Ecmp { seed: 0 },
+            Routing::LeastLoadedKsp { k: 2 },
+        ] {
+            let err = strategy.compute(&net, &flows).unwrap_err();
+            assert_eq!(err, RoutingError::Unreachable { flow: 0 });
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! JSON (de)serialization of flow traces.
+//!
+//! Experiments serialize the exact flow sets they ran on so that results in
+//! `EXPERIMENTS.md` can be replayed bit-for-bit.
+
+use crate::{FlowError, FlowSet};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised when reading or writing a flow trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying filesystem error.
+    Io(io::Error),
+    /// The trace is not valid JSON or does not describe a flow set.
+    Format(String),
+    /// The decoded flows violate the flow-set invariants.
+    Invalid(FlowError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Format(msg) => write!(f, "trace format error: {msg}"),
+            TraceError::Invalid(e) => write!(f, "trace contains invalid flows: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Invalid(e) => Some(e),
+            TraceError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(value: io::Error) -> Self {
+        TraceError::Io(value)
+    }
+}
+
+impl From<FlowError> for TraceError {
+    fn from(value: FlowError) -> Self {
+        TraceError::Invalid(value)
+    }
+}
+
+/// Serializes a flow set to a pretty-printed JSON string.
+pub fn to_json_string(flows: &FlowSet) -> String {
+    serde_json::to_string_pretty(flows).expect("flow sets always serialize")
+}
+
+/// Parses a flow set from a JSON string, re-validating every flow.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] for malformed JSON and
+/// [`TraceError::Invalid`] when the decoded flows violate the model's
+/// invariants.
+pub fn from_json_str(json: &str) -> Result<FlowSet, TraceError> {
+    let decoded: FlowSet =
+        serde_json::from_str(json).map_err(|e| TraceError::Format(e.to_string()))?;
+    // Round-trip through the validating constructor.
+    Ok(FlowSet::from_flows(decoded.iter().cloned().collect())?)
+}
+
+/// Writes a flow set to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the file cannot be written.
+pub fn write_json(flows: &FlowSet, path: impl AsRef<Path>) -> Result<(), TraceError> {
+    fs::write(path, to_json_string(flows))?;
+    Ok(())
+}
+
+/// Reads a flow set from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the file cannot be read, or the same errors
+/// as [`from_json_str`] for malformed content.
+pub fn read_json(path: impl AsRef<Path>) -> Result<FlowSet, TraceError> {
+    let data = fs::read_to_string(path)?;
+    from_json_str(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::UniformWorkload;
+    use dcn_topology::builders;
+
+    #[test]
+    fn json_roundtrip_preserves_flows() {
+        let topo = builders::fat_tree(4);
+        let flows = UniformWorkload::paper_defaults(25, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        let json = to_json_string(&flows);
+        let decoded = from_json_str(&json).unwrap();
+        assert_eq!(flows, decoded);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            from_json_str("{not json"),
+            Err(TraceError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_flows_are_rejected_on_read() {
+        // Deadline before release.
+        let json = r#"{"flows":[{"id":0,"src":0,"dst":1,"release":5.0,"deadline":1.0,"volume":2.0}]}"#;
+        let res = from_json_str(json);
+        assert!(
+            matches!(res, Err(TraceError::Format(_)) | Err(TraceError::Invalid(_))),
+            "invalid trace must not load"
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let topo = builders::line(4);
+        let flows = UniformWorkload::paper_defaults(5, 11)
+            .generate(topo.hosts())
+            .unwrap();
+        let dir = std::env::temp_dir().join("dcn_flow_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_json(&flows, &path).unwrap();
+        let decoded = read_json(&path).unwrap();
+        assert_eq!(flows, decoded);
+        let missing = read_json(dir.join("missing.json"));
+        assert!(matches!(missing, Err(TraceError::Io(_))));
+    }
+}

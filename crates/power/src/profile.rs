@@ -1,0 +1,340 @@
+//! Piecewise-constant transmission-rate profiles.
+
+use crate::PowerFunction;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant, non-negative rate as a function of time.
+///
+/// Profiles are built by *adding* rate over half-open intervals
+/// `[start, end)`; overlapping additions accumulate, which makes the type
+/// directly usable both for a single flow's transmission rate `s_i(t)` and
+/// for a link's aggregate rate `x_e(t) = sum of the rates of the flows it
+/// carries`.
+///
+/// # Example
+///
+/// ```
+/// use dcn_power::RateProfile;
+///
+/// let mut p = RateProfile::new();
+/// p.add_rate(0.0, 4.0, 2.0);
+/// p.add_rate(2.0, 6.0, 1.0);
+/// assert_eq!(p.rate_at(1.0), 2.0);
+/// assert_eq!(p.rate_at(3.0), 3.0);
+/// assert_eq!(p.rate_at(5.0), 1.0);
+/// assert_eq!(p.volume(), 2.0 * 4.0 + 1.0 * 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RateProfile {
+    /// Raw (start, end, rate) additions, not necessarily disjoint.
+    pieces: Vec<(f64, f64, f64)>,
+}
+
+impl RateProfile {
+    /// Creates an empty (always-zero) profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a profile equal to `rate` on `[start, end)` and zero
+    /// elsewhere.
+    pub fn constant(start: f64, end: f64, rate: f64) -> Self {
+        let mut p = Self::new();
+        p.add_rate(start, end, rate);
+        p
+    }
+
+    /// Adds `rate` over the half-open interval `[start, end)`.
+    ///
+    /// Zero-rate or empty-interval additions are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`, if the rate is negative, or if any value is
+    /// not finite.
+    pub fn add_rate(&mut self, start: f64, end: f64, rate: f64) {
+        assert!(
+            start.is_finite() && end.is_finite() && rate.is_finite(),
+            "profile pieces must be finite: [{start}, {end}) at {rate}"
+        );
+        assert!(end >= start, "interval end {end} precedes start {start}");
+        assert!(rate >= 0.0, "rate must be non-negative, got {rate}");
+        if end > start && rate > 0.0 {
+            self.pieces.push((start, end, rate));
+        }
+    }
+
+    /// Returns `true` if the profile is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Returns `true` if the profile carries any traffic (positive volume).
+    pub fn is_active(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// The instantaneous rate at time `t`.
+    ///
+    /// At a breakpoint the *right* limit applies (intervals are half-open).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.pieces
+            .iter()
+            .filter(|&&(s, e, _)| t >= s && t < e)
+            .map(|&(_, _, r)| r)
+            .sum()
+    }
+
+    /// Total volume carried: the integral of the rate over all time.
+    pub fn volume(&self) -> f64 {
+        self.pieces.iter().map(|&(s, e, r)| (e - s) * r).sum()
+    }
+
+    /// Volume carried inside `[from, to)`.
+    pub fn volume_between(&self, from: f64, to: f64) -> f64 {
+        self.pieces
+            .iter()
+            .map(|&(s, e, r)| {
+                let lo = s.max(from);
+                let hi = e.min(to);
+                if hi > lo {
+                    (hi - lo) * r
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// The earliest and latest breakpoints of the profile, or `None` if it is
+    /// empty.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        if self.pieces.is_empty() {
+            return None;
+        }
+        let start = self.pieces.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let end = self.pieces.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        Some((start, end))
+    }
+
+    /// The merged, disjoint segments `(start, end, rate)` of the profile with
+    /// strictly positive rate, sorted by start time.
+    pub fn segments(&self) -> Vec<(f64, f64, f64)> {
+        if self.pieces.is_empty() {
+            return Vec::new();
+        }
+        let mut times: Vec<f64> = self
+            .pieces
+            .iter()
+            .flat_map(|&(s, e, _)| [s, e])
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        times.dedup();
+        let mut out = Vec::new();
+        for w in times.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi <= lo {
+                continue;
+            }
+            let mid = 0.5 * (lo + hi);
+            let rate = self.rate_at(mid);
+            if rate > 0.0 {
+                // Merge with the previous segment when the rate is identical
+                // and the segments are adjacent.
+                if let Some(last) = out.last_mut() {
+                    let (_, ref mut last_end, last_rate): &mut (f64, f64, f64) = last;
+                    if (*last_rate - rate).abs() < 1e-12 && (*last_end - lo).abs() < 1e-12 {
+                        *last_end = hi;
+                        continue;
+                    }
+                }
+                out.push((lo, hi, rate));
+            }
+        }
+        out
+    }
+
+    /// The maximum instantaneous rate over all time.
+    pub fn max_rate(&self) -> f64 {
+        self.segments()
+            .iter()
+            .map(|&(_, _, r)| r)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total time during which the rate is strictly positive.
+    pub fn active_duration(&self) -> f64 {
+        self.segments().iter().map(|&(s, e, _)| e - s).sum()
+    }
+
+    /// The energy of the *dynamic* (speed-scaling) term:
+    /// `integral of mu * rate(t)^alpha dt`.
+    pub fn dynamic_energy(&self, power: &PowerFunction) -> f64 {
+        self.segments()
+            .iter()
+            .map(|&(s, e, r)| power.dynamic_power(r) * (e - s))
+            .sum()
+    }
+
+    /// The full energy `integral of f(rate(t)) dt` where the idle power is
+    /// only charged while the rate is positive.
+    ///
+    /// Note that the paper's objective (Eq. 5) instead charges idle power for
+    /// the whole horizon on every link that is ever active; that accounting
+    /// lives in [`crate::EnergyMeter`]. This method is the "ideal power
+    /// down at every idle instant" variant used for lower bounds.
+    pub fn energy_with_instantaneous_powerdown(&self, power: &PowerFunction) -> f64 {
+        self.segments()
+            .iter()
+            .map(|&(s, e, r)| power.power(r) * (e - s))
+            .sum()
+    }
+
+    /// The maximum amount by which the profile exceeds `capacity`
+    /// (zero when it never does).
+    pub fn capacity_excess(&self, capacity: f64) -> f64 {
+        (self.max_rate() - capacity).max(0.0)
+    }
+
+    /// Merges another profile into this one (pointwise sum of rates).
+    pub fn merge(&mut self, other: &RateProfile) {
+        self.pieces.extend_from_slice(&other.pieces);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_profile_is_zero_everywhere() {
+        let p = RateProfile::new();
+        assert!(p.is_empty());
+        assert!(!p.is_active());
+        assert_eq!(p.rate_at(0.0), 0.0);
+        assert_eq!(p.volume(), 0.0);
+        assert_eq!(p.max_rate(), 0.0);
+        assert!(p.span().is_none());
+        assert!(p.segments().is_empty());
+    }
+
+    #[test]
+    fn constant_profile() {
+        let p = RateProfile::constant(1.0, 3.0, 2.5);
+        assert!(close(p.volume(), 5.0));
+        assert_eq!(p.rate_at(1.0), 2.5);
+        assert_eq!(p.rate_at(2.9), 2.5);
+        assert_eq!(p.rate_at(3.0), 0.0, "intervals are half-open");
+        assert_eq!(p.span(), Some((1.0, 3.0)));
+    }
+
+    #[test]
+    fn overlapping_additions_accumulate() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 4.0, 1.0);
+        p.add_rate(2.0, 6.0, 2.0);
+        assert_eq!(p.rate_at(1.0), 1.0);
+        assert_eq!(p.rate_at(3.0), 3.0);
+        assert_eq!(p.rate_at(5.0), 2.0);
+        assert!(close(p.volume(), 4.0 + 8.0));
+        assert_eq!(p.max_rate(), 3.0);
+        let segs = p.segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], (0.0, 2.0, 1.0));
+        assert_eq!(segs[1], (2.0, 4.0, 3.0));
+        assert_eq!(segs[2], (4.0, 6.0, 2.0));
+    }
+
+    #[test]
+    fn adjacent_equal_segments_are_merged() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 1.0, 2.0);
+        p.add_rate(1.0, 2.0, 2.0);
+        let segs = p.segments();
+        assert_eq!(segs, vec![(0.0, 2.0, 2.0)]);
+        assert!(close(p.active_duration(), 2.0));
+    }
+
+    #[test]
+    fn gaps_are_preserved() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 1.0, 1.0);
+        p.add_rate(3.0, 4.0, 1.0);
+        assert_eq!(p.rate_at(2.0), 0.0);
+        assert!(close(p.active_duration(), 2.0));
+        assert_eq!(p.segments().len(), 2);
+    }
+
+    #[test]
+    fn volume_between_clips_correctly() {
+        let p = RateProfile::constant(0.0, 10.0, 2.0);
+        assert!(close(p.volume_between(2.0, 5.0), 6.0));
+        assert!(close(p.volume_between(-5.0, 2.0), 4.0));
+        assert!(close(p.volume_between(9.0, 20.0), 2.0));
+        assert_eq!(p.volume_between(11.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn zero_rate_and_empty_interval_ignored() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 5.0, 0.0);
+        p.add_rate(3.0, 3.0, 7.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn reversed_interval_rejected() {
+        let mut p = RateProfile::new();
+        p.add_rate(2.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn dynamic_energy_quadratic() {
+        let f = PowerFunction::speed_scaling_only(1.0, 2.0, 100.0);
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 2.0, 3.0); // 2 * 9 = 18
+        p.add_rate(2.0, 3.0, 1.0); // 1 * 1 = 1
+        assert!(close(p.dynamic_energy(&f), 19.0));
+    }
+
+    #[test]
+    fn powerdown_energy_includes_sigma_only_when_active() {
+        let f = PowerFunction::new(5.0, 1.0, 2.0, 100.0).unwrap();
+        let p = RateProfile::constant(0.0, 2.0, 1.0);
+        // 2 seconds active: (5 + 1) * 2 = 12; no charge for idle time.
+        assert!(close(p.energy_with_instantaneous_powerdown(&f), 12.0));
+    }
+
+    #[test]
+    fn capacity_excess() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 1.0, 4.0);
+        p.add_rate(0.5, 1.0, 3.0);
+        assert!(close(p.capacity_excess(5.0), 2.0));
+        assert_eq!(p.capacity_excess(10.0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_pointwise() {
+        let a = RateProfile::constant(0.0, 2.0, 1.0);
+        let b = RateProfile::constant(1.0, 3.0, 2.0);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.rate_at(0.5), 1.0);
+        assert_eq!(m.rate_at(1.5), 3.0);
+        assert_eq!(m.rate_at(2.5), 2.0);
+        assert!(close(m.volume(), a.volume() + b.volume()));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fluid, event-driven network simulator for deadline-constrained flow
+//! schedules.
+//!
+//! The paper's evaluation is simulation-only (the authors used an
+//! unreleased Python simulator). This crate is the Rust substitute: it
+//! *executes* a [`dcn_core::Schedule`] on a topology at flow-level (fluid)
+//! granularity and measures, independently of the analytic formulas in
+//! `dcn-core`/`dcn-power`:
+//!
+//! * per-flow delivery: how much data arrived at the destination, when the
+//!   flow completed, and whether its hard deadline was met;
+//! * per-link load: instantaneous aggregate rate, peak rate and utilisation,
+//!   busy time, and capacity violations;
+//! * energy: the paper's objective (idle energy for every active link over
+//!   the whole horizon, plus the speed-scaling energy integrated over time).
+//!
+//! Because the simulator only looks at the schedule's piecewise-constant
+//! rate profiles and sweeps the global breakpoint list, its energy figure
+//! must agree with [`dcn_core::Schedule::energy`] to floating-point
+//! accuracy; the test suites use that agreement as a cross-check of both
+//! implementations.
+//!
+//! # Example
+//!
+//! ```
+//! use dcn_core::baselines;
+//! use dcn_flow::workload::UniformWorkload;
+//! use dcn_power::PowerFunction;
+//! use dcn_sim::Simulator;
+//! use dcn_topology::builders;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topo = builders::fat_tree(4);
+//! let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
+//! let flows = UniformWorkload::paper_defaults(20, 1).generate(topo.hosts())?;
+//! let schedule = baselines::sp_mcf(&topo.network, &flows, &power)?;
+//!
+//! let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+//! assert_eq!(report.deadline_misses, 0);
+//! assert!((report.energy.total() - schedule.energy(&power).total()).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod report;
+mod simulator;
+
+pub use report::{FlowOutcome, LinkLoad, SimReport};
+pub use simulator::Simulator;

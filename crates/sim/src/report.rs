@@ -1,0 +1,149 @@
+//! Simulation output: per-flow, per-link and aggregate measurements.
+
+use dcn_flow::FlowId;
+use dcn_power::EnergyBreakdown;
+use dcn_topology::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// What happened to one flow during the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// The flow.
+    pub flow: FlowId,
+    /// Data delivered to the destination by the end of the horizon.
+    pub delivered: f64,
+    /// Data the flow was required to deliver.
+    pub required: f64,
+    /// The instant at which the last byte arrived, if the flow completed.
+    pub completion_time: Option<f64>,
+    /// The flow's hard deadline.
+    pub deadline: f64,
+}
+
+impl FlowOutcome {
+    /// Returns `true` if the flow delivered all of its data no later than
+    /// its deadline.
+    pub fn deadline_met(&self) -> bool {
+        match self.completion_time {
+            Some(t) => t <= self.deadline + 1e-9 && self.delivered >= self.required - 1e-6,
+            None => false,
+        }
+    }
+
+    /// Slack between completion and deadline (negative when the deadline is
+    /// missed or the flow never completed).
+    pub fn slack(&self) -> f64 {
+        match self.completion_time {
+            Some(t) => self.deadline - t,
+            None => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Load measurements of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkLoad {
+    /// The link.
+    pub link: LinkId,
+    /// Highest instantaneous aggregate rate observed.
+    pub peak_rate: f64,
+    /// Total time during which the link carried traffic.
+    pub busy_time: f64,
+    /// Total data carried.
+    pub volume: f64,
+    /// Energy consumed by the link (idle share + dynamic).
+    pub energy: f64,
+}
+
+impl LinkLoad {
+    /// Peak utilisation relative to a capacity.
+    pub fn peak_utilization(&self, capacity: f64) -> f64 {
+        self.peak_rate / capacity
+    }
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-flow outcomes, indexed by flow id.
+    pub flows: Vec<FlowOutcome>,
+    /// Per-link loads for every link that carried traffic.
+    pub links: Vec<LinkLoad>,
+    /// Measured energy under the paper's objective.
+    pub energy: EnergyBreakdown,
+    /// Number of flows that missed their deadline (or never completed).
+    pub deadline_misses: usize,
+    /// Number of links whose peak rate exceeded the capacity.
+    pub capacity_violations: usize,
+    /// The largest peak utilisation over all links (1.0 = at capacity).
+    pub max_utilization: f64,
+    /// The simulated horizon `[T0, T1]`.
+    pub horizon: (f64, f64),
+}
+
+impl SimReport {
+    /// Returns `true` when every flow met its deadline and no link exceeded
+    /// its capacity.
+    pub fn all_good(&self) -> bool {
+        self.deadline_misses == 0 && self.capacity_violations == 0
+    }
+
+    /// The outcome of a specific flow, if it was simulated.
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowOutcome> {
+        self.flows.iter().find(|f| f.flow == flow)
+    }
+
+    /// The load of a specific link, if it carried traffic.
+    pub fn link(&self, link: LinkId) -> Option<&LinkLoad> {
+        self.links.iter().find(|l| l.link == link)
+    }
+
+    /// Number of links that carried any traffic.
+    pub fn active_link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_met_logic() {
+        let ok = FlowOutcome {
+            flow: 0,
+            delivered: 10.0,
+            required: 10.0,
+            completion_time: Some(5.0),
+            deadline: 6.0,
+        };
+        assert!(ok.deadline_met());
+        assert!((ok.slack() - 1.0).abs() < 1e-12);
+
+        let late = FlowOutcome {
+            completion_time: Some(7.0),
+            ..ok
+        };
+        assert!(!late.deadline_met());
+
+        let never = FlowOutcome {
+            completion_time: None,
+            delivered: 3.0,
+            ..ok
+        };
+        assert!(!never.deadline_met());
+        assert_eq!(never.slack(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn link_load_utilization() {
+        let l = LinkLoad {
+            link: LinkId(3),
+            peak_rate: 5.0,
+            busy_time: 2.0,
+            volume: 10.0,
+            energy: 50.0,
+        };
+        assert!((l.peak_utilization(10.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tracking of available (unblocked) time on a resource.
+//!
+//! The critical-interval machinery of YDS and Most-Critical-First repeatedly
+//! "removes" the time occupied by already-scheduled work: the intensity of
+//! an interval is computed with respect to the *available* time `a ~ b`
+//! (paper, Definition 1), and newly scheduled flows may only occupy
+//! available time. [`TimeAvailability`] maintains the set of blocked
+//! intervals and answers those queries.
+
+/// The set of blocked (unavailable) time intervals on a resource, starting
+/// from a fully available timeline.
+///
+/// # Example
+///
+/// ```
+/// use dcn_solver::TimeAvailability;
+///
+/// let mut avail = TimeAvailability::new();
+/// avail.block(2.0, 4.0);
+/// assert_eq!(avail.available_between(0.0, 6.0), 4.0);
+/// assert_eq!(avail.available_subintervals(1.0, 5.0), vec![(1.0, 2.0), (4.0, 5.0)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeAvailability {
+    /// Disjoint, sorted blocked intervals.
+    blocked: Vec<(f64, f64)>,
+}
+
+impl TimeAvailability {
+    /// Creates a fully available timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `[start, end)` as blocked (unavailable).
+    ///
+    /// Blocking an already blocked region is allowed; regions are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or either bound is not finite.
+    pub fn block(&mut self, start: f64, end: f64) {
+        assert!(start.is_finite() && end.is_finite(), "blocked interval must be finite");
+        assert!(end >= start, "interval end {end} precedes start {start}");
+        if end == start {
+            return;
+        }
+        self.blocked.push((start, end));
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.blocked
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite intervals"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(self.blocked.len());
+        for &(s, e) in &self.blocked {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 + 1e-12 => {
+                    last.1 = last.1.max(e);
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        self.blocked = merged;
+    }
+
+    /// The blocked intervals, disjoint and sorted.
+    pub fn blocked_intervals(&self) -> &[(f64, f64)] {
+        &self.blocked
+    }
+
+    /// Total blocked time inside `[start, end)`.
+    pub fn blocked_between(&self, start: f64, end: f64) -> f64 {
+        self.blocked
+            .iter()
+            .map(|&(s, e)| {
+                let lo = s.max(start);
+                let hi = e.min(end);
+                (hi - lo).max(0.0)
+            })
+            .sum()
+    }
+
+    /// The available time `a ~ b` inside `[start, end)`.
+    pub fn available_between(&self, start: f64, end: f64) -> f64 {
+        ((end - start) - self.blocked_between(start, end)).max(0.0)
+    }
+
+    /// The maximal available sub-intervals of `[start, end)`, sorted.
+    pub fn available_subintervals(&self, start: f64, end: f64) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut cursor = start;
+        for &(s, e) in &self.blocked {
+            if e <= start {
+                continue;
+            }
+            if s >= end {
+                break;
+            }
+            let s_clip = s.max(start);
+            if s_clip > cursor {
+                out.push((cursor, s_clip));
+            }
+            cursor = cursor.max(e.min(end));
+        }
+        if cursor < end {
+            out.push((cursor, end));
+        }
+        out.retain(|&(a, b)| b - a > 1e-12);
+        out
+    }
+
+    /// Returns `true` if the instant `t` lies inside a blocked interval.
+    pub fn is_blocked_at(&self, t: f64) -> bool {
+        self.blocked.iter().any(|&(s, e)| t >= s && t < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_timeline_is_fully_available() {
+        let a = TimeAvailability::new();
+        assert_eq!(a.available_between(0.0, 10.0), 10.0);
+        assert_eq!(a.available_subintervals(0.0, 10.0), vec![(0.0, 10.0)]);
+        assert!(!a.is_blocked_at(5.0));
+    }
+
+    #[test]
+    fn blocking_reduces_availability() {
+        let mut a = TimeAvailability::new();
+        a.block(2.0, 4.0);
+        a.block(6.0, 7.0);
+        assert_eq!(a.available_between(0.0, 10.0), 7.0);
+        assert_eq!(a.blocked_between(0.0, 10.0), 3.0);
+        assert_eq!(
+            a.available_subintervals(0.0, 10.0),
+            vec![(0.0, 2.0), (4.0, 6.0), (7.0, 10.0)]
+        );
+        assert!(a.is_blocked_at(2.0));
+        assert!(a.is_blocked_at(3.9));
+        assert!(!a.is_blocked_at(4.0));
+    }
+
+    #[test]
+    fn overlapping_blocks_merge() {
+        let mut a = TimeAvailability::new();
+        a.block(1.0, 3.0);
+        a.block(2.0, 5.0);
+        a.block(5.0, 6.0);
+        assert_eq!(a.blocked_intervals(), &[(1.0, 6.0)]);
+        assert_eq!(a.available_between(0.0, 10.0), 5.0);
+    }
+
+    #[test]
+    fn queries_clip_to_window() {
+        let mut a = TimeAvailability::new();
+        a.block(0.0, 100.0);
+        assert_eq!(a.available_between(10.0, 20.0), 0.0);
+        assert!(a.available_subintervals(10.0, 20.0).is_empty());
+        assert_eq!(a.blocked_between(10.0, 20.0), 10.0);
+    }
+
+    #[test]
+    fn partial_overlap_with_window() {
+        let mut a = TimeAvailability::new();
+        a.block(5.0, 15.0);
+        assert_eq!(a.available_between(0.0, 10.0), 5.0);
+        assert_eq!(a.available_subintervals(0.0, 10.0), vec![(0.0, 5.0)]);
+        assert_eq!(a.available_subintervals(12.0, 20.0), vec![(15.0, 20.0)]);
+    }
+
+    #[test]
+    fn empty_block_is_ignored() {
+        let mut a = TimeAvailability::new();
+        a.block(3.0, 3.0);
+        assert!(a.blocked_intervals().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn reversed_block_panics() {
+        let mut a = TimeAvailability::new();
+        a.block(5.0, 1.0);
+    }
+}

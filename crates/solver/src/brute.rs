@@ -1,0 +1,245 @@
+//! Small exact / exhaustive solvers used by the test suites to certify
+//! optimality of the combinatorial algorithms on micro instances.
+//!
+//! The paper's program (P1) says that on a single link, per-flow constant
+//! rates `s_i` are feasible if and only if for every interval `[a, b]`
+//! spanned by a release and a deadline, the flows entirely contained in it
+//! fit: `sum_{[r_i,d_i] ⊆ [a,b]} w_i / s_i <= b - a`. This module evaluates
+//! that feasibility test directly, and performs a grid search (plus local
+//! refinement) over per-job rates for instances with at most a few jobs.
+//! The result is an independent, if slow, estimate of the optimal energy
+//! that the YDS-based algorithms are tested against.
+
+use crate::yds::Job;
+use dcn_power::PowerFunction;
+
+/// The energy of running each job at its assigned constant speed:
+/// `sum_i mu * w_i * s_i^(alpha - 1)` (plus nothing for the idle term, which
+/// plays no role on a single always-active link).
+pub fn energy_of_speeds(jobs: &[Job], speeds: &[f64], power: &PowerFunction) -> f64 {
+    assert_eq!(jobs.len(), speeds.len(), "one speed per job");
+    jobs.iter()
+        .zip(speeds)
+        .map(|(j, &s)| power.dynamic_power(s) * (j.work / s))
+        .sum()
+}
+
+/// The feasibility test of program (P1): for every interval `[a, b]` between
+/// a release time and a deadline, the jobs contained in it must fit at their
+/// assigned speeds.
+pub fn speeds_feasible(jobs: &[Job], speeds: &[f64]) -> bool {
+    assert_eq!(jobs.len(), speeds.len(), "one speed per job");
+    if speeds.iter().any(|&s| !(s > 0.0)) {
+        return false;
+    }
+    let mut points: Vec<f64> = jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite job times"));
+    points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    for (ia, &a) in points.iter().enumerate() {
+        for &b in &points[ia + 1..] {
+            let needed: f64 = jobs
+                .iter()
+                .zip(speeds)
+                .filter(|(j, _)| j.release >= a - 1e-12 && j.deadline <= b + 1e-12)
+                .map(|(j, &s)| j.work / s)
+                .sum();
+            if needed > (b - a) + 1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Brute-force estimate of the optimal single-link (single-processor)
+/// speed-scaling energy, by grid search over per-job constant speeds
+/// followed by a few rounds of local refinement.
+///
+/// Intended for test instances with at most three or four jobs; the running
+/// time is `resolution^n` per refinement round.
+///
+/// # Panics
+///
+/// Panics if there are no jobs or more than four of them.
+pub fn brute_force_optimal_energy(
+    jobs: &[Job],
+    power: &PowerFunction,
+    resolution: usize,
+) -> f64 {
+    assert!(
+        (1..=4).contains(&jobs.len()),
+        "brute force supports 1..=4 jobs, got {}",
+        jobs.len()
+    );
+    assert!(resolution >= 3, "resolution must be at least 3");
+
+    // Initial speed ranges: a job never needs to run slower than its density
+    // and never faster than (total work) / (shortest gap between any two
+    // distinct breakpoints).
+    let total_work: f64 = jobs.iter().map(|j| j.work).sum();
+    let mut points: Vec<f64> = jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite job times"));
+    points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let min_gap = points
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    let mut ranges: Vec<(f64, f64)> = jobs
+        .iter()
+        .map(|j| (j.density(), (total_work / min_gap).max(j.density() * 2.0)))
+        .collect();
+
+    let mut best_energy = f64::INFINITY;
+    let mut best_speeds: Vec<f64> = jobs.iter().map(|j| j.density()).collect();
+
+    for _round in 0..6 {
+        let mut speeds = Vec::with_capacity(jobs.len());
+        search_dimension(
+            jobs,
+            power,
+            resolution,
+            &ranges,
+            0,
+            &mut speeds,
+            &mut best_energy,
+            &mut best_speeds,
+        );
+        // Shrink every range around the incumbent for the next round.
+        for (r, &s) in ranges.iter_mut().zip(&best_speeds) {
+            let width = (r.1 - r.0) / resolution as f64 * 2.0;
+            r.0 = (s - width).max(jobs[0].density().min(1e-9)).max(1e-9);
+            r.1 = s + width;
+        }
+        for (r, j) in ranges.iter_mut().zip(jobs) {
+            r.0 = r.0.max(j.density() * 0.999);
+        }
+    }
+    best_energy
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_dimension(
+    jobs: &[Job],
+    power: &PowerFunction,
+    resolution: usize,
+    ranges: &[(f64, f64)],
+    dim: usize,
+    speeds: &mut Vec<f64>,
+    best_energy: &mut f64,
+    best_speeds: &mut Vec<f64>,
+) {
+    if dim == jobs.len() {
+        if speeds_feasible(jobs, speeds) {
+            let e = energy_of_speeds(jobs, speeds, power);
+            if e < *best_energy {
+                *best_energy = e;
+                best_speeds.clone_from(speeds);
+            }
+        }
+        return;
+    }
+    let (lo, hi) = ranges[dim];
+    for step in 0..resolution {
+        let s = lo + (hi - lo) * step as f64 / (resolution - 1) as f64;
+        if !(s > 0.0) {
+            continue;
+        }
+        speeds.push(s);
+        search_dimension(
+            jobs,
+            power,
+            resolution,
+            ranges,
+            dim + 1,
+            speeds,
+            best_energy,
+            best_speeds,
+        );
+        speeds.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yds::yds_schedule;
+
+    fn alpha2() -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, 1e9)
+    }
+
+    #[test]
+    fn energy_of_speeds_closed_form() {
+        let jobs = [Job::new(0, 0.0, 2.0, 4.0)];
+        // alpha=2: energy = w * s = 4 * 3.
+        assert!((energy_of_speeds(&jobs, &[3.0], &alpha2()) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_detects_overload() {
+        let jobs = [
+            Job::new(0, 0.0, 2.0, 4.0),
+            Job::new(1, 0.0, 2.0, 4.0),
+        ];
+        // Each at speed 4 needs 1 time unit each: total 2 <= 2, feasible.
+        assert!(speeds_feasible(&jobs, &[4.0, 4.0]));
+        // At speed 2 each needs 2 units: total 4 > 2, infeasible.
+        assert!(!speeds_feasible(&jobs, &[2.0, 2.0]));
+        // Non-positive speeds are never feasible.
+        assert!(!speeds_feasible(&jobs, &[0.0, 4.0]));
+    }
+
+    #[test]
+    fn single_job_brute_force_matches_density() {
+        let jobs = [Job::new(0, 1.0, 5.0, 8.0)];
+        let brute = brute_force_optimal_energy(&jobs, &alpha2(), 15);
+        // Optimal: run at density 2, energy = 8 * 2 = 16.
+        assert!((brute - 16.0).abs() < 0.2, "brute = {brute}");
+    }
+
+    #[test]
+    fn brute_force_agrees_with_yds_on_two_jobs() {
+        let jobs = [
+            Job::new(0, 0.0, 4.0, 6.0),
+            Job::new(1, 1.0, 3.0, 4.0),
+        ];
+        let p = alpha2();
+        let yds = yds_schedule(&jobs).energy(&p);
+        let brute = brute_force_optimal_energy(&jobs, &p, 21);
+        assert!(
+            (yds - brute).abs() < 0.05 * yds,
+            "yds = {yds}, brute = {brute}"
+        );
+        // Brute force can never beat the optimal algorithm by more than the
+        // grid slack.
+        assert!(brute >= yds - 1e-6);
+    }
+
+    #[test]
+    fn brute_force_agrees_with_yds_on_three_jobs() {
+        let jobs = [
+            Job::new(0, 0.0, 6.0, 5.0),
+            Job::new(1, 2.0, 4.0, 3.0),
+            Job::new(2, 3.0, 8.0, 4.0),
+        ];
+        let p = PowerFunction::speed_scaling_only(1.0, 3.0, 1e9);
+        let yds = yds_schedule(&jobs).energy(&p);
+        let brute = brute_force_optimal_energy(&jobs, &p, 13);
+        assert!(
+            brute >= yds - 1e-6,
+            "brute force found something cheaper than the optimum: {brute} < {yds}"
+        );
+        assert!(
+            (yds - brute).abs() < 0.08 * yds,
+            "yds = {yds}, brute = {brute}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4 jobs")]
+    fn too_many_jobs_rejected() {
+        let jobs: Vec<Job> = (0..5).map(|i| Job::new(i, 0.0, 1.0, 1.0)).collect();
+        brute_force_optimal_energy(&jobs, &alpha2(), 5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Raghavan–Tompson path decomposition of a fractional flow.
+//!
+//! Random-Schedule (Algorithm 2, line 4) turns the fractional per-commodity
+//! edge flow `y*_{i,e}(k)` into a set of candidate routing paths with
+//! weights: repeatedly extract a source→destination path through links that
+//! still carry positive flow, give it a weight equal to the bottleneck flow
+//! value along it, and subtract that weight from every link of the path.
+//! The weights of the extracted paths sum to the routed demand, so after
+//! normalisation they form the probability distribution from which the
+//! randomized rounding step samples a single path per flow.
+
+use dcn_topology::{LinkId, Network, NodeId, Path};
+use std::collections::VecDeque;
+
+/// A candidate routing path together with the amount of fractional flow it
+/// carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPath {
+    /// The path.
+    pub path: Path,
+    /// The fractional flow assigned to the path (the Raghavan–Tompson
+    /// bottleneck weight).
+    pub weight: f64,
+}
+
+/// Decomposes a per-link fractional flow of a single commodity into weighted
+/// source→destination paths.
+///
+/// `edge_flow[e]` is the flow of the commodity on link id `e`. Flow that
+/// circulates on cycles (which can appear as numerical noise in iterative
+/// solvers) is ignored: decomposition stops as soon as no residual path from
+/// `src` to `dst` exists through links with more than `epsilon` flow.
+///
+/// The returned weights sum to the amount of flow that actually travels from
+/// `src` to `dst` (up to `epsilon` per extracted path).
+///
+/// # Panics
+///
+/// Panics if `edge_flow` is shorter than the network's link count.
+pub fn decompose_flow(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    edge_flow: &[f64],
+    epsilon: f64,
+) -> Vec<WeightedPath> {
+    assert!(
+        edge_flow.len() >= network.link_count(),
+        "edge_flow has {} entries but the network has {} links",
+        edge_flow.len(),
+        network.link_count()
+    );
+    let mut residual: Vec<f64> = edge_flow.to_vec();
+    let mut out = Vec::new();
+
+    // Safety valve: each extraction zeroes at least one link, so the number
+    // of iterations is bounded by the number of links.
+    for _ in 0..network.link_count() + 1 {
+        let Some(path) = positive_flow_path(network, src, dst, &residual, epsilon) else {
+            break;
+        };
+        let bottleneck = path
+            .links()
+            .iter()
+            .map(|&l| residual[l.index()])
+            .fold(f64::INFINITY, f64::min);
+        if !(bottleneck > epsilon) {
+            break;
+        }
+        for &l in path.links() {
+            residual[l.index()] -= bottleneck;
+        }
+        out.push(WeightedPath {
+            path,
+            weight: bottleneck,
+        });
+    }
+    out
+}
+
+/// BFS for a path from `src` to `dst` using only links whose residual flow
+/// exceeds `epsilon`. Ties are broken by link insertion order, which keeps
+/// the decomposition deterministic.
+fn positive_flow_path(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    residual: &[f64],
+    epsilon: f64,
+) -> Option<Path> {
+    let n = network.node_count();
+    let mut parent: Vec<Option<LinkId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    visited[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &lid in network.out_links(u) {
+            if residual[lid.index()] <= epsilon {
+                continue;
+            }
+            let v = network.link(lid).dst;
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                parent[v.index()] = Some(lid);
+                if v == dst {
+                    let mut links_rev = Vec::new();
+                    let mut cur = dst;
+                    while cur != src {
+                        let l = parent[cur.index()].expect("BFS parent chain is complete");
+                        links_rev.push(l);
+                        cur = network.link(l).src;
+                    }
+                    links_rev.reverse();
+                    return Path::from_links(network, src, &links_rev).ok();
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmcf::{Commodity, FmcfProblem, FmcfSolverConfig, PowerFlowCost};
+    use dcn_power::PowerFunction;
+    use dcn_topology::builders;
+
+    #[test]
+    fn single_path_flow_decomposes_to_that_path() {
+        let t = builders::line(3);
+        let net = &t.network;
+        let p = net.shortest_path(t.source(), t.sink()).unwrap();
+        let mut edge_flow = vec![0.0; net.link_count()];
+        for &l in p.links() {
+            edge_flow[l.index()] = 2.5;
+        }
+        let parts = decompose_flow(net, t.source(), t.sink(), &edge_flow, 1e-9);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].path, p);
+        assert!((parts[0].weight - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_flow_decomposes_into_both_branches() {
+        let t = builders::parallel(2, 10.0);
+        let net = &t.network;
+        let links = net.find_links(t.source(), t.sink());
+        let mut edge_flow = vec![0.0; net.link_count()];
+        edge_flow[links[0].index()] = 1.0;
+        edge_flow[links[1].index()] = 3.0;
+        let parts = decompose_flow(net, t.source(), t.sink(), &edge_flow, 1e-9);
+        assert_eq!(parts.len(), 2);
+        let total: f64 = parts.iter().map(|p| p.weight).sum();
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_sum_to_demand_for_fmcf_solutions() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let demand = 5.0;
+        let problem = FmcfProblem::new(
+            &t.network,
+            vec![Commodity { id: 0, src: hosts[0], dst: hosts[15], demand }],
+        );
+        let cost = PowerFlowCost::new(PowerFunction::speed_scaling_only(1.0, 2.0, 1e9));
+        let sol = problem.solve(&cost, &FmcfSolverConfig::default());
+        let parts = decompose_flow(
+            &t.network,
+            hosts[0],
+            hosts[15],
+            sol.commodity_flows(0),
+            1e-9,
+        );
+        assert!(!parts.is_empty());
+        let total: f64 = parts.iter().map(|p| p.weight).sum();
+        assert!(
+            (total - demand).abs() < 1e-3,
+            "decomposed weight {total} should equal the demand {demand}"
+        );
+        for wp in &parts {
+            assert_eq!(wp.path.source(), hosts[0]);
+            assert_eq!(wp.path.destination(), hosts[15]);
+            assert!(wp.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_flow_is_ignored() {
+        // A cycle between two middle nodes plus a genuine src->dst path.
+        let t = builders::line(4);
+        let net = &t.network;
+        let mut edge_flow = vec![0.0; net.link_count()];
+        let p = net.shortest_path(t.source(), t.sink()).unwrap();
+        for &l in p.links() {
+            edge_flow[l.index()] = 1.0;
+        }
+        // Add a 2-cycle between hosts 1 and 2.
+        let fwd = net.find_link(t.hosts()[1], t.hosts()[2]).unwrap();
+        let back = net.find_link(t.hosts()[2], t.hosts()[1]).unwrap();
+        edge_flow[fwd.index()] += 0.7;
+        edge_flow[back.index()] += 0.7;
+        let parts = decompose_flow(net, t.source(), t.sink(), &edge_flow, 1e-9);
+        let total: f64 = parts.iter().map(|p| p.weight).sum();
+        // Only the genuine unit of src->dst flow is decomposed; the cycle
+        // remainder never produces a src->dst path on its own.
+        assert!((total - 1.0).abs() < 0.71, "total {total}");
+        for wp in &parts {
+            assert_eq!(wp.path.source(), t.source());
+            assert_eq!(wp.path.destination(), t.sink());
+        }
+    }
+
+    #[test]
+    fn zero_flow_decomposes_to_nothing() {
+        let t = builders::line(3);
+        let edge_flow = vec![0.0; t.network.link_count()];
+        let parts = decompose_flow(&t.network, t.source(), t.sink(), &edge_flow, 1e-9);
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn short_edge_flow_vector_panics() {
+        let t = builders::line(3);
+        decompose_flow(&t.network, t.source(), t.sink(), &[0.0], 1e-9);
+    }
+}

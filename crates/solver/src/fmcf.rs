@@ -1,0 +1,569 @@
+//! Fractional multi-commodity flow with convex separable link costs,
+//! solved by the Frank–Wolfe (conditional gradient) method.
+//!
+//! The Random-Schedule algorithm relaxes DCFSR into one fractional
+//! multi-commodity flow problem per interval `I_k`: every flow active in the
+//! interval must route its density `D_i` from source to destination, flows
+//! may be split across paths arbitrarily, and the objective is the sum of a
+//! convex function of the load over all links (paper, Definition 4). This
+//! module solves exactly that problem.
+//!
+//! Frank–Wolfe is the textbook method for convex-cost multi-commodity flow
+//! (it is the classical "traffic assignment" algorithm): each iteration
+//! routes every commodity entirely on its cheapest path under the *marginal*
+//! link costs at the current loads, and the new solution is a convex
+//! combination of the old solution and that all-or-nothing assignment, with
+//! the mixing coefficient chosen by exact (golden-section) line search on
+//! the convex objective.
+
+use dcn_power::PowerFunction;
+use dcn_topology::{dijkstra, LinkId, Network, NodeId};
+
+/// One commodity of the multi-commodity flow problem: `demand` units of
+/// traffic per unit time from `src` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Commodity {
+    /// Caller-chosen identifier (typically the flow id).
+    pub id: usize,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Traffic demand (e.g. the flow density `D_i`).
+    pub demand: f64,
+}
+
+/// A convex, separable per-link cost: the objective is
+/// `sum over links of cost(link, load_on_link)`.
+pub trait FlowCost {
+    /// The cost of pushing `load` units of traffic through `link`.
+    fn cost(&self, link: LinkId, load: f64) -> f64;
+
+    /// The derivative of [`FlowCost::cost`] with respect to the load.
+    fn marginal(&self, link: LinkId, load: f64) -> f64;
+}
+
+/// The power-model cost used throughout the reproduction:
+/// `cost(x) = mu * x^alpha + (sigma / C) * x`.
+///
+/// * With `sigma = 0` this is exactly the paper's speed-scaling cost
+///   `g(x) = mu * x^alpha` used by the DCFS analysis and the Fig. 2 setup.
+/// * With `sigma > 0` the linear term charges each unit of traffic the
+///   idle-power share it would occupy on a fully-loaded link. For any
+///   feasible (integral) schedule the per-interval cost under this function
+///   is a lower bound on its true energy share, so the fractional optimum
+///   under this cost is a valid lower bound for DCFSR (used as the `LB`
+///   normaliser of Fig. 2).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerFlowCost {
+    power: PowerFunction,
+}
+
+impl PowerFlowCost {
+    /// Creates the cost from a power function.
+    pub fn new(power: PowerFunction) -> Self {
+        Self { power }
+    }
+
+    /// The underlying power function.
+    pub fn power(&self) -> &PowerFunction {
+        &self.power
+    }
+}
+
+impl FlowCost for PowerFlowCost {
+    fn cost(&self, _link: LinkId, load: f64) -> f64 {
+        if load <= 0.0 {
+            return 0.0;
+        }
+        self.power.dynamic_power(load) + self.power.sigma() * load / self.power.capacity()
+    }
+
+    fn marginal(&self, _link: LinkId, load: f64) -> f64 {
+        self.power.marginal_power(load.max(0.0)) + self.power.sigma() / self.power.capacity()
+    }
+}
+
+/// Configuration of the Frank–Wolfe solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmcfSolverConfig {
+    /// Maximum number of Frank–Wolfe iterations.
+    pub max_iterations: usize,
+    /// Relative improvement below which the solver declares convergence.
+    pub tolerance: f64,
+    /// Optional per-link capacity; loads above it are discouraged by a
+    /// quadratic penalty (the relaxation's `x_e <= C` constraint).
+    pub capacity: Option<f64>,
+    /// Weight of the quadratic capacity penalty.
+    pub capacity_penalty: f64,
+    /// Number of golden-section iterations in the line search.
+    pub line_search_steps: usize,
+}
+
+impl Default for FmcfSolverConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 60,
+            tolerance: 1e-4,
+            capacity: None,
+            capacity_penalty: 1e3,
+            line_search_steps: 40,
+        }
+    }
+}
+
+/// A fractional multi-commodity flow problem on a network.
+#[derive(Debug, Clone)]
+pub struct FmcfProblem<'a> {
+    network: &'a Network,
+    commodities: Vec<Commodity>,
+}
+
+/// The fractional solution: per-commodity, per-link flow values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FmcfSolution {
+    /// `flows[c][e]` = amount of commodity `c`'s demand routed over link `e`.
+    commodity_flows: Vec<Vec<f64>>,
+    /// Number of Frank–Wolfe iterations performed.
+    pub iterations: usize,
+    /// Whether the relative-improvement stopping criterion was reached.
+    pub converged: bool,
+}
+
+impl<'a> FmcfProblem<'a> {
+    /// Creates a problem instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any commodity has a non-positive demand or equal endpoints.
+    pub fn new(network: &'a Network, commodities: Vec<Commodity>) -> Self {
+        for c in &commodities {
+            assert!(c.demand > 0.0, "commodity {} has non-positive demand", c.id);
+            assert!(c.src != c.dst, "commodity {} has equal endpoints", c.id);
+        }
+        Self {
+            network,
+            commodities,
+        }
+    }
+
+    /// The commodities of the problem.
+    pub fn commodities(&self) -> &[Commodity] {
+        &self.commodities
+    }
+
+    fn penalty(&self, load: f64, config: &FmcfSolverConfig) -> f64 {
+        match config.capacity {
+            Some(cap) if load > cap => config.capacity_penalty * (load - cap).powi(2),
+            _ => 0.0,
+        }
+    }
+
+    fn penalty_marginal(&self, load: f64, config: &FmcfSolverConfig) -> f64 {
+        match config.capacity {
+            Some(cap) if load > cap => 2.0 * config.capacity_penalty * (load - cap),
+            _ => 0.0,
+        }
+    }
+
+    fn objective(
+        &self,
+        loads: &[f64],
+        cost: &impl FlowCost,
+        config: &FmcfSolverConfig,
+    ) -> f64 {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(e, &x)| cost.cost(LinkId(e), x) + self.penalty(x, config))
+            .sum()
+    }
+
+    /// Routes every commodity on its cheapest path under the given per-link
+    /// weights, returning the all-or-nothing assignment. Returns `None` if
+    /// some commodity has no path at all.
+    fn all_or_nothing(&self, weights: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let m = self.network.link_count();
+        let mut assignment = vec![vec![0.0; m]; self.commodities.len()];
+        for (ci, c) in self.commodities.iter().enumerate() {
+            let path = dijkstra(self.network, c.src, c.dst, |l| weights[l.index()])?;
+            for &l in path.links() {
+                assignment[ci][l.index()] = c.demand;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Solves the problem with Frank–Wolfe under the given convex cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some commodity's destination is unreachable from its
+    /// source.
+    pub fn solve(&self, cost: &impl FlowCost, config: &FmcfSolverConfig) -> FmcfSolution {
+        let m = self.network.link_count();
+        let n = self.commodities.len();
+        if n == 0 {
+            return FmcfSolution {
+                commodity_flows: Vec::new(),
+                iterations: 0,
+                converged: true,
+            };
+        }
+
+        // Initial feasible point: hop-count shortest paths.
+        let hop_weights = vec![1.0; m];
+        let mut flows = self
+            .all_or_nothing(&hop_weights)
+            .expect("every commodity must have a path in the network");
+
+        let mut loads = column_sums(&flows, m);
+        let mut objective = self.objective(&loads, cost, config);
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for it in 0..config.max_iterations {
+            iterations = it + 1;
+            // Marginal costs at the current loads.
+            let weights: Vec<f64> = loads
+                .iter()
+                .enumerate()
+                .map(|(e, &x)| {
+                    (cost.marginal(LinkId(e), x) + self.penalty_marginal(x, config)).max(0.0)
+                })
+                .collect();
+            let target = self
+                .all_or_nothing(&weights)
+                .expect("every commodity must have a path in the network");
+            let target_loads = column_sums(&target, m);
+
+            // Golden-section line search on gamma in [0, 1].
+            let eval = |gamma: f64| {
+                let blended: Vec<f64> = loads
+                    .iter()
+                    .zip(&target_loads)
+                    .map(|(&a, &b)| (1.0 - gamma) * a + gamma * b)
+                    .collect();
+                self.objective(&blended, cost, config)
+            };
+            let gamma = golden_section_min(eval, 0.0, 1.0, config.line_search_steps);
+            if gamma <= 1e-12 {
+                converged = true;
+                break;
+            }
+
+            for (fc, tc) in flows.iter_mut().zip(&target) {
+                for (fe, te) in fc.iter_mut().zip(tc) {
+                    *fe = (1.0 - gamma) * *fe + gamma * *te;
+                }
+            }
+            loads = column_sums(&flows, m);
+            let new_objective = self.objective(&loads, cost, config);
+            let improvement = (objective - new_objective) / objective.abs().max(1e-12);
+            objective = new_objective;
+            if improvement.abs() < config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Clean tiny numerical residue so that path decomposition terminates.
+        for fc in &mut flows {
+            for fe in fc.iter_mut() {
+                if *fe < 1e-12 {
+                    *fe = 0.0;
+                }
+            }
+        }
+
+        FmcfSolution {
+            commodity_flows: flows,
+            iterations,
+            converged,
+        }
+    }
+}
+
+impl FmcfSolution {
+    /// Number of commodities in the solution.
+    pub fn commodity_count(&self) -> usize {
+        self.commodity_flows.len()
+    }
+
+    /// The flow of commodity index `c` (position in the problem's commodity
+    /// list) on `link`.
+    pub fn commodity_flow(&self, c: usize, link: LinkId) -> f64 {
+        self.commodity_flows[c][link.index()]
+    }
+
+    /// The full per-link flow vector of commodity index `c`.
+    pub fn commodity_flows(&self, c: usize) -> &[f64] {
+        &self.commodity_flows[c]
+    }
+
+    /// The aggregate load on `link` over all commodities.
+    pub fn edge_load(&self, link: LinkId) -> f64 {
+        self.commodity_flows
+            .iter()
+            .map(|f| f[link.index()])
+            .sum()
+    }
+
+    /// Aggregate loads on all links.
+    pub fn total_loads(&self) -> Vec<f64> {
+        if self.commodity_flows.is_empty() {
+            return Vec::new();
+        }
+        column_sums(&self.commodity_flows, self.commodity_flows[0].len())
+    }
+
+    /// The objective value under a cost function (no capacity penalty).
+    pub fn total_cost(&self, cost: &impl FlowCost) -> f64 {
+        self.total_loads()
+            .iter()
+            .enumerate()
+            .map(|(e, &x)| cost.cost(LinkId(e), x))
+            .sum()
+    }
+
+    /// Net out-flow minus in-flow of commodity `c` at `node` — used to check
+    /// flow conservation.
+    pub fn net_outflow(&self, network: &Network, c: usize, node: NodeId) -> f64 {
+        let outgoing: f64 = network
+            .out_links(node)
+            .iter()
+            .map(|&l| self.commodity_flow(c, l))
+            .sum();
+        let incoming: f64 = network
+            .in_links(node)
+            .iter()
+            .map(|&l| self.commodity_flow(c, l))
+            .sum();
+        outgoing - incoming
+    }
+}
+
+fn column_sums(rows: &[Vec<f64>], m: usize) -> Vec<f64> {
+    let mut sums = vec![0.0; m];
+    for row in rows {
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    sums
+}
+
+/// Minimises a unimodal function on `[lo, hi]` by golden-section search.
+fn golden_section_min(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, steps: usize) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..steps {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    // Also consider the endpoints explicitly; the objective may be monotone.
+    let mid = 0.5 * (a + b);
+    let candidates = [lo, mid, hi];
+    let mut best = candidates[0];
+    let mut best_val = f(best);
+    for &x in &candidates[1..] {
+        let v = f(x);
+        if v < best_val {
+            best_val = v;
+            best = x;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+
+    fn quadratic_cost() -> PowerFlowCost {
+        PowerFlowCost::new(PowerFunction::speed_scaling_only(1.0, 2.0, 1e9))
+    }
+
+    fn tight_config() -> FmcfSolverConfig {
+        FmcfSolverConfig {
+            max_iterations: 400,
+            tolerance: 1e-7,
+            ..Default::default()
+        }
+    }
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let min = golden_section_min(|x| (x - 0.3).powi(2), 0.0, 1.0, 60);
+        assert!((min - 0.3).abs() < 1e-6);
+        // Monotone decreasing function: minimum at the right endpoint.
+        let min = golden_section_min(|x| -x, 0.0, 1.0, 60);
+        assert!((min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_commodity_splits_evenly_over_parallel_links() {
+        // With cost x^2, routing demand d over k identical parallel links is
+        // optimal when split evenly: cost k * (d/k)^2 = d^2 / k.
+        let t = builders::parallel(4, 100.0);
+        let problem = FmcfProblem::new(
+            &t.network,
+            vec![Commodity {
+                id: 0,
+                src: t.source(),
+                dst: t.sink(),
+                demand: 8.0,
+            }],
+        );
+        let sol = problem.solve(&quadratic_cost(), &tight_config());
+        let cost = sol.total_cost(&quadratic_cost());
+        assert!(
+            close(cost, 8.0 * 8.0 / 4.0, 0.02),
+            "cost {cost} should approach the even split optimum 16"
+        );
+        // Each forward link should carry roughly 2 units.
+        let mut carried = 0.0;
+        for l in t.network.find_links(t.source(), t.sink()) {
+            let x = sol.edge_load(l);
+            assert!(x < 3.0, "link load {x} too concentrated");
+            carried += x;
+        }
+        assert!(close(carried, 8.0, 1e-6));
+    }
+
+    #[test]
+    fn flow_conservation_holds_at_every_node() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let commodities = vec![
+            Commodity { id: 0, src: hosts[0], dst: hosts[10], demand: 3.0 },
+            Commodity { id: 1, src: hosts[3], dst: hosts[12], demand: 1.5 },
+            Commodity { id: 2, src: hosts[5], dst: hosts[1], demand: 2.0 },
+        ];
+        let problem = FmcfProblem::new(&t.network, commodities.clone());
+        let sol = problem.solve(&quadratic_cost(), &tight_config());
+        for (ci, c) in commodities.iter().enumerate() {
+            for node in t.network.nodes() {
+                let net = sol.net_outflow(&t.network, ci, node.id);
+                let expected = if node.id == c.src {
+                    c.demand
+                } else if node.id == c.dst {
+                    -c.demand
+                } else {
+                    0.0
+                };
+                assert!(
+                    (net - expected).abs() < 1e-6,
+                    "commodity {ci} violates conservation at {}: {net} vs {expected}",
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_commodities_avoid_each_other_on_diamond() {
+        // Two commodities between the same endpoints over two disjoint
+        // 2-hop routes: the optimum sends them on different routes.
+        let t = builders::parallel(2, 100.0);
+        let problem = FmcfProblem::new(
+            &t.network,
+            vec![
+                Commodity { id: 0, src: t.source(), dst: t.sink(), demand: 2.0 },
+                Commodity { id: 1, src: t.source(), dst: t.sink(), demand: 2.0 },
+            ],
+        );
+        let sol = problem.solve(&quadratic_cost(), &tight_config());
+        // Total forward load 4 split over 2 links: 2 each, cost 8 (vs 16 if
+        // they shared one link).
+        let cost = sol.total_cost(&quadratic_cost());
+        assert!(close(cost, 8.0, 0.02), "cost {cost} should approach 8");
+    }
+
+    #[test]
+    fn fractional_cost_is_below_any_single_path_cost() {
+        // The relaxation must lower-bound the best single-path routing.
+        let t = builders::parallel(3, 100.0);
+        let demand = 6.0;
+        let problem = FmcfProblem::new(
+            &t.network,
+            vec![Commodity { id: 0, src: t.source(), dst: t.sink(), demand }],
+        );
+        let cost_fn = quadratic_cost();
+        let sol = problem.solve(&cost_fn, &tight_config());
+        let single_path_cost = demand * demand; // all on one link
+        assert!(sol.total_cost(&cost_fn) <= single_path_cost + 1e-6);
+    }
+
+    #[test]
+    fn capacity_penalty_spreads_load() {
+        let t = builders::parallel(2, 2.0);
+        let problem = FmcfProblem::new(
+            &t.network,
+            vec![Commodity { id: 0, src: t.source(), dst: t.sink(), demand: 4.0 }],
+        );
+        // Nearly linear cost => without capacities a single path would be fine.
+        let cost = PowerFlowCost::new(PowerFunction::speed_scaling_only(1.0, 1.01, 10.0));
+        let config = FmcfSolverConfig {
+            capacity: Some(2.0),
+            ..Default::default()
+        };
+        let sol = problem.solve(&cost, &config);
+        for l in t.network.find_links(t.source(), t.sink()) {
+            assert!(
+                sol.edge_load(l) <= 2.0 + 0.05,
+                "load {} exceeds capacity",
+                sol.edge_load(l)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_problem_solves_trivially() {
+        let t = builders::line(2);
+        let problem = FmcfProblem::new(&t.network, vec![]);
+        let sol = problem.solve(&quadratic_cost(), &tight_config());
+        assert!(sol.converged);
+        assert_eq!(sol.commodity_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive demand")]
+    fn zero_demand_rejected() {
+        let t = builders::line(2);
+        FmcfProblem::new(
+            &t.network,
+            vec![Commodity { id: 0, src: t.hosts()[0], dst: t.hosts()[1], demand: 0.0 }],
+        );
+    }
+
+    #[test]
+    fn power_flow_cost_includes_idle_share() {
+        let f = PowerFunction::new(10.0, 1.0, 2.0, 5.0).unwrap();
+        let cost = PowerFlowCost::new(f);
+        // cost(x) = x^2 + (10/5) x = x^2 + 2x
+        assert!(close(cost.cost(LinkId(0), 3.0), 9.0 + 6.0, 1e-12));
+        assert!(close(cost.marginal(LinkId(0), 3.0), 6.0 + 2.0, 1e-12));
+        assert_eq!(cost.cost(LinkId(0), 0.0), 0.0);
+    }
+}

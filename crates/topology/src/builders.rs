@@ -1,0 +1,635 @@
+//! Builders for the standard data-center topologies used by the paper and
+//! its evaluation: line networks (Example 1), parallel-link gadgets
+//! (hardness reductions), fat-tree (the Fig. 2 evaluation topology), BCube,
+//! leaf–spine, star and dumbbell.
+//!
+//! All builders produce every physical cable as a pair of directed links and
+//! use a uniform link capacity, matching the paper's assumption of identical
+//! commodity switches and links.
+
+use crate::{Network, NodeId, NodeKind};
+
+/// Default link capacity used by the builders (data units per time unit).
+///
+/// The paper never fixes absolute units; what matters is the ratio between
+/// flow densities and `C`. A value of `10.0` keeps the Fig. 2 workload
+/// (volumes ~ N(10,3) over spans of tens of time units) comfortably below
+/// capacity on a fat-tree, as in the paper's simulation.
+pub const DEFAULT_CAPACITY: f64 = 10.0;
+
+/// A constructed topology: the network plus builder metadata (host list and
+/// a descriptive name).
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// The constructed network.
+    pub network: Network,
+    /// Host (server) nodes, in builder-defined order.
+    pub hosts: Vec<NodeId>,
+    /// Human-readable description, e.g. `"fat-tree(k=8)"`.
+    pub name: String,
+}
+
+impl BuiltTopology {
+    /// The host (server) nodes of the topology, in builder order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// The first host; by convention the "source" of two-terminal gadgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts.
+    pub fn source(&self) -> NodeId {
+        *self.hosts.first().expect("topology has no hosts")
+    }
+
+    /// The last host; by convention the "sink" of two-terminal gadgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no hosts.
+    pub fn sink(&self) -> NodeId {
+        *self.hosts.last().expect("topology has no hosts")
+    }
+}
+
+/// A line (path) network of `n` nodes connected by `n - 1` cables, as in the
+/// paper's Example 1 (Fig. 1, `A — B — C`).
+///
+/// All nodes are marked as hosts so that flows may start and end anywhere on
+/// the line.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn line(n: usize) -> BuiltTopology {
+    line_with_capacity(n, DEFAULT_CAPACITY)
+}
+
+/// Same as [`line`] with an explicit uniform link capacity.
+pub fn line_with_capacity(n: usize, capacity: f64) -> BuiltTopology {
+    assert!(n >= 2, "a line network needs at least two nodes");
+    let mut network = Network::new();
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| network.add_node(NodeKind::Host, format!("line-{i}")))
+        .collect();
+    for w in hosts.windows(2) {
+        network.add_duplex_link(w[0], w[1], capacity);
+    }
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("line(n={n})"),
+    }
+}
+
+/// The two-terminal parallel-link gadget used in the NP-hardness and
+/// inapproximability proofs (Theorems 2 and 3): `src` and `dst` connected by
+/// `k` parallel cables.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn parallel(k: usize, capacity: f64) -> BuiltTopology {
+    assert!(k > 0, "the parallel-link gadget needs at least one link");
+    let mut network = Network::new();
+    let src = network.add_node(NodeKind::Host, "src");
+    let dst = network.add_node(NodeKind::Host, "dst");
+    for _ in 0..k {
+        network.add_duplex_link(src, dst, capacity);
+    }
+    BuiltTopology {
+        network,
+        hosts: vec![src, dst],
+        name: format!("parallel(k={k})"),
+    }
+}
+
+/// A `k`-ary fat-tree (Al-Fares et al., SIGCOMM 2008): the topology the
+/// paper's Fig. 2 evaluation uses with `k = 8` (80 switches, 128 hosts).
+///
+/// Structure: `k` pods, each with `k/2` edge and `k/2` aggregation switches;
+/// `(k/2)^2` core switches; each edge switch serves `k/2` hosts.
+///
+/// # Panics
+///
+/// Panics if `k` is not a positive even number.
+pub fn fat_tree(k: usize) -> BuiltTopology {
+    fat_tree_with_capacity(k, DEFAULT_CAPACITY)
+}
+
+/// Same as [`fat_tree`] with an explicit uniform link capacity.
+pub fn fat_tree_with_capacity(k: usize, capacity: f64) -> BuiltTopology {
+    assert!(k >= 2 && k % 2 == 0, "fat-tree requires an even k >= 2, got {k}");
+    let half = k / 2;
+    let mut network = Network::new();
+
+    // Core switches: (k/2)^2, indexed by (i, j) with i, j in 0..k/2.
+    let mut cores = Vec::with_capacity(half * half);
+    for i in 0..half {
+        for j in 0..half {
+            cores.push(network.add_node(NodeKind::CoreSwitch, format!("core-{i}-{j}")));
+        }
+    }
+
+    let mut hosts = Vec::with_capacity(half * half * k);
+    for pod in 0..k {
+        // Aggregation and edge switches of this pod.
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|a| network.add_node(NodeKind::AggregationSwitch, format!("agg-{pod}-{a}")))
+            .collect();
+        let edges: Vec<NodeId> = (0..half)
+            .map(|e| network.add_node(NodeKind::EdgeSwitch, format!("edge-{pod}-{e}")))
+            .collect();
+
+        // Full bipartite mesh between edge and aggregation inside the pod.
+        for &agg in &aggs {
+            for &edge in &edges {
+                network.add_duplex_link(agg, edge, capacity);
+            }
+        }
+        // Aggregation switch `a` connects to core switches (a, 0..k/2).
+        for (a, &agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                let core = cores[a * half + j];
+                network.add_duplex_link(agg, core, capacity);
+            }
+        }
+        // Hosts under each edge switch.
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = network.add_node(NodeKind::Host, format!("host-{pod}-{e}-{h}"));
+                network.add_duplex_link(edge, host, capacity);
+                hosts.push(host);
+            }
+        }
+    }
+
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("fat-tree(k={k})"),
+    }
+}
+
+/// A BCube(n, k) server-centric topology (Guo et al., SIGCOMM 2009):
+/// `n^(k+1)` servers and `k+1` levels of `n^k` switches, each server
+/// connected to one switch per level.
+///
+/// In BCube, servers relay traffic; paths may therefore pass through host
+/// nodes, which the routing algorithms in this crate allow.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bcube(n: usize, k: usize) -> BuiltTopology {
+    bcube_with_capacity(n, k, DEFAULT_CAPACITY)
+}
+
+/// Same as [`bcube`] with an explicit uniform link capacity.
+pub fn bcube_with_capacity(n: usize, k: usize, capacity: f64) -> BuiltTopology {
+    assert!(n >= 2, "BCube requires switch port count n >= 2, got {n}");
+    let levels = k + 1;
+    let num_servers = n.pow(levels as u32);
+    let switches_per_level = n.pow(k as u32);
+
+    let mut network = Network::new();
+    let servers: Vec<NodeId> = (0..num_servers)
+        .map(|i| network.add_node(NodeKind::Host, format!("server-{i}")))
+        .collect();
+
+    for level in 0..levels {
+        for s in 0..switches_per_level {
+            let sw = network.add_node(NodeKind::Switch, format!("switch-{level}-{s}"));
+            // The switch `s` at `level` connects the n servers whose base-n
+            // representation matches `s` with the digit at position `level`
+            // removed.
+            for port in 0..n {
+                let server_index = insert_digit(s, level, port, n);
+                network.add_duplex_link(sw, servers[server_index], capacity);
+            }
+        }
+    }
+
+    BuiltTopology {
+        network,
+        hosts: servers,
+        name: format!("bcube(n={n},k={k})"),
+    }
+}
+
+/// Re-inserts `digit` at position `pos` (base `n`) into the number `rest`,
+/// producing the full server index.
+fn insert_digit(rest: usize, pos: usize, digit: usize, n: usize) -> usize {
+    let low_mod = n.pow(pos as u32);
+    let low = rest % low_mod;
+    let high = rest / low_mod;
+    high * low_mod * n + digit * low_mod + low
+}
+
+/// A two-layer leaf–spine topology: every leaf switch connects to every
+/// spine switch, and `hosts_per_leaf` hosts hang off each leaf.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn leaf_spine(leaves: usize, spines: usize, hosts_per_leaf: usize) -> BuiltTopology {
+    leaf_spine_with_capacity(leaves, spines, hosts_per_leaf, DEFAULT_CAPACITY)
+}
+
+/// Same as [`leaf_spine`] with an explicit uniform link capacity.
+pub fn leaf_spine_with_capacity(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    capacity: f64,
+) -> BuiltTopology {
+    assert!(leaves > 0 && spines > 0 && hosts_per_leaf > 0);
+    let mut network = Network::new();
+    let spine_nodes: Vec<NodeId> = (0..spines)
+        .map(|s| network.add_node(NodeKind::CoreSwitch, format!("spine-{s}")))
+        .collect();
+    let mut hosts = Vec::new();
+    for l in 0..leaves {
+        let leaf = network.add_node(NodeKind::EdgeSwitch, format!("leaf-{l}"));
+        for &spine in &spine_nodes {
+            network.add_duplex_link(leaf, spine, capacity);
+        }
+        for h in 0..hosts_per_leaf {
+            let host = network.add_node(NodeKind::Host, format!("host-{l}-{h}"));
+            network.add_duplex_link(leaf, host, capacity);
+            hosts.push(host);
+        }
+    }
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("leaf-spine({leaves}x{spines},{hosts_per_leaf} hosts/leaf)"),
+    }
+}
+
+/// A VL2-style Clos fabric (Greenberg et al., SIGCOMM 2009): `d_i`
+/// intermediate switches fully meshed with `d_a` aggregation switches, each
+/// pair of aggregation switches serving one top-of-rack switch with
+/// `hosts_per_tor` hosts.
+///
+/// # Panics
+///
+/// Panics if any argument is zero or `d_a` is odd.
+pub fn vl2(d_a: usize, d_i: usize, hosts_per_tor: usize) -> BuiltTopology {
+    vl2_with_capacity(d_a, d_i, hosts_per_tor, DEFAULT_CAPACITY)
+}
+
+/// Same as [`vl2`] with an explicit uniform link capacity.
+pub fn vl2_with_capacity(
+    d_a: usize,
+    d_i: usize,
+    hosts_per_tor: usize,
+    capacity: f64,
+) -> BuiltTopology {
+    assert!(d_a >= 2 && d_a % 2 == 0, "VL2 requires an even d_a >= 2, got {d_a}");
+    assert!(d_i > 0 && hosts_per_tor > 0);
+    let mut network = Network::new();
+    let intermediates: Vec<NodeId> = (0..d_i)
+        .map(|i| network.add_node(NodeKind::CoreSwitch, format!("int-{i}")))
+        .collect();
+    let aggregates: Vec<NodeId> = (0..d_a)
+        .map(|a| network.add_node(NodeKind::AggregationSwitch, format!("agg-{a}")))
+        .collect();
+    for &agg in &aggregates {
+        for &int in &intermediates {
+            network.add_duplex_link(agg, int, capacity);
+        }
+    }
+    let mut hosts = Vec::new();
+    let tor_count = d_a * d_i / 4;
+    for t in 0..tor_count.max(1) {
+        let tor = network.add_node(NodeKind::EdgeSwitch, format!("tor-{t}"));
+        // Each ToR dual-homes to two aggregation switches.
+        let a0 = aggregates[(2 * t) % d_a];
+        let a1 = aggregates[(2 * t + 1) % d_a];
+        network.add_duplex_link(tor, a0, capacity);
+        network.add_duplex_link(tor, a1, capacity);
+        for h in 0..hosts_per_tor {
+            let host = network.add_node(NodeKind::Host, format!("host-{t}-{h}"));
+            network.add_duplex_link(tor, host, capacity);
+            hosts.push(host);
+        }
+    }
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("vl2(da={d_a},di={d_i},{hosts_per_tor} hosts/tor)"),
+    }
+}
+
+/// A Jellyfish-style random regular graph of top-of-rack switches
+/// (Singla et al., NSDI 2012): `switches` ToR switches, each with `degree`
+/// switch-to-switch cables wired by a seeded random matching and
+/// `hosts_per_switch` hosts.
+///
+/// The construction is deterministic for a fixed `seed` (it uses an
+/// internal linear-congruential generator, so the topology crate needs no
+/// RNG dependency). If the random matching leaves the graph disconnected,
+/// extra links are added between consecutive switches to restore
+/// connectivity — real Jellyfish deployments do the analogous rewiring.
+///
+/// # Panics
+///
+/// Panics if `switches < 2` or `degree == 0`.
+pub fn jellyfish(switches: usize, degree: usize, hosts_per_switch: usize, seed: u64) -> BuiltTopology {
+    jellyfish_with_capacity(switches, degree, hosts_per_switch, seed, DEFAULT_CAPACITY)
+}
+
+/// Same as [`jellyfish`] with an explicit uniform link capacity.
+pub fn jellyfish_with_capacity(
+    switches: usize,
+    degree: usize,
+    hosts_per_switch: usize,
+    seed: u64,
+    capacity: f64,
+) -> BuiltTopology {
+    assert!(switches >= 2, "Jellyfish needs at least two switches");
+    assert!(degree >= 1, "Jellyfish needs a positive switch degree");
+    let mut network = Network::new();
+    let tor: Vec<NodeId> = (0..switches)
+        .map(|s| network.add_node(NodeKind::Switch, format!("tor-{s}")))
+        .collect();
+
+    // Seeded LCG (numerical recipes constants) so the builder stays
+    // dependency-free yet reproducible.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound
+    };
+
+    // Random matching over free ports.
+    let mut free_ports: Vec<usize> = (0..switches).flat_map(|s| std::iter::repeat(s).take(degree)).collect();
+    let mut attempts = 0usize;
+    while free_ports.len() >= 2 && attempts < 50 * switches * degree {
+        attempts += 1;
+        let i = next(free_ports.len());
+        let j = next(free_ports.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = (free_ports[i], free_ports[j]);
+        if a == b || network.find_link(tor[a], tor[b]).is_some() {
+            continue;
+        }
+        network.add_duplex_link(tor[a], tor[b], capacity);
+        // Remove the two used ports (larger index first).
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        free_ports.swap_remove(hi);
+        free_ports.swap_remove(lo);
+    }
+    // Guarantee connectivity with a fallback ring over consecutive switches.
+    for s in 0..switches {
+        let t = (s + 1) % switches;
+        if network.find_link(tor[s], tor[t]).is_none() {
+            let reachable = network.hop_distances(tor[s])[tor[t].index()] != usize::MAX;
+            if !reachable {
+                network.add_duplex_link(tor[s], tor[t], capacity);
+            }
+        }
+    }
+
+    let mut hosts = Vec::new();
+    for (s, &sw) in tor.iter().enumerate() {
+        for h in 0..hosts_per_switch {
+            let host = network.add_node(NodeKind::Host, format!("host-{s}-{h}"));
+            network.add_duplex_link(sw, host, capacity);
+            hosts.push(host);
+        }
+    }
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("jellyfish(s={switches},d={degree},{hosts_per_switch} hosts/switch)"),
+    }
+}
+
+/// A star: one central switch with `n` hosts attached.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize, capacity: f64) -> BuiltTopology {
+    assert!(n > 0, "a star needs at least one host");
+    let mut network = Network::new();
+    let center = network.add_node(NodeKind::Switch, "center");
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = network.add_node(NodeKind::Host, format!("host-{i}"));
+            network.add_duplex_link(center, h, capacity);
+            h
+        })
+        .collect();
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("star(n={n})"),
+    }
+}
+
+/// A dumbbell: two switches joined by one (bottleneck) cable, with
+/// `hosts_per_side` hosts on each side.
+///
+/// # Panics
+///
+/// Panics if `hosts_per_side == 0`.
+pub fn dumbbell(hosts_per_side: usize, capacity: f64) -> BuiltTopology {
+    assert!(hosts_per_side > 0);
+    let mut network = Network::new();
+    let left = network.add_node(NodeKind::Switch, "left");
+    let right = network.add_node(NodeKind::Switch, "right");
+    network.add_duplex_link(left, right, capacity);
+    let mut hosts = Vec::new();
+    for i in 0..hosts_per_side {
+        let h = network.add_node(NodeKind::Host, format!("left-host-{i}"));
+        network.add_duplex_link(left, h, capacity);
+        hosts.push(h);
+    }
+    for i in 0..hosts_per_side {
+        let h = network.add_node(NodeKind::Host, format!("right-host-{i}"));
+        network.add_duplex_link(right, h, capacity);
+        hosts.push(h);
+    }
+    BuiltTopology {
+        network,
+        hosts,
+        name: format!("dumbbell({hosts_per_side}/side)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let t = line(3);
+        assert_eq!(t.network.node_count(), 3);
+        assert_eq!(t.network.link_count(), 4); // 2 cables * 2 directions
+        assert!(t.network.is_strongly_connected());
+        assert_eq!(t.source(), t.hosts()[0]);
+        assert_eq!(t.sink(), t.hosts()[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn line_rejects_single_node() {
+        line(1);
+    }
+
+    #[test]
+    fn parallel_structure() {
+        let t = parallel(5, 2.0);
+        assert_eq!(t.network.node_count(), 2);
+        assert_eq!(t.network.link_count(), 10);
+        assert_eq!(t.network.find_links(t.source(), t.sink()).len(), 5);
+        for l in t.network.links() {
+            assert_eq!(l.capacity, 2.0);
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4_counts() {
+        let t = fat_tree(4);
+        // 4 pods * (2 edge + 2 agg) + 4 core = 20 switches; 16 hosts.
+        assert_eq!(t.network.switch_count(), 20);
+        assert_eq!(t.network.host_count(), 16);
+        assert_eq!(t.hosts().len(), 16);
+        assert!(t.network.is_strongly_connected());
+        // Cables: core-agg k^2/2*k/2? count via formula: 3 * k^3/4 cables.
+        let cables = t.network.link_count() / 2;
+        assert_eq!(cables, 3 * 4usize.pow(3) / 4);
+    }
+
+    #[test]
+    fn fat_tree_k8_matches_paper_evaluation() {
+        let t = fat_tree(8);
+        assert_eq!(t.network.switch_count(), 80, "paper: 80 switches");
+        assert_eq!(t.network.host_count(), 128, "paper: 128 servers");
+        assert!(t.network.is_strongly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn fat_tree_rejects_odd_k() {
+        fat_tree(3);
+    }
+
+    #[test]
+    fn fat_tree_intra_pod_path_is_short() {
+        let t = fat_tree(4);
+        // hosts 0 and 1 share an edge switch: 2-hop path.
+        let p = t.network.shortest_path(t.hosts()[0], t.hosts()[1]).unwrap();
+        assert_eq!(p.len(), 2);
+        // hosts 0 and 2 are in the same pod, different edge switches: 4 hops.
+        let p = t.network.shortest_path(t.hosts()[0], t.hosts()[2]).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn bcube_counts() {
+        // BCube(4, 1): 16 servers, 2 levels * 4 switches = 8 switches,
+        // each server has 2 links => 32 cables.
+        let t = bcube(4, 1);
+        assert_eq!(t.network.host_count(), 16);
+        assert_eq!(t.network.switch_count(), 8);
+        assert_eq!(t.network.link_count() / 2, 32);
+        assert!(t.network.is_strongly_connected());
+    }
+
+    #[test]
+    fn bcube_level0_is_star_of_n() {
+        let t = bcube(2, 0);
+        // BCube(2,0): 2 servers, 1 switch.
+        assert_eq!(t.network.host_count(), 2);
+        assert_eq!(t.network.switch_count(), 1);
+    }
+
+    #[test]
+    fn insert_digit_roundtrip() {
+        // rest=5 (base 4: 11), insert digit 2 at pos 1 => digits 1,2,1 = 1*16+2*4+1 = 25
+        assert_eq!(insert_digit(5, 1, 2, 4), 25);
+        assert_eq!(insert_digit(0, 0, 3, 4), 3);
+    }
+
+    #[test]
+    fn leaf_spine_counts() {
+        let t = leaf_spine(4, 2, 8);
+        assert_eq!(t.network.switch_count(), 6);
+        assert_eq!(t.network.host_count(), 32);
+        assert_eq!(t.network.link_count() / 2, 4 * 2 + 4 * 8);
+        assert!(t.network.is_strongly_connected());
+    }
+
+    #[test]
+    fn star_and_dumbbell() {
+        let s = star(6, 1.0);
+        assert_eq!(s.network.switch_count(), 1);
+        assert_eq!(s.network.host_count(), 6);
+        assert!(s.network.is_strongly_connected());
+
+        let d = dumbbell(3, 1.0);
+        assert_eq!(d.network.switch_count(), 2);
+        assert_eq!(d.network.host_count(), 6);
+        assert!(d.network.is_strongly_connected());
+        // Crossing the dumbbell takes 3 hops.
+        let p = d.network.shortest_path(d.hosts()[0], d.hosts()[5]).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn vl2_structure() {
+        let t = vl2(4, 4, 8);
+        // d_a * d_i / 4 = 4 ToRs, plus 4 agg + 4 intermediate switches.
+        assert_eq!(t.network.switch_count(), 4 + 4 + 4);
+        assert_eq!(t.network.host_count(), 32);
+        assert!(t.network.is_strongly_connected());
+        // Each ToR dual-homes: host-to-host across ToRs is at most 6 hops.
+        let p = t.network.shortest_path(t.hosts()[0], t.hosts()[31]).unwrap();
+        assert!(p.len() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even d_a")]
+    fn vl2_rejects_odd_aggregation_count() {
+        vl2(3, 2, 1);
+    }
+
+    #[test]
+    fn jellyfish_is_connected_and_deterministic() {
+        let a = jellyfish(12, 3, 2, 42);
+        let b = jellyfish(12, 3, 2, 42);
+        let c = jellyfish(12, 3, 2, 43);
+        assert_eq!(a.network.link_count(), b.network.link_count());
+        assert!(a.network.is_strongly_connected());
+        assert!(c.network.is_strongly_connected());
+        assert_eq!(a.network.host_count(), 24);
+        assert_eq!(a.network.switch_count(), 12);
+        // Switch-to-switch degree stays close to the requested degree.
+        for sw in a.network.switch_ids() {
+            let switch_links = a
+                .network
+                .out_links(sw)
+                .iter()
+                .filter(|&&l| a.network.node(a.network.link(l).dst).kind.is_switch())
+                .count();
+            assert!(switch_links <= 3 + 2, "degree {switch_links} too large");
+        }
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(fat_tree(4).name, "fat-tree(k=4)");
+        assert_eq!(parallel(2, 1.0).name, "parallel(k=2)");
+        assert_eq!(bcube(4, 1).name, "bcube(n=4,k=1)");
+    }
+}

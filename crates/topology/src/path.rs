@@ -1,0 +1,247 @@
+//! Routing paths: ordered sequences of directed links.
+
+use crate::{LinkId, Network, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors that can occur when constructing a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// Two consecutive links do not share an endpoint.
+    Disconnected {
+        /// Position (0-based) of the offending link in the sequence.
+        position: usize,
+    },
+    /// The path visits the same node more than once.
+    Loop {
+        /// The repeated node.
+        node: NodeId,
+    },
+    /// A link id does not exist in the network.
+    UnknownLink(LinkId),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Disconnected { position } => {
+                write!(f, "links at positions {} and {} are not adjacent", position, position + 1)
+            }
+            PathError::Loop { node } => write!(f, "path visits node {node} more than once"),
+            PathError::UnknownLink(l) => write!(f, "link {l} does not exist in the network"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A simple (loop-free) directed path through a [`Network`].
+///
+/// A path stores its source node and the ordered list of directed links it
+/// traverses; the node sequence is derivable from those. The empty path
+/// (source equals destination, no links) is allowed so that flows between
+/// co-located endpoints degenerate gracefully.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    source: NodeId,
+    links: Vec<LinkId>,
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Builds a path from a source node and an ordered link sequence,
+    /// validating adjacency and simplicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::UnknownLink`] if a link id is out of range,
+    /// [`PathError::Disconnected`] if consecutive links do not chain, and
+    /// [`PathError::Loop`] if a node repeats.
+    pub fn from_links(network: &Network, source: NodeId, links: &[LinkId]) -> Result<Self, PathError> {
+        let mut nodes = Vec::with_capacity(links.len() + 1);
+        nodes.push(source);
+        let mut cur = source;
+        for (pos, &lid) in links.iter().enumerate() {
+            if lid.index() >= network.link_count() {
+                return Err(PathError::UnknownLink(lid));
+            }
+            let link = network.link(lid);
+            if link.src != cur {
+                return Err(PathError::Disconnected { position: pos.saturating_sub(1) });
+            }
+            cur = link.dst;
+            nodes.push(cur);
+        }
+        // Simplicity check.
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(PathError::Loop { node: w[0] });
+            }
+        }
+        Ok(Path {
+            source,
+            links: links.to_vec(),
+            nodes,
+        })
+    }
+
+    /// Builds a path from a node sequence, looking up the connecting links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::Disconnected`] if two consecutive nodes are not
+    /// directly connected, or [`PathError::Loop`] if a node repeats.
+    pub fn from_nodes(network: &Network, nodes: &[NodeId]) -> Result<Self, PathError> {
+        assert!(!nodes.is_empty(), "a path needs at least one node");
+        let mut links = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for (pos, w) in nodes.windows(2).enumerate() {
+            match network.find_link(w[0], w[1]) {
+                Some(l) => links.push(l),
+                None => return Err(PathError::Disconnected { position: pos }),
+            }
+        }
+        Self::from_links(network, nodes[0], &links)
+    }
+
+    /// The first node of the path.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The last node of the path.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path always has at least one node")
+    }
+
+    /// Number of links (hops) in the path.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if the path has no links (source == destination).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The ordered link sequence.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The ordered node sequence (one longer than [`Self::links`]).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Returns `true` if the path traverses `link`.
+    pub fn contains_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Returns `true` if the path visits `node`.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Total weight of the path under a per-link weight function.
+    pub fn weight(&self, mut link_weight: impl FnMut(LinkId) -> f64) -> f64 {
+        self.links.iter().map(|&l| link_weight(l)).sum()
+    }
+
+    /// The minimum capacity over the links of the path (`f64::INFINITY` for
+    /// the empty path): the bottleneck rate at which the path can carry
+    /// traffic.
+    pub fn bottleneck_capacity(&self, network: &Network) -> f64 {
+        self.links
+            .iter()
+            .map(|&l| network.link(l).capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels: Vec<String> = self.nodes.iter().map(|n| n.to_string()).collect();
+        write!(f, "{}", labels.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    fn line3() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Host, "a");
+        let b = net.add_node(NodeKind::Switch, "b");
+        let c = net.add_node(NodeKind::Host, "c");
+        net.add_duplex_link(a, b, 5.0);
+        net.add_duplex_link(b, c, 3.0);
+        (net, vec![a, b, c])
+    }
+
+    #[test]
+    fn from_nodes_builds_expected_links() {
+        let (net, ns) = line3();
+        let p = Path::from_nodes(&net, &ns).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.source(), ns[0]);
+        assert_eq!(p.destination(), ns[2]);
+        assert_eq!(p.nodes(), &ns[..]);
+        assert!(p.contains_node(ns[1]));
+    }
+
+    #[test]
+    fn from_links_rejects_disconnected() {
+        let (net, ns) = line3();
+        // Take a->b and c->b: not chained.
+        let ab = net.find_link(ns[0], ns[1]).unwrap();
+        let cb = net.find_link(ns[2], ns[1]).unwrap();
+        let err = Path::from_links(&net, ns[0], &[ab, cb]).unwrap_err();
+        assert!(matches!(err, PathError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn from_links_rejects_loop() {
+        let (net, ns) = line3();
+        let ab = net.find_link(ns[0], ns[1]).unwrap();
+        let ba = net.find_link(ns[1], ns[0]).unwrap();
+        let err = Path::from_links(&net, ns[0], &[ab, ba]).unwrap_err();
+        assert!(matches!(err, PathError::Loop { .. }));
+    }
+
+    #[test]
+    fn unknown_link_is_reported() {
+        let (net, ns) = line3();
+        let err = Path::from_links(&net, ns[0], &[LinkId(99)]).unwrap_err();
+        assert_eq!(err, PathError::UnknownLink(LinkId(99)));
+    }
+
+    #[test]
+    fn empty_path_is_allowed() {
+        let (net, ns) = line3();
+        let p = Path::from_links(&net, ns[0], &[]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.source(), p.destination());
+        assert_eq!(p.bottleneck_capacity(&net), f64::INFINITY);
+    }
+
+    #[test]
+    fn bottleneck_and_weight() {
+        let (net, ns) = line3();
+        let p = Path::from_nodes(&net, &ns).unwrap();
+        assert_eq!(p.bottleneck_capacity(&net), 3.0);
+        let hops = p.weight(|_| 1.0);
+        assert_eq!(hops, 2.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (net, ns) = line3();
+        let p = Path::from_nodes(&net, &ns).unwrap();
+        assert_eq!(p.to_string(), "n0 -> n1 -> n2");
+    }
+}

@@ -1,0 +1,379 @@
+//! Path-finding algorithms: weighted shortest paths, ECMP enumeration and
+//! Yen's k-shortest paths.
+//!
+//! These are the routing primitives the scheduling layer builds on: the
+//! Frank–Wolfe multi-commodity flow solver needs weighted shortest paths
+//! under marginal link costs, the SP+MCF baseline needs hop-count shortest
+//! paths, and the randomized-rounding analysis benefits from bounded
+//! candidate path sets (k-shortest paths).
+
+use crate::{LinkId, Network, NodeId, Path};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry of the Dijkstra priority queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap (a max-heap) pops the smallest distance;
+        // ties broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Weighted shortest path from `src` to `dst` under a non-negative per-link
+/// weight function.
+///
+/// Returns `None` if `dst` is unreachable. Weights must be non-negative and
+/// finite; `f64::INFINITY` may be used to forbid a link.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a weight is negative or NaN.
+pub fn dijkstra(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    mut link_weight: impl FnMut(LinkId) -> f64,
+) -> Option<Path> {
+    let n = network.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<LinkId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[src.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, node: src });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u == dst {
+            break;
+        }
+        for &lid in network.out_links(u) {
+            let w = link_weight(lid);
+            debug_assert!(!w.is_nan() && w >= 0.0, "link weight must be non-negative, got {w}");
+            if w.is_infinite() {
+                continue;
+            }
+            let v = network.link(lid).dst;
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some(lid);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    if src == dst {
+        return Path::from_links(network, src, &[]).ok();
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut links_rev = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let lid = parent[cur.index()]?;
+        links_rev.push(lid);
+        cur = network.link(lid).src;
+    }
+    links_rev.reverse();
+    Path::from_links(network, src, &links_rev).ok()
+}
+
+/// Enumerates **all** hop-count shortest paths from `src` to `dst`
+/// (the ECMP path set), up to `limit` paths.
+///
+/// Paths are produced in a deterministic order (lexicographic by link id).
+pub fn all_shortest_paths(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    limit: usize,
+) -> Vec<Path> {
+    if limit == 0 {
+        return Vec::new();
+    }
+    // Distance from every node *to* dst (BFS on reversed links).
+    let mut dist_to_dst = vec![usize::MAX; network.node_count()];
+    dist_to_dst[dst.index()] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(dst);
+    while let Some(u) = queue.pop_front() {
+        for &lid in network.in_links(u) {
+            let v = network.link(lid).src;
+            if dist_to_dst[v.index()] == usize::MAX {
+                dist_to_dst[v.index()] = dist_to_dst[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist_to_dst[src.index()] == usize::MAX {
+        return Vec::new();
+    }
+
+    // DFS following only links that strictly decrease the distance to dst.
+    let mut result = Vec::new();
+    let mut stack_links: Vec<LinkId> = Vec::new();
+    fn dfs(
+        network: &Network,
+        cur: NodeId,
+        dst: NodeId,
+        dist_to_dst: &[usize],
+        stack_links: &mut Vec<LinkId>,
+        result: &mut Vec<Path>,
+        src: NodeId,
+        limit: usize,
+    ) {
+        if result.len() >= limit {
+            return;
+        }
+        if cur == dst {
+            if let Ok(p) = Path::from_links(network, src, stack_links) {
+                result.push(p);
+            }
+            return;
+        }
+        for &lid in network.out_links(cur) {
+            let v = network.link(lid).dst;
+            if dist_to_dst[v.index()] != usize::MAX
+                && dist_to_dst[v.index()] + 1 == dist_to_dst[cur.index()]
+            {
+                stack_links.push(lid);
+                dfs(network, v, dst, dist_to_dst, stack_links, result, src, limit);
+                stack_links.pop();
+                if result.len() >= limit {
+                    return;
+                }
+            }
+        }
+    }
+    dfs(
+        network,
+        src,
+        dst,
+        &dist_to_dst,
+        &mut stack_links,
+        &mut result,
+        src,
+        limit,
+    );
+    result
+}
+
+/// Yen's algorithm: the `k` loop-free shortest paths from `src` to `dst`
+/// under a per-link weight function.
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct simple paths. Weights must be non-negative.
+pub fn k_shortest_paths(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    mut link_weight: impl FnMut(LinkId) -> f64,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let first = match dijkstra(network, src, dst, &mut link_weight) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut paths = vec![first];
+    // Candidate set: (cost, path); kept sorted by cost (ascending).
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    for _ in 1..k {
+        let last = paths.last().expect("paths is non-empty").clone();
+        // Spur from every node of the previous path.
+        for i in 0..last.nodes().len() - 1 {
+            let spur_node = last.nodes()[i];
+            let root_links: Vec<LinkId> = last.links()[..i].to_vec();
+
+            // Links to ban: the next link of any already-accepted path that
+            // shares the same root.
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for p in &paths {
+                if p.links().len() > i && p.links()[..i] == root_links[..] {
+                    banned_links.push(p.links()[i]);
+                }
+            }
+            // Nodes on the root (except spur node) are banned to keep the
+            // total path simple.
+            let banned_nodes: Vec<NodeId> = last.nodes()[..i].to_vec();
+
+            let spur = dijkstra(network, spur_node, dst, |lid| {
+                if banned_links.contains(&lid) {
+                    return f64::INFINITY;
+                }
+                let l = network.link(lid);
+                if banned_nodes.contains(&l.dst) || banned_nodes.contains(&l.src) {
+                    return f64::INFINITY;
+                }
+                link_weight(lid)
+            });
+            let Some(spur) = spur else { continue };
+
+            let mut total_links = root_links.clone();
+            total_links.extend_from_slice(spur.links());
+            let Ok(total) = Path::from_links(network, src, &total_links) else {
+                continue;
+            };
+            if paths.contains(&total) || candidates.iter().any(|(_, p)| *p == total) {
+                continue;
+            }
+            let cost = total.weight(&mut link_weight);
+            candidates.push((cost, total));
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        let (_, next) = candidates.remove(0);
+        paths.push(next);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builders, NodeKind};
+
+    fn diamond() -> (Network, NodeId, NodeId, NodeId, NodeId) {
+        // a -> b -> d (cheap), a -> c -> d (expensive)
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Host, "a");
+        let b = net.add_node(NodeKind::Switch, "b");
+        let c = net.add_node(NodeKind::Switch, "c");
+        let d = net.add_node(NodeKind::Host, "d");
+        net.add_duplex_link(a, b, 1.0);
+        net.add_duplex_link(b, d, 1.0);
+        net.add_duplex_link(a, c, 1.0);
+        net.add_duplex_link(c, d, 1.0);
+        (net, a, b, c, d)
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_route() {
+        let (net, a, b, c, d) = diamond();
+        let p = dijkstra(&net, a, d, |lid| {
+            let l = net.link(lid);
+            if l.src == c || l.dst == c {
+                10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!(p.contains_node(b));
+        assert!(!p.contains_node(c));
+    }
+
+    #[test]
+    fn dijkstra_respects_infinite_weights() {
+        let (net, a, b, _c, d) = diamond();
+        // Forbid everything through b: must go through c.
+        let p = dijkstra(&net, a, d, |lid| {
+            let l = net.link(lid);
+            if l.src == b || l.dst == b {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!(!p.contains_node(b));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_returns_none() {
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Host, "a");
+        let b = net.add_node(NodeKind::Host, "b");
+        let _ = (a, b);
+        assert!(dijkstra(&net, a, b, |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn all_shortest_paths_finds_both_diamond_branches() {
+        let (net, a, _b, _c, d) = diamond();
+        let paths = all_shortest_paths(&net, a, d, 10);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.len(), 2);
+            assert_eq!(p.source(), a);
+            assert_eq!(p.destination(), d);
+        }
+    }
+
+    #[test]
+    fn all_shortest_paths_respects_limit() {
+        let (net, a, _b, _c, d) = diamond();
+        let paths = all_shortest_paths(&net, a, d, 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn k_shortest_orders_by_cost() {
+        let (net, a, _b, c, d) = diamond();
+        let paths = k_shortest_paths(&net, a, d, 3, |lid| {
+            let l = net.link(lid);
+            if l.src == c || l.dst == c {
+                5.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(paths.len(), 2, "diamond has exactly two simple a->d paths");
+        assert!(paths[0].weight(|_| 1.0) <= paths[1].weight(|_| 1.0));
+        assert!(!paths[0].contains_node(c));
+        assert!(paths[1].contains_node(c));
+    }
+
+    #[test]
+    fn k_shortest_on_parallel_links() {
+        let t = builders::parallel(4, 1.0);
+        let paths = k_shortest_paths(&t.network, t.source(), t.sink(), 4, |_| 1.0);
+        assert_eq!(paths.len(), 4);
+        let mut links: Vec<_> = paths.iter().map(|p| p.links()[0]).collect();
+        links.sort();
+        links.dedup();
+        assert_eq!(links.len(), 4, "each path must use a distinct parallel link");
+    }
+
+    #[test]
+    fn ecmp_in_fat_tree_inter_pod() {
+        let ft = builders::fat_tree(4);
+        let hosts = ft.hosts();
+        // First and last host are in different pods; a k=4 fat-tree has
+        // (k/2)^2 = 4 equal-cost core paths between them.
+        let paths = all_shortest_paths(&ft.network, hosts[0], hosts[15], 64);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: schedule a random deadline-constrained workload on a
+//! fat-tree with every scheme in the crate and compare their energy.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::flow::workload::UniformWorkload;
+use deadline_dcn::power::PowerFunction;
+use deadline_dcn::sim::Simulator;
+use deadline_dcn::topology::builders;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Fig. 2 setup, scaled down: a k=4 fat-tree (20 switches,
+    // 16 hosts), 60 flows over the horizon [1, 100], volumes ~ N(10, 3),
+    // power function f(x) = x^2 with link capacity 10.
+    let topo = builders::fat_tree(4);
+    let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+    let flows = UniformWorkload::paper_defaults(60, 2024).generate(topo.hosts())?;
+
+    println!("topology : {}", topo.name);
+    println!(
+        "          {} switches, {} hosts, {} directed links",
+        topo.network.switch_count(),
+        topo.network.host_count(),
+        topo.network.link_count()
+    );
+    println!("workload : {} flows, horizon {:?}", flows.len(), flows.horizon());
+    println!("power    : {power}");
+    println!();
+
+    // Joint scheduling + routing (the paper's Random-Schedule, Algorithm 2).
+    let outcome = RandomSchedule::default().run(&topo.network, &flows, &power)?;
+    // Shortest-path routing + optimal scheduling (the paper's SP+MCF baseline).
+    let sp = baselines::sp_mcf(&topo.network, &flows, &power)?;
+    // No energy management at all: shortest path at full line rate.
+    let greedy = baselines::full_rate_greedy(&topo.network, &flows, &power)?;
+
+    let lb = outcome.lower_bound;
+    let simulator = Simulator::new(power);
+
+    println!("{:<28} {:>12} {:>12} {:>8} {:>10}", "scheme", "energy", "vs LB", "links", "misses");
+    for (name, schedule) in [
+        ("fractional lower bound", None),
+        ("Random-Schedule (RS)", Some(&outcome.schedule)),
+        ("Shortest-Path + MCF", Some(&sp)),
+        ("full-rate greedy", Some(&greedy)),
+    ] {
+        match schedule {
+            None => {
+                println!("{:<28} {:>12.2} {:>12.3} {:>8} {:>10}", name, lb, 1.0, "-", "-");
+            }
+            Some(s) => {
+                let report = simulator.run(&topo.network, &flows, s);
+                let energy = report.energy.total();
+                println!(
+                    "{:<28} {:>12.2} {:>12.3} {:>8} {:>10}",
+                    name,
+                    energy,
+                    energy / lb,
+                    report.active_link_count(),
+                    report.deadline_misses
+                );
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "Random-Schedule used {} rounding attempt(s); worst link over-capacity by {:.3}",
+        outcome.attempts, outcome.capacity_excess
+    );
+    Ok(())
+}

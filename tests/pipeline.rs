@@ -1,0 +1,172 @@
+//! End-to-end integration tests: every topology builder x every workload
+//! generator, pushed through routing, both schedulers, verification and the
+//! simulator.
+
+use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::flow::workload::{
+    PartitionAggregateWorkload, ShuffleWorkload, UniformWorkload,
+};
+use deadline_dcn::flow::FlowSet;
+use deadline_dcn::power::PowerFunction;
+use deadline_dcn::sim::Simulator;
+use deadline_dcn::topology::builders::{self, BuiltTopology};
+
+fn x2(capacity: f64) -> PowerFunction {
+    PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+}
+
+fn topologies() -> Vec<BuiltTopology> {
+    vec![
+        builders::fat_tree(4),
+        builders::leaf_spine(4, 2, 6),
+        builders::bcube(3, 1),
+        builders::dumbbell(6, 10.0),
+    ]
+}
+
+/// SP+MCF and Random-Schedule both meet all deadlines on every topology,
+/// and their (simulated) energy is never below the fractional lower bound.
+#[test]
+fn uniform_workload_all_topologies() {
+    let power = x2(1e9);
+    for topo in topologies() {
+        let flows = UniformWorkload::paper_defaults(25, 11)
+            .generate(topo.hosts())
+            .unwrap();
+
+        let rs = RandomSchedule::default()
+            .run(&topo.network, &flows, &power)
+            .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+        let sp = baselines::sp_mcf(&topo.network, &flows, &power)
+            .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+
+        rs.schedule
+            .verify(&topo.network, &flows, &power)
+            .unwrap_or_else(|e| panic!("{} RS: {e}", topo.name));
+        sp.verify(&topo.network, &flows, &power)
+            .unwrap_or_else(|e| panic!("{} SP+MCF: {e}", topo.name));
+
+        let simulator = Simulator::new(power);
+        let rs_report = simulator.run(&topo.network, &flows, &rs.schedule);
+        let sp_report = simulator.run(&topo.network, &flows, &sp);
+        assert_eq!(rs_report.deadline_misses, 0, "{}", topo.name);
+        assert_eq!(sp_report.deadline_misses, 0, "{}", topo.name);
+        assert!(rs_report.energy.total() >= rs.lower_bound - 1e-6, "{}", topo.name);
+        assert!(sp_report.energy.total() >= rs.lower_bound - 1e-6, "{}", topo.name);
+    }
+}
+
+/// The application-shaped workloads run end to end on the fabric they are
+/// meant for.
+#[test]
+fn application_workloads_end_to_end() {
+    let power = x2(1e9);
+
+    let leaf_spine = builders::leaf_spine(6, 3, 6);
+    let search = PartitionAggregateWorkload {
+        requests: 12,
+        workers_per_request: 8,
+        ..Default::default()
+    }
+    .generate(leaf_spine.hosts())
+    .unwrap();
+
+    let fat_tree = builders::fat_tree(4);
+    let shuffle = ShuffleWorkload {
+        mappers: 5,
+        reducers: 5,
+        volume_per_pair: 3.0,
+        start: 0.0,
+        deadline: 40.0,
+    }
+    .generate(fat_tree.hosts())
+    .unwrap();
+
+    for (topo, flows) in [(&leaf_spine, &search), (&fat_tree, &shuffle)] {
+        let rs = RandomSchedule::default()
+            .run(&topo.network, flows, &power)
+            .unwrap();
+        rs.schedule.verify(&topo.network, flows, &power).unwrap();
+        let sp = baselines::sp_mcf(&topo.network, flows, &power).unwrap();
+        sp.verify(&topo.network, flows, &power).unwrap();
+        assert!(sp.energy(&power).total() >= rs.lower_bound - 1e-6);
+    }
+}
+
+/// Routing strategies produce different trade-offs but all remain feasible;
+/// the analytic energy and the simulated energy always agree.
+#[test]
+fn routing_strategies_feasible_and_energy_consistent() {
+    let topo = builders::fat_tree(4);
+    let power = x2(1e9);
+    let flows = UniformWorkload::paper_defaults(30, 3)
+        .generate(topo.hosts())
+        .unwrap();
+    let simulator = Simulator::new(power);
+
+    let schedules = vec![
+        ("sp", baselines::sp_mcf(&topo.network, &flows, &power).unwrap()),
+        ("ecmp", baselines::ecmp_mcf(&topo.network, &flows, &power, 5).unwrap()),
+        ("ksp", baselines::least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap()),
+    ];
+    for (name, schedule) in schedules {
+        schedule
+            .verify(&topo.network, &flows, &power)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = simulator.run(&topo.network, &flows, &schedule);
+        let analytic = schedule.energy(&power).total();
+        assert!(
+            (report.energy.total() - analytic).abs() <= 1e-6 * analytic,
+            "{name}: simulated {} vs analytic {analytic}",
+            report.energy.total()
+        );
+    }
+}
+
+/// With idle power included (sigma > 0), Random-Schedule tends to use fewer
+/// active links than shortest-path routing spread, and both energies remain
+/// above the lower bound.
+#[test]
+fn idle_power_accounting_is_consistent() {
+    let topo = builders::fat_tree(4);
+    let power = PowerFunction::new(2.0, 1.0, 2.0, 1e9).unwrap();
+    let flows = UniformWorkload::paper_defaults(30, 17)
+        .generate(topo.hosts())
+        .unwrap();
+
+    let rs = RandomSchedule::default()
+        .run(&topo.network, &flows, &power)
+        .unwrap();
+    let sp = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
+
+    let rs_energy = rs.schedule.energy(&power);
+    let sp_energy = sp.energy(&power);
+    assert!(rs_energy.idle > 0.0);
+    assert!(sp_energy.idle > 0.0);
+    assert!(rs_energy.total() >= rs.lower_bound - 1e-6);
+    assert!(sp_energy.total() >= rs.lower_bound - 1e-6);
+    // The idle share equals sigma * horizon * active links.
+    let (t0, t1) = flows.horizon();
+    assert!(
+        (rs_energy.idle - 2.0 * (t1 - t0) * rs_energy.active_links as f64).abs() < 1e-6
+    );
+}
+
+/// A single flow between adjacent hosts: every scheme degenerates to the
+/// same, obviously optimal answer.
+#[test]
+fn degenerate_single_flow_instance() {
+    let topo = builders::line_with_capacity(2, 1e9);
+    let power = x2(1e9);
+    let flows =
+        FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[1], 0.0, 5.0, 10.0)]).unwrap();
+
+    let rs = RandomSchedule::default()
+        .run(&topo.network, &flows, &power)
+        .unwrap();
+    let sp = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
+    // Density 2 on one link for 5 time units: energy 2^2 * 5 = 20.
+    assert!((sp.energy(&power).total() - 20.0).abs() < 1e-6);
+    assert!((rs.schedule.energy(&power).total() - 20.0).abs() < 1e-6);
+    assert!((rs.lower_bound - 20.0).abs() < 1e-3);
+}
