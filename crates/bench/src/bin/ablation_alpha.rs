@@ -23,8 +23,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for alpha in [1.5, 2.0, 2.5, 3.0, 4.0] {
-        let power =
-            PowerFunction::speed_scaling_only(1.0, alpha, builders::DEFAULT_CAPACITY);
+        let power = PowerFunction::speed_scaling_only(1.0, alpha, builders::DEFAULT_CAPACITY);
         let results: Vec<_> = (0..runs)
             .map(|run| run_instance(&topo, flows, 7 * flows as u64 + run as u64, &power))
             .collect();

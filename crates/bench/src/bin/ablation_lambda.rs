@@ -23,8 +23,15 @@ fn quantize(flows: &FlowSet, grain: f64) -> FlowSet {
         .map(|f| {
             let release = (f.release / grain).floor() * grain;
             let deadline = (f.deadline / grain).ceil() * grain;
-            Flow::new(f.id, f.src, f.dst, release, deadline.max(release + grain), f.volume)
-                .expect("quantised flow remains valid")
+            Flow::new(
+                f.id,
+                f.src,
+                f.dst,
+                release,
+                deadline.max(release + grain),
+                f.volume,
+            )
+            .expect("quantised flow remains valid")
         })
         .collect();
     FlowSet::from_flows(quantized).expect("ids unchanged")

@@ -36,12 +36,18 @@ fn main() {
     let rows = vec![
         vec![
             "j1 (A->C)".to_string(),
-            format!("{:.6}", schedule.flow_schedule(0).unwrap().profile.max_rate()),
+            format!(
+                "{:.6}",
+                schedule.flow_schedule(0).unwrap().profile.max_rate()
+            ),
             format!("{s1_paper:.6}"),
         ],
         vec![
             "j2 (A->B)".to_string(),
-            format!("{:.6}", schedule.flow_schedule(1).unwrap().profile.max_rate()),
+            format!(
+                "{:.6}",
+                schedule.flow_schedule(1).unwrap().profile.max_rate()
+            ),
             format!("{s2_paper:.6}"),
         ],
         vec![

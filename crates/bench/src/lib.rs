@@ -148,8 +148,16 @@ pub struct AveragedPoint {
 pub fn average(results: &[InstanceResult]) -> AveragedPoint {
     assert!(!results.is_empty(), "cannot average zero runs");
     let flows = results[0].flows;
-    let rs = results.iter().map(InstanceResult::rs_normalized).sum::<f64>() / results.len() as f64;
-    let sp = results.iter().map(InstanceResult::sp_normalized).sum::<f64>() / results.len() as f64;
+    let rs = results
+        .iter()
+        .map(InstanceResult::rs_normalized)
+        .sum::<f64>()
+        / results.len() as f64;
+    let sp = results
+        .iter()
+        .map(InstanceResult::sp_normalized)
+        .sum::<f64>()
+        / results.len() as f64;
     AveragedPoint {
         flows,
         rs,
@@ -244,7 +252,10 @@ mod tests {
 
     #[test]
     fn arg_parsing_helpers() {
-        let args: Vec<String> = ["--runs", "5", "--full"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--runs", "5", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value::<usize>(&args, "--runs"), Some(5));
         assert_eq!(arg_value::<usize>(&args, "--flows"), None);
         assert!(arg_present(&args, "--full"));

@@ -133,7 +133,9 @@ pub fn consolidating_mcf(
         let f = flows.flow(id);
         let candidates = k_shortest_paths(network, f.src, f.dst, k, |_| 1.0);
         if candidates.is_empty() {
-            return Err(BaselineError::Routing(RoutingError::Unreachable { flow: f.id }));
+            return Err(BaselineError::Routing(RoutingError::Unreachable {
+                flow: f.id,
+            }));
         }
         let best = candidates
             .into_iter()

@@ -165,7 +165,8 @@ pub fn most_critical_first(
         // Refresh candidates of dirty links.
         for link in dirty.drain(..) {
             let flows_on_link = &link_flows[&link];
-            let cand = best_candidate_on_link(flows, flows_on_link, &virtual_weight, &availability[&link]);
+            let cand =
+                best_candidate_on_link(flows, flows_on_link, &virtual_weight, &availability[&link]);
             candidates.insert(link, cand);
         }
 
@@ -186,7 +187,9 @@ pub fn most_critical_first(
             return Err(DcfsError::Infeasible { link });
         };
         if !candidate.intensity.is_finite() {
-            return Err(DcfsError::Infeasible { link: critical_link });
+            return Err(DcfsError::Infeasible {
+                link: critical_link,
+            });
         }
 
         // Flows of the critical interval on the critical link: their whole
@@ -227,8 +230,8 @@ pub fn most_critical_first(
 
         // Consume the critical interval on the critical link (the classical
         // YDS removal step, expressed as blocked time).
-        let slots = availability[&critical_link]
-            .available_subintervals(candidate.start, candidate.end);
+        let slots =
+            availability[&critical_link].available_subintervals(candidate.start, candidate.end);
         let avail = availability
             .get_mut(&critical_link)
             .expect("availability exists for the critical link");
@@ -502,7 +505,9 @@ mod tests {
             (a, b, 1.0, 3.0, 8.0), // j2
         ])
         .unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let paths = Routing::ShortestPath
+            .compute(&topo.network, &flows)
+            .unwrap();
         (topo, flows, paths)
     }
 
@@ -523,15 +528,20 @@ mod tests {
         // Objective Phi = 2 * 6 * s1 + 8 * s2 (for alpha = 2).
         let expected_energy = 2.0 * 6.0 * s1_expected + 8.0 * s2_expected;
         let energy = schedule.energy(&x2()).total();
-        assert!(close(energy, expected_energy), "energy {energy} vs {expected_energy}");
+        assert!(
+            close(energy, expected_energy),
+            "energy {energy} vs {expected_energy}"
+        );
     }
 
     #[test]
     fn single_flow_runs_at_its_density() {
         let topo = builders::line_with_capacity(4, 1e9);
-        let flows = FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[3], 1.0, 5.0, 8.0)])
+        let flows =
+            FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[3], 1.0, 5.0, 8.0)]).unwrap();
+        let paths = Routing::ShortestPath
+            .compute(&topo.network, &flows)
             .unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
         schedule.verify(&topo.network, &flows, &x2()).unwrap();
         let rate = schedule.flow_schedule(0).unwrap().profile.max_rate();
@@ -545,15 +555,23 @@ mod tests {
         let big = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
         let h = topo.hosts();
         let flows = FlowSet::from_tuples([
-            (h[0], h[1], 0.0, 4.0, 8.0),  // same edge switch, density 2
+            (h[0], h[1], 0.0, 4.0, 8.0),   // same edge switch, density 2
             (h[14], h[15], 0.0, 2.0, 6.0), // same edge switch, density 3
         ])
         .unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let paths = Routing::ShortestPath
+            .compute(&topo.network, &flows)
+            .unwrap();
         assert!(paths[0].links().iter().all(|l| !paths[1].contains_link(*l)));
         let schedule = most_critical_first(&topo.network, &flows, &paths, &big).unwrap();
-        assert!(close(schedule.flow_schedule(0).unwrap().profile.max_rate(), 2.0));
-        assert!(close(schedule.flow_schedule(1).unwrap().profile.max_rate(), 3.0));
+        assert!(close(
+            schedule.flow_schedule(0).unwrap().profile.max_rate(),
+            2.0
+        ));
+        assert!(close(
+            schedule.flow_schedule(1).unwrap().profile.max_rate(),
+            3.0
+        ));
     }
 
     #[test]
@@ -568,7 +586,9 @@ mod tests {
             (a, b, 2.0, 8.0, 5.0),
         ])
         .unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let paths = Routing::ShortestPath
+            .compute(&topo.network, &flows)
+            .unwrap();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
         schedule.verify(&topo.network, &flows, &x2()).unwrap();
 
@@ -588,7 +608,9 @@ mod tests {
             let flows = UniformWorkload::paper_defaults(40, seed)
                 .generate(topo.hosts())
                 .unwrap();
-            let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+            let paths = Routing::ShortestPath
+                .compute(&topo.network, &flows)
+                .unwrap();
             let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
             schedule
                 .verify(&topo.network, &flows, &power)
@@ -626,10 +648,7 @@ mod tests {
     fn path_count_mismatch_is_reported() {
         let (topo, flows, paths) = example1();
         let err = most_critical_first(&topo.network, &flows, &paths[..1], &x2()).unwrap_err();
-        assert_eq!(
-            err,
-            DcfsError::PathCountMismatch { flows: 2, paths: 1 }
-        );
+        assert_eq!(err, DcfsError::PathCountMismatch { flows: 2, paths: 1 });
     }
 
     #[test]
@@ -658,15 +677,13 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(30, 9)
             .generate(topo.hosts())
             .unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let paths = Routing::ShortestPath
+            .compute(&topo.network, &flows)
+            .unwrap();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
         let lower: f64 = flows
             .iter()
-            .map(|f| {
-                paths[f.id].len() as f64
-                    * power.dynamic_power(f.density())
-                    * f.span_length()
-            })
+            .map(|f| paths[f.id].len() as f64 * power.dynamic_power(f.density()) * f.span_length())
             .sum();
         assert!(schedule.energy(&power).total() >= lower - 1e-6);
     }

@@ -228,10 +228,7 @@ impl RandomSchedule {
                     // in interval k; merged weight adds |I_k| / (d_i - r_i).
                     let fraction = part.weight / density;
                     let merged = fraction * interval_share / flow.span_length();
-                    match candidates[flow_id]
-                        .iter_mut()
-                        .find(|c| c.path == part.path)
-                    {
+                    match candidates[flow_id].iter_mut().find(|c| c.path == part.path) {
                         Some(existing) => existing.weight += merged,
                         None => candidates[flow_id].push(CandidatePath {
                             path: part.path,
@@ -387,7 +384,11 @@ mod tests {
         for (flow, cands) in flows.iter().zip(&outcome.candidates) {
             assert!(!cands.is_empty());
             let total: f64 = cands.iter().map(|c| c.weight).sum();
-            assert!((total - 1.0).abs() < 1e-6, "weights of flow {} sum to {total}", flow.id);
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "weights of flow {} sum to {total}",
+                flow.id
+            );
             for c in cands {
                 assert_eq!(c.path.source(), flow.src);
                 assert_eq!(c.path.destination(), flow.dst);
@@ -403,14 +404,16 @@ mod tests {
         // different links (with overwhelming probability over 16 flows).
         let topo = builders::parallel(4, 100.0);
         let power = x2(100.0);
-        let flows = FlowSet::from_tuples(
-            (0..16).map(|_| (topo.source(), topo.sink(), 0.0, 10.0, 10.0)),
-        )
-        .unwrap();
+        let flows =
+            FlowSet::from_tuples((0..16).map(|_| (topo.source(), topo.sink(), 0.0, 10.0, 10.0)))
+                .unwrap();
         let outcome = RandomSchedule::default()
             .run(&topo.network, &flows, &power)
             .unwrap();
-        outcome.schedule.verify(&topo.network, &flows, &power).unwrap();
+        outcome
+            .schedule
+            .verify(&topo.network, &flows, &power)
+            .unwrap();
         let mut used: Vec<_> = outcome
             .schedule
             .flow_schedules()

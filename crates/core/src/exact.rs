@@ -101,10 +101,7 @@ pub fn exact_dcfsr(
         }
         candidates.push(paths);
     }
-    let combinations: u128 = candidates
-        .iter()
-        .map(|c| c.len() as u128)
-        .product();
+    let combinations: u128 = candidates.iter().map(|c| c.len() as u128).product();
     if combinations > max_assignments {
         return Err(ExactError::TooLarge {
             combinations,
@@ -173,15 +170,18 @@ mod tests {
         // Three identical flows over three parallel links: the optimum uses
         // one link each at its density.
         let topo = builders::parallel(3, 100.0);
-        let flows = FlowSet::from_tuples(
-            (0..3).map(|_| (topo.source(), topo.sink(), 0.0, 2.0, 4.0)),
-        )
-        .unwrap();
+        let flows =
+            FlowSet::from_tuples((0..3).map(|_| (topo.source(), topo.sink(), 0.0, 2.0, 4.0)))
+                .unwrap();
         let power = x2(100.0);
         let outcome = exact_dcfsr(&topo.network, &flows, &power, 3, 1_000).unwrap();
         // Each flow at density 2 on its own link for 2 time units:
         // 3 * 2^2 * 2 = 24.
-        assert!((outcome.energy - 24.0).abs() < 1e-6, "energy {}", outcome.energy);
+        assert!(
+            (outcome.energy - 24.0).abs() < 1e-6,
+            "energy {}",
+            outcome.energy
+        );
         let mut used: Vec<_> = outcome.paths.iter().map(|p| p.links()[0]).collect();
         used.sort();
         used.dedup();

@@ -60,8 +60,8 @@ pub mod routing;
 pub mod schedule;
 
 pub use dcfs::{most_critical_first, DcfsError};
-pub use exact::{exact_dcfsr, ExactError, ExactOutcome};
 pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
+pub use exact::{exact_dcfsr, ExactError, ExactOutcome};
 pub use relaxation::{interval_relaxation, IntervalRelaxation, RelaxationSummary};
 pub use routing::{Routing, RoutingError};
 pub use schedule::{FlowSchedule, Schedule, ScheduleError, ScheduleViolation};

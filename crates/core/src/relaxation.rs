@@ -138,17 +138,12 @@ mod tests {
         // One flow on a line: the relaxation must route its density over the
         // shortest path in every interval of its span.
         let topo = builders::line_with_capacity(3, 100.0);
-        let flows = dcn_flow::FlowSet::from_tuples([
-            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
-        ])
-        .unwrap();
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
+                .unwrap();
         let power = x2(100.0);
-        let summary = interval_relaxation(
-            &topo.network,
-            &flows,
-            &power,
-            &FmcfSolverConfig::default(),
-        );
+        let summary =
+            interval_relaxation(&topo.network, &flows, &power, &FmcfSolverConfig::default());
         assert_eq!(summary.intervals.len(), 1);
         // Density 2 over 2 links for 4 time units: 2 * 2^2 * 4 = 32.
         assert!((summary.lower_bound - 32.0).abs() < 1e-3);
@@ -218,17 +213,25 @@ mod tests {
     #[test]
     fn idle_power_increases_the_lower_bound() {
         let topo = builders::line_with_capacity(3, 10.0);
-        let flows = dcn_flow::FlowSet::from_tuples([
-            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
-        ])
-        .unwrap();
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
+                .unwrap();
         let no_idle = x2(10.0);
         let with_idle = PowerFunction::new(5.0, 1.0, 2.0, 10.0).unwrap();
-        let lb0 = interval_relaxation(&topo.network, &flows, &no_idle, &FmcfSolverConfig::default())
-            .lower_bound;
-        let lb1 =
-            interval_relaxation(&topo.network, &flows, &with_idle, &FmcfSolverConfig::default())
-                .lower_bound;
+        let lb0 = interval_relaxation(
+            &topo.network,
+            &flows,
+            &no_idle,
+            &FmcfSolverConfig::default(),
+        )
+        .lower_bound;
+        let lb1 = interval_relaxation(
+            &topo.network,
+            &flows,
+            &with_idle,
+            &FmcfSolverConfig::default(),
+        )
+        .lower_bound;
         assert!(lb1 > lb0);
     }
 }

@@ -126,7 +126,10 @@ impl Routing {
                     }
                     paths[id] = Some(best);
                 }
-                Ok(paths.into_iter().map(|p| p.expect("every flow routed")).collect())
+                Ok(paths
+                    .into_iter()
+                    .map(|p| p.expect("every flow routed"))
+                    .collect())
             }
         }
     }
@@ -153,7 +156,9 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(30, 5)
             .generate(topo.hosts())
             .unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let paths = Routing::ShortestPath
+            .compute(&topo.network, &flows)
+            .unwrap();
         assert_eq!(paths.len(), flows.len());
         for (f, p) in flows.iter().zip(&paths) {
             assert_eq!(p.source(), f.src);
@@ -168,9 +173,15 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(40, 11)
             .generate(topo.hosts())
             .unwrap();
-        let a = Routing::Ecmp { seed: 1 }.compute(&topo.network, &flows).unwrap();
-        let b = Routing::Ecmp { seed: 1 }.compute(&topo.network, &flows).unwrap();
-        let c = Routing::Ecmp { seed: 2 }.compute(&topo.network, &flows).unwrap();
+        let a = Routing::Ecmp { seed: 1 }
+            .compute(&topo.network, &flows)
+            .unwrap();
+        let b = Routing::Ecmp { seed: 1 }
+            .compute(&topo.network, &flows)
+            .unwrap();
+        let c = Routing::Ecmp { seed: 2 }
+            .compute(&topo.network, &flows)
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c, "different seeds should give different ECMP draws");
         for (f, p) in flows.iter().zip(&a) {

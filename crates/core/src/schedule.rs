@@ -35,11 +35,7 @@ impl FlowSchedule {
     /// on every link of its path (cut-through / fluid semantics, as used by
     /// Random-Schedule).
     pub fn uniform(flow: FlowId, path: Path, profile: RateProfile) -> Self {
-        let link_profiles = path
-            .links()
-            .iter()
-            .map(|&l| (l, profile.clone()))
-            .collect();
+        let link_profiles = path.links().iter().map(|&l| (l, profile.clone())).collect();
         Self {
             flow,
             path,
@@ -150,12 +146,19 @@ impl fmt::Display for ScheduleViolation {
                 f,
                 "flow {flow} delivers {delivered} of the required {required} units"
             ),
-            ScheduleViolation::LinkVolumeShortfall { flow, link, carried } => write!(
+            ScheduleViolation::LinkVolumeShortfall {
+                flow,
+                link,
+                carried,
+            } => write!(
                 f,
                 "flow {flow} pushes only {carried} units through link {link}"
             ),
             ScheduleViolation::OutsideSpan { flow, start, end } => {
-                write!(f, "flow {flow} transmits in [{start}, {end}] outside its span")
+                write!(
+                    f,
+                    "flow {flow} transmits in [{start}, {end}] outside its span"
+                )
             }
             ScheduleViolation::WrongEndpoints { flow } => {
                 write!(f, "flow {flow} is routed on a path with wrong endpoints")
@@ -374,8 +377,8 @@ mod tests {
     /// A line A-B-C with one flow A->C served at a constant rate.
     fn simple_instance() -> (dcn_topology::builders::BuiltTopology, FlowSet, Schedule) {
         let topo = builders::line(3);
-        let flows = FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
-            .unwrap();
+        let flows =
+            FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)]).unwrap();
         let path = topo
             .network
             .shortest_path(topo.hosts()[0], topo.hosts()[2])
@@ -420,7 +423,9 @@ mod tests {
     fn volume_shortfall_detected() {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(0.0, 2.0, 2.0));
-        let err = schedule.verify(&topo.network, &flows, &power()).unwrap_err();
+        let err = schedule
+            .verify(&topo.network, &flows, &power())
+            .unwrap_err();
         assert!(err
             .violations
             .iter()
@@ -445,7 +450,9 @@ mod tests {
             vec![FlowSchedule::per_link(0, path, full, link_profiles)],
             (0.0, 4.0),
         );
-        let err = schedule.verify(&topo.network, &flows, &power()).unwrap_err();
+        let err = schedule
+            .verify(&topo.network, &flows, &power())
+            .unwrap_err();
         assert!(err
             .violations
             .iter()
@@ -456,7 +463,9 @@ mod tests {
     fn transmission_outside_span_detected() {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(1.0, 5.0, 2.0));
-        let err = schedule.verify(&topo.network, &flows, &power()).unwrap_err();
+        let err = schedule
+            .verify(&topo.network, &flows, &power())
+            .unwrap_err();
         assert!(err
             .violations
             .iter()
@@ -467,7 +476,9 @@ mod tests {
     fn capacity_violation_detected() {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(0.0, 0.4, 20.0));
-        let err = schedule.verify(&topo.network, &flows, &power()).unwrap_err();
+        let err = schedule
+            .verify(&topo.network, &flows, &power())
+            .unwrap_err();
         assert!(err
             .violations
             .iter()
@@ -498,7 +509,9 @@ mod tests {
             )],
             (0.0, 4.0),
         );
-        let err = schedule.verify(&topo.network, &flows, &power()).unwrap_err();
+        let err = schedule
+            .verify(&topo.network, &flows, &power())
+            .unwrap_err();
         assert!(err
             .violations
             .iter()
@@ -576,7 +589,8 @@ mod tests {
         let mut link_profiles = BTreeMap::new();
         link_profiles.insert(path.links()[0], RateProfile::constant(1.0, 2.0, 1.0));
         link_profiles.insert(path.links()[1], RateProfile::constant(3.0, 5.0, 1.0));
-        let fs = FlowSchedule::per_link(0, path, RateProfile::constant(3.0, 5.0, 1.0), link_profiles);
+        let fs =
+            FlowSchedule::per_link(0, path, RateProfile::constant(3.0, 5.0, 1.0), link_profiles);
         assert_eq!(fs.activity_span(), Some((1.0, 5.0)));
     }
 }

@@ -119,10 +119,14 @@ mod tests {
     #[test]
     fn invalid_flows_are_rejected_on_read() {
         // Deadline before release.
-        let json = r#"{"flows":[{"id":0,"src":0,"dst":1,"release":5.0,"deadline":1.0,"volume":2.0}]}"#;
+        let json =
+            r#"{"flows":[{"id":0,"src":0,"dst":1,"release":5.0,"deadline":1.0,"volume":2.0}]}"#;
         let res = from_json_str(json);
         assert!(
-            matches!(res, Err(TraceError::Format(_)) | Err(TraceError::Invalid(_))),
+            matches!(
+                res,
+                Err(TraceError::Format(_)) | Err(TraceError::Invalid(_))
+            ),
             "invalid trace must not load"
         );
     }

@@ -170,7 +170,8 @@ impl PartitionAggregateWorkload {
         for _ in 0..self.requests {
             let aggregator = *hosts.choose(&mut rng).expect("hosts non-empty");
             let start = rng.gen_range(
-                self.horizon_start..(self.horizon_end - self.deadline_budget).max(self.horizon_start + 1e-9),
+                self.horizon_start
+                    ..(self.horizon_end - self.deadline_budget).max(self.horizon_start + 1e-9),
             );
             let deadline = start + self.deadline_budget;
             let workers = hosts
@@ -283,11 +284,7 @@ pub mod hardness {
     /// # Errors
     ///
     /// Propagates flow-validation errors.
-    pub fn partition_flows(
-        src: NodeId,
-        dst: NodeId,
-        values: &[f64],
-    ) -> Result<FlowSet, FlowError> {
+    pub fn partition_flows(src: NodeId, dst: NodeId, values: &[f64]) -> Result<FlowSet, FlowError> {
         three_partition_flows(src, dst, values)
     }
 
@@ -327,15 +324,24 @@ mod tests {
         }
         // Volumes should cluster around the mean of 10.
         let mean: f64 = flows.iter().map(|f| f.volume).sum::<f64>() / flows.len() as f64;
-        assert!((mean - 10.0).abs() < 1.5, "sample mean {mean} too far from 10");
+        assert!(
+            (mean - 10.0).abs() < 1.5,
+            "sample mean {mean} too far from 10"
+        );
     }
 
     #[test]
     fn uniform_workload_is_deterministic_per_seed() {
         let topo = builders::fat_tree(4);
-        let a = UniformWorkload::paper_defaults(30, 7).generate(topo.hosts()).unwrap();
-        let b = UniformWorkload::paper_defaults(30, 7).generate(topo.hosts()).unwrap();
-        let c = UniformWorkload::paper_defaults(30, 8).generate(topo.hosts()).unwrap();
+        let a = UniformWorkload::paper_defaults(30, 7)
+            .generate(topo.hosts())
+            .unwrap();
+        let b = UniformWorkload::paper_defaults(30, 7)
+            .generate(topo.hosts())
+            .unwrap();
+        let c = UniformWorkload::paper_defaults(30, 8)
+            .generate(topo.hosts())
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -406,8 +412,7 @@ mod tests {
             let s: f64 = triple.iter().sum();
             assert!((s - 9.0).abs() < 1e-9);
         }
-        let flows =
-            hardness::three_partition_flows(topo.source(), topo.sink(), &values).unwrap();
+        let flows = hardness::three_partition_flows(topo.source(), topo.sink(), &values).unwrap();
         assert_eq!(flows.len(), 9);
         assert_eq!(flows.horizon(), (0.0, 1.0));
         assert_eq!(flows.intervals().len(), 1);

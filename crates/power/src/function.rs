@@ -22,7 +22,10 @@ impl fmt::Display for PowerFunctionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PowerFunctionError::NonSuperadditiveAlpha(a) => {
-                write!(f, "alpha must be > 1 for a superadditive power function, got {a}")
+                write!(
+                    f,
+                    "alpha must be > 1 for a superadditive power function, got {a}"
+                )
             }
             PowerFunctionError::NonPositiveMu(m) => write!(f, "mu must be > 0, got {m}"),
             PowerFunctionError::NegativeSigma(s) => write!(f, "sigma must be >= 0, got {s}"),
@@ -57,16 +60,16 @@ impl PowerFunction {
     /// Returns an error when `alpha <= 1`, `mu <= 0`, `sigma < 0` or the
     /// capacity is not positive and finite.
     pub fn new(sigma: f64, mu: f64, alpha: f64, capacity: f64) -> Result<Self, PowerFunctionError> {
-        if !(alpha > 1.0) {
+        if alpha <= 1.0 || alpha.is_nan() {
             return Err(PowerFunctionError::NonSuperadditiveAlpha(alpha));
         }
-        if !(mu > 0.0) {
+        if mu <= 0.0 || mu.is_nan() {
             return Err(PowerFunctionError::NonPositiveMu(mu));
         }
-        if !(sigma >= 0.0) {
+        if sigma < 0.0 || sigma.is_nan() {
             return Err(PowerFunctionError::NegativeSigma(sigma));
         }
-        if !(capacity > 0.0) || !capacity.is_finite() {
+        if capacity <= 0.0 || !capacity.is_finite() {
             return Err(PowerFunctionError::InvalidCapacity(capacity));
         }
         Ok(Self {
@@ -110,7 +113,7 @@ impl PowerFunction {
 
     /// Returns a copy with a different idle power.
     pub fn with_sigma(mut self, sigma: f64) -> Result<Self, PowerFunctionError> {
-        if !(sigma >= 0.0) {
+        if sigma < 0.0 || sigma.is_nan() {
             return Err(PowerFunctionError::NegativeSigma(sigma));
         }
         self.sigma = sigma;
@@ -206,7 +209,10 @@ impl PowerFunction {
         if volume <= 0.0 {
             return 0.0;
         }
-        assert!(duration > 0.0, "cannot ship {volume} units in a non-positive duration");
+        assert!(
+            duration > 0.0,
+            "cannot ship {volume} units in a non-positive duration"
+        );
         self.energy(volume / duration, duration)
     }
 

@@ -207,7 +207,10 @@ mod tests {
         assert!(close(e.idle, 2.0 * 10.0));
         assert!(close(e.dynamic, 9.0 * 5.0 + 1.0 * 10.0));
         // The aggregation on link 0 must be 3, not two separate rates.
-        assert!(close(meter.link_profile(LinkId(0)).unwrap().max_rate(), 3.0));
+        assert!(close(
+            meter.link_profile(LinkId(0)).unwrap().max_rate(),
+            3.0
+        ));
     }
 
     #[test]

@@ -112,8 +112,16 @@ impl RateProfile {
         if self.pieces.is_empty() {
             return None;
         }
-        let start = self.pieces.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
-        let end = self.pieces.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let start = self
+            .pieces
+            .iter()
+            .map(|p| p.0)
+            .fold(f64::INFINITY, f64::min);
+        let end = self
+            .pieces
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
         Some((start, end))
     }
 
@@ -123,11 +131,7 @@ impl RateProfile {
         if self.pieces.is_empty() {
             return Vec::new();
         }
-        let mut times: Vec<f64> = self
-            .pieces
-            .iter()
-            .flat_map(|&(s, e, _)| [s, e])
-            .collect();
+        let mut times: Vec<f64> = self.pieces.iter().flat_map(|&(s, e, _)| [s, e]).collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
         times.dedup();
         let mut out = Vec::new();

@@ -201,10 +201,9 @@ mod tests {
     fn simple_constant_rate_flow_is_measured_exactly() {
         let topo = builders::line(3);
         let power = PowerFunction::new(1.0, 1.0, 2.0, 10.0).unwrap();
-        let flows = dcn_flow::FlowSet::from_tuples([
-            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
-        ])
-        .unwrap();
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
+                .unwrap();
         let path = topo
             .network
             .shortest_path(topo.hosts()[0], topo.hosts()[2])
@@ -269,10 +268,9 @@ mod tests {
         // A schedule that only delivers half the data in time.
         let topo = builders::line(3);
         let power = x2(10.0);
-        let flows = dcn_flow::FlowSet::from_tuples([
-            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
-        ])
-        .unwrap();
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
+                .unwrap();
         let path = topo
             .network
             .shortest_path(topo.hosts()[0], topo.hosts()[2])
@@ -297,10 +295,9 @@ mod tests {
     fn capacity_violation_is_detected() {
         let topo = builders::line_with_capacity(3, 3.0);
         let power = PowerFunction::speed_scaling_only(1.0, 2.0, 3.0);
-        let flows = dcn_flow::FlowSet::from_tuples([
-            (topo.hosts()[0], topo.hosts()[2], 0.0, 2.0, 8.0),
-        ])
-        .unwrap();
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 2.0, 8.0)])
+                .unwrap();
         let path = topo
             .network
             .shortest_path(topo.hosts()[0], topo.hosts()[2])

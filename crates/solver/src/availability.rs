@@ -40,7 +40,10 @@ impl TimeAvailability {
     ///
     /// Panics if `end < start` or either bound is not finite.
     pub fn block(&mut self, start: f64, end: f64) {
-        assert!(start.is_finite() && end.is_finite(), "blocked interval must be finite");
+        assert!(
+            start.is_finite() && end.is_finite(),
+            "blocked interval must be finite"
+        );
         assert!(end >= start, "interval end {end} precedes start {start}");
         if end == start {
             return;

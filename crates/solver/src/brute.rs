@@ -29,7 +29,7 @@ pub fn energy_of_speeds(jobs: &[Job], speeds: &[f64], power: &PowerFunction) -> 
 /// assigned speeds.
 pub fn speeds_feasible(jobs: &[Job], speeds: &[f64]) -> bool {
     assert_eq!(jobs.len(), speeds.len(), "one speed per job");
-    if speeds.iter().any(|&s| !(s > 0.0)) {
+    if speeds.iter().any(|&s| s <= 0.0 || s.is_nan()) {
         return false;
     }
     let mut points: Vec<f64> = jobs.iter().flat_map(|j| [j.release, j.deadline]).collect();
@@ -61,11 +61,7 @@ pub fn speeds_feasible(jobs: &[Job], speeds: &[f64]) -> bool {
 /// # Panics
 ///
 /// Panics if there are no jobs or more than four of them.
-pub fn brute_force_optimal_energy(
-    jobs: &[Job],
-    power: &PowerFunction,
-    resolution: usize,
-) -> f64 {
+pub fn brute_force_optimal_energy(jobs: &[Job], power: &PowerFunction, resolution: usize) -> f64 {
     assert!(
         (1..=4).contains(&jobs.len()),
         "brute force supports 1..=4 jobs, got {}",
@@ -142,7 +138,7 @@ fn search_dimension(
     let (lo, hi) = ranges[dim];
     for step in 0..resolution {
         let s = lo + (hi - lo) * step as f64 / (resolution - 1) as f64;
-        if !(s > 0.0) {
+        if s <= 0.0 || s.is_nan() {
             continue;
         }
         speeds.push(s);
@@ -178,10 +174,7 @@ mod tests {
 
     #[test]
     fn feasibility_detects_overload() {
-        let jobs = [
-            Job::new(0, 0.0, 2.0, 4.0),
-            Job::new(1, 0.0, 2.0, 4.0),
-        ];
+        let jobs = [Job::new(0, 0.0, 2.0, 4.0), Job::new(1, 0.0, 2.0, 4.0)];
         // Each at speed 4 needs 1 time unit each: total 2 <= 2, feasible.
         assert!(speeds_feasible(&jobs, &[4.0, 4.0]));
         // At speed 2 each needs 2 units: total 4 > 2, infeasible.
@@ -200,10 +193,7 @@ mod tests {
 
     #[test]
     fn brute_force_agrees_with_yds_on_two_jobs() {
-        let jobs = [
-            Job::new(0, 0.0, 4.0, 6.0),
-            Job::new(1, 1.0, 3.0, 4.0),
-        ];
+        let jobs = [Job::new(0, 0.0, 4.0, 6.0), Job::new(1, 1.0, 3.0, 4.0)];
         let p = alpha2();
         let yds = yds_schedule(&jobs).energy(&p);
         let brute = brute_force_optimal_energy(&jobs, &p, 21);

@@ -64,7 +64,7 @@ pub fn decompose_flow(
             .iter()
             .map(|&l| residual[l.index()])
             .fold(f64::INFINITY, f64::min);
-        if !(bottleneck > epsilon) {
+        if bottleneck <= epsilon || bottleneck.is_nan() {
             break;
         }
         for &l in path.links() {
@@ -164,7 +164,12 @@ mod tests {
         let demand = 5.0;
         let problem = FmcfProblem::new(
             &t.network,
-            vec![Commodity { id: 0, src: hosts[0], dst: hosts[15], demand }],
+            vec![Commodity {
+                id: 0,
+                src: hosts[0],
+                dst: hosts[15],
+                demand,
+            }],
         );
         let cost = PowerFlowCost::new(PowerFunction::speed_scaling_only(1.0, 2.0, 1e9));
         let sol = problem.solve(&cost, &FmcfSolverConfig::default());

@@ -166,12 +166,7 @@ impl<'a> FmcfProblem<'a> {
         }
     }
 
-    fn objective(
-        &self,
-        loads: &[f64],
-        cost: &impl FlowCost,
-        config: &FmcfSolverConfig,
-    ) -> f64 {
+    fn objective(&self, loads: &[f64], cost: &impl FlowCost, config: &FmcfSolverConfig) -> f64 {
         loads
             .iter()
             .enumerate()
@@ -303,10 +298,7 @@ impl FmcfSolution {
 
     /// The aggregate load on `link` over all commodities.
     pub fn edge_load(&self, link: LinkId) -> f64 {
-        self.commodity_flows
-            .iter()
-            .map(|f| f[link.index()])
-            .sum()
+        self.commodity_flows.iter().map(|f| f[link.index()]).sum()
     }
 
     /// Aggregate loads on all links.
@@ -456,9 +448,24 @@ mod tests {
         let t = builders::fat_tree(4);
         let hosts = t.hosts();
         let commodities = vec![
-            Commodity { id: 0, src: hosts[0], dst: hosts[10], demand: 3.0 },
-            Commodity { id: 1, src: hosts[3], dst: hosts[12], demand: 1.5 },
-            Commodity { id: 2, src: hosts[5], dst: hosts[1], demand: 2.0 },
+            Commodity {
+                id: 0,
+                src: hosts[0],
+                dst: hosts[10],
+                demand: 3.0,
+            },
+            Commodity {
+                id: 1,
+                src: hosts[3],
+                dst: hosts[12],
+                demand: 1.5,
+            },
+            Commodity {
+                id: 2,
+                src: hosts[5],
+                dst: hosts[1],
+                demand: 2.0,
+            },
         ];
         let problem = FmcfProblem::new(&t.network, commodities.clone());
         let sol = problem.solve(&quadratic_cost(), &tight_config());
@@ -489,8 +496,18 @@ mod tests {
         let problem = FmcfProblem::new(
             &t.network,
             vec![
-                Commodity { id: 0, src: t.source(), dst: t.sink(), demand: 2.0 },
-                Commodity { id: 1, src: t.source(), dst: t.sink(), demand: 2.0 },
+                Commodity {
+                    id: 0,
+                    src: t.source(),
+                    dst: t.sink(),
+                    demand: 2.0,
+                },
+                Commodity {
+                    id: 1,
+                    src: t.source(),
+                    dst: t.sink(),
+                    demand: 2.0,
+                },
             ],
         );
         let sol = problem.solve(&quadratic_cost(), &tight_config());
@@ -507,7 +524,12 @@ mod tests {
         let demand = 6.0;
         let problem = FmcfProblem::new(
             &t.network,
-            vec![Commodity { id: 0, src: t.source(), dst: t.sink(), demand }],
+            vec![Commodity {
+                id: 0,
+                src: t.source(),
+                dst: t.sink(),
+                demand,
+            }],
         );
         let cost_fn = quadratic_cost();
         let sol = problem.solve(&cost_fn, &tight_config());
@@ -520,7 +542,12 @@ mod tests {
         let t = builders::parallel(2, 2.0);
         let problem = FmcfProblem::new(
             &t.network,
-            vec![Commodity { id: 0, src: t.source(), dst: t.sink(), demand: 4.0 }],
+            vec![Commodity {
+                id: 0,
+                src: t.source(),
+                dst: t.sink(),
+                demand: 4.0,
+            }],
         );
         // Nearly linear cost => without capacities a single path would be fine.
         let cost = PowerFlowCost::new(PowerFunction::speed_scaling_only(1.0, 1.01, 10.0));
@@ -553,7 +580,12 @@ mod tests {
         let t = builders::line(2);
         FmcfProblem::new(
             &t.network,
-            vec![Commodity { id: 0, src: t.hosts()[0], dst: t.hosts()[1], demand: 0.0 }],
+            vec![Commodity {
+                id: 0,
+                src: t.hosts()[0],
+                dst: t.hosts()[1],
+                demand: 0.0,
+            }],
         );
     }
 

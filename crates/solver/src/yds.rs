@@ -42,7 +42,10 @@ impl Job {
             release.is_finite() && deadline.is_finite() && work.is_finite(),
             "job parameters must be finite"
         );
-        assert!(deadline > release, "job {id}: deadline {deadline} <= release {release}");
+        assert!(
+            deadline > release,
+            "job {id}: deadline {deadline} <= release {release}"
+        );
         assert!(work > 0.0, "job {id}: work must be positive, got {work}");
         Self {
             id,
@@ -313,7 +316,8 @@ pub fn yds_schedule(jobs: &[Job]) -> YdsSchedule {
                 }
             }
         }
-        let (intensity, a, b) = best.expect("at least one job remains, so a candidate interval exists");
+        let (intensity, a, b) =
+            best.expect("at least one job remains, so a candidate interval exists");
         debug_assert!(
             intensity.is_finite(),
             "critical interval has no available time; the instance degenerated"
@@ -397,7 +401,9 @@ mod tests {
         assert!(close(s.placement(0).unwrap().speed, expected));
         assert!(close(s.placement(1).unwrap().speed, expected));
         // EDF runs job 1 (deadline 3) before job 0 (deadline 4).
-        assert!(s.placement(1).unwrap().finish_time() <= s.placement(0).unwrap().start_time() + 1e-9);
+        assert!(
+            s.placement(1).unwrap().finish_time() <= s.placement(0).unwrap().start_time() + 1e-9
+        );
     }
 
     #[test]
@@ -440,10 +446,7 @@ mod tests {
 
     #[test]
     fn staggered_releases_respected_by_edf() {
-        let jobs = [
-            Job::new(0, 0.0, 10.0, 2.0),
-            Job::new(1, 5.0, 10.0, 2.0),
-        ];
+        let jobs = [Job::new(0, 0.0, 10.0, 2.0), Job::new(1, 5.0, 10.0, 2.0)];
         let s = yds_schedule(&jobs);
         s.validate(&jobs).unwrap();
         // Job 1 cannot start before its release at t=5.

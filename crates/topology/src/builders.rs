@@ -121,7 +121,10 @@ pub fn fat_tree(k: usize) -> BuiltTopology {
 
 /// Same as [`fat_tree`] with an explicit uniform link capacity.
 pub fn fat_tree_with_capacity(k: usize, capacity: f64) -> BuiltTopology {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree requires an even k >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires an even k >= 2, got {k}"
+    );
     let half = k / 2;
     let mut network = Network::new();
 
@@ -288,7 +291,10 @@ pub fn vl2_with_capacity(
     hosts_per_tor: usize,
     capacity: f64,
 ) -> BuiltTopology {
-    assert!(d_a >= 2 && d_a % 2 == 0, "VL2 requires an even d_a >= 2, got {d_a}");
+    assert!(
+        d_a >= 2 && d_a.is_multiple_of(2),
+        "VL2 requires an even d_a >= 2, got {d_a}"
+    );
     assert!(d_i > 0 && hosts_per_tor > 0);
     let mut network = Network::new();
     let intermediates: Vec<NodeId> = (0..d_i)
@@ -338,7 +344,12 @@ pub fn vl2_with_capacity(
 /// # Panics
 ///
 /// Panics if `switches < 2` or `degree == 0`.
-pub fn jellyfish(switches: usize, degree: usize, hosts_per_switch: usize, seed: u64) -> BuiltTopology {
+pub fn jellyfish(
+    switches: usize,
+    degree: usize,
+    hosts_per_switch: usize,
+    seed: u64,
+) -> BuiltTopology {
     jellyfish_with_capacity(switches, degree, hosts_per_switch, seed, DEFAULT_CAPACITY)
 }
 
@@ -359,7 +370,9 @@ pub fn jellyfish_with_capacity(
 
     // Seeded LCG (numerical recipes constants) so the builder stays
     // dependency-free yet reproducible.
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = move |bound: usize| {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -368,7 +381,9 @@ pub fn jellyfish_with_capacity(
     };
 
     // Random matching over free ports.
-    let mut free_ports: Vec<usize> = (0..switches).flat_map(|s| std::iter::repeat(s).take(degree)).collect();
+    let mut free_ports: Vec<usize> = (0..switches)
+        .flat_map(|s| std::iter::repeat_n(s, degree))
+        .collect();
     let mut attempts = 0usize;
     while free_ports.len() >= 2 && attempts < 50 * switches * degree {
         attempts += 1;
@@ -594,7 +609,10 @@ mod tests {
         assert_eq!(t.network.host_count(), 32);
         assert!(t.network.is_strongly_connected());
         // Each ToR dual-homes: host-to-host across ToRs is at most 6 hops.
-        let p = t.network.shortest_path(t.hosts()[0], t.hosts()[31]).unwrap();
+        let p = t
+            .network
+            .shortest_path(t.hosts()[0], t.hosts()[31])
+            .unwrap();
         assert!(p.len() <= 6);
     }
 

@@ -47,8 +47,8 @@ mod network;
 mod path;
 mod routing;
 
+pub use builders::BuiltTopology;
 pub use ids::{LinkId, NodeId, NodeKind};
 pub use network::{Link, LinkEndpoints, Network, Node};
 pub use path::{Path, PathError};
-pub use routing::{dijkstra, k_shortest_paths, all_shortest_paths};
-pub use builders::BuiltTopology;
+pub use routing::{all_shortest_paths, dijkstra, k_shortest_paths};

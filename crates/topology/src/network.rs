@@ -173,10 +173,7 @@ impl Network {
 
     /// Iterates over the ids of all host nodes, in id order.
     pub fn host_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind.is_host())
-            .map(|n| n.id)
+        self.nodes.iter().filter(|n| n.kind.is_host()).map(|n| n.id)
     }
 
     /// Iterates over the ids of all switch nodes, in id order.
@@ -291,7 +288,7 @@ impl Network {
             return true;
         }
         let from_zero = self.hop_distances(NodeId(0));
-        if from_zero.iter().any(|&d| d == usize::MAX) {
+        if from_zero.contains(&usize::MAX) {
             return false;
         }
         // Check the reverse direction by walking in-links from node 0.

@@ -25,7 +25,12 @@ impl fmt::Display for PathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PathError::Disconnected { position } => {
-                write!(f, "links at positions {} and {} are not adjacent", position, position + 1)
+                write!(
+                    f,
+                    "links at positions {} and {} are not adjacent",
+                    position,
+                    position + 1
+                )
             }
             PathError::Loop { node } => write!(f, "path visits node {node} more than once"),
             PathError::UnknownLink(l) => write!(f, "link {l} does not exist in the network"),
@@ -57,7 +62,11 @@ impl Path {
     /// Returns [`PathError::UnknownLink`] if a link id is out of range,
     /// [`PathError::Disconnected`] if consecutive links do not chain, and
     /// [`PathError::Loop`] if a node repeats.
-    pub fn from_links(network: &Network, source: NodeId, links: &[LinkId]) -> Result<Self, PathError> {
+    pub fn from_links(
+        network: &Network,
+        source: NodeId,
+        links: &[LinkId],
+    ) -> Result<Self, PathError> {
         let mut nodes = Vec::with_capacity(links.len() + 1);
         nodes.push(source);
         let mut cur = source;
@@ -67,7 +76,9 @@ impl Path {
             }
             let link = network.link(lid);
             if link.src != cur {
-                return Err(PathError::Disconnected { position: pos.saturating_sub(1) });
+                return Err(PathError::Disconnected {
+                    position: pos.saturating_sub(1),
+                });
             }
             cur = link.dst;
             nodes.push(cur);
@@ -112,7 +123,10 @@ impl Path {
 
     /// The last node of the path.
     pub fn destination(&self) -> NodeId {
-        *self.nodes.last().expect("path always has at least one node")
+        *self
+            .nodes
+            .last()
+            .expect("path always has at least one node")
     }
 
     /// Number of links (hops) in the path.

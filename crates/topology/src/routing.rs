@@ -59,7 +59,10 @@ pub fn dijkstra(
     let mut done = vec![false; n];
     dist[src.index()] = 0.0;
     let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if done[u.index()] {
@@ -71,7 +74,10 @@ pub fn dijkstra(
         }
         for &lid in network.out_links(u) {
             let w = link_weight(lid);
-            debug_assert!(!w.is_nan() && w >= 0.0, "link weight must be non-negative, got {w}");
+            debug_assert!(
+                !w.is_nan() && w >= 0.0,
+                "link weight must be non-negative, got {w}"
+            );
             if w.is_infinite() {
                 continue;
             }
@@ -106,12 +112,7 @@ pub fn dijkstra(
 /// (the ECMP path set), up to `limit` paths.
 ///
 /// Paths are produced in a deterministic order (lexicographic by link id).
-pub fn all_shortest_paths(
-    network: &Network,
-    src: NodeId,
-    dst: NodeId,
-    limit: usize,
-) -> Vec<Path> {
+pub fn all_shortest_paths(network: &Network, src: NodeId, dst: NodeId, limit: usize) -> Vec<Path> {
     if limit == 0 {
         return Vec::new();
     }
@@ -134,52 +135,54 @@ pub fn all_shortest_paths(
     }
 
     // DFS following only links that strictly decrease the distance to dst.
-    let mut result = Vec::new();
-    let mut stack_links: Vec<LinkId> = Vec::new();
-    fn dfs(
-        network: &Network,
-        cur: NodeId,
-        dst: NodeId,
-        dist_to_dst: &[usize],
-        stack_links: &mut Vec<LinkId>,
-        result: &mut Vec<Path>,
+    struct EcmpDfs<'a> {
+        network: &'a Network,
         src: NodeId,
+        dst: NodeId,
+        dist_to_dst: &'a [usize],
         limit: usize,
-    ) {
-        if result.len() >= limit {
-            return;
-        }
-        if cur == dst {
-            if let Ok(p) = Path::from_links(network, src, stack_links) {
-                result.push(p);
+        stack_links: Vec<LinkId>,
+        result: Vec<Path>,
+    }
+
+    impl EcmpDfs<'_> {
+        fn walk(&mut self, cur: NodeId) {
+            if self.result.len() >= self.limit {
+                return;
             }
-            return;
-        }
-        for &lid in network.out_links(cur) {
-            let v = network.link(lid).dst;
-            if dist_to_dst[v.index()] != usize::MAX
-                && dist_to_dst[v.index()] + 1 == dist_to_dst[cur.index()]
-            {
-                stack_links.push(lid);
-                dfs(network, v, dst, dist_to_dst, stack_links, result, src, limit);
-                stack_links.pop();
-                if result.len() >= limit {
-                    return;
+            if cur == self.dst {
+                if let Ok(p) = Path::from_links(self.network, self.src, &self.stack_links) {
+                    self.result.push(p);
+                }
+                return;
+            }
+            for &lid in self.network.out_links(cur) {
+                let v = self.network.link(lid).dst;
+                if self.dist_to_dst[v.index()] != usize::MAX
+                    && self.dist_to_dst[v.index()] + 1 == self.dist_to_dst[cur.index()]
+                {
+                    self.stack_links.push(lid);
+                    self.walk(v);
+                    self.stack_links.pop();
+                    if self.result.len() >= self.limit {
+                        return;
+                    }
                 }
             }
         }
     }
-    dfs(
+
+    let mut search = EcmpDfs {
         network,
         src,
         dst,
-        &dist_to_dst,
-        &mut stack_links,
-        &mut result,
-        src,
+        dist_to_dst: &dist_to_dst,
         limit,
-    );
-    result
+        stack_links: Vec::new(),
+        result: Vec::new(),
+    };
+    search.walk(src);
+    search.result
 }
 
 /// Yen's algorithm: the `k` loop-free shortest paths from `src` to `dst`
@@ -361,7 +364,11 @@ mod tests {
         let mut links: Vec<_> = paths.iter().map(|p| p.links()[0]).collect();
         links.sort();
         links.dedup();
-        assert_eq!(links.len(), 4, "each path must use a distinct parallel link");
+        assert_eq!(
+            links.len(),
+            4,
+            "each path must use a distinct parallel link"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for flow in flows.iter() {
         let fs = schedule.flow_schedule(flow.id).expect("flow scheduled");
         let rate = fs.profile.max_rate();
-        let expected = if flow.id == 0 { s1_expected } else { s2_expected };
+        let expected = if flow.id == 0 {
+            s1_expected
+        } else {
+            s2_expected
+        };
         println!(
             "flow j{} : {} -> {}  volume {:>4}  span [{}, {}]",
             flow.id + 1,

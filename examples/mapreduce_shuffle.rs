@@ -46,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let rs_report = simulator.run(&topo.network, &flows, &outcome.schedule);
         let sp_report = simulator.run(&topo.network, &flows, &sp);
-        assert_eq!(rs_report.deadline_misses, 0, "RS must meet the stage deadline");
-        assert_eq!(sp_report.deadline_misses, 0, "SP+MCF must meet the stage deadline");
+        assert_eq!(
+            rs_report.deadline_misses, 0,
+            "RS must meet the stage deadline"
+        );
+        assert_eq!(
+            sp_report.deadline_misses, 0,
+            "SP+MCF must meet the stage deadline"
+        );
 
         println!(
             "{:>10.0} {:>14.2} {:>14.2} {:>14.2} {:>10.3}",

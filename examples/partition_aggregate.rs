@@ -57,9 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mean_slack: f64 =
             report.flows.iter().map(|f| f.slack()).sum::<f64>() / report.flows.len() as f64;
         println!("{name}");
-        println!("  energy            : {:>10.2} (idle {:.2}, dynamic {:.2})",
-            report.energy.total(), report.energy.idle, report.energy.dynamic);
-        println!("  normalised vs LB  : {:>10.3}", report.energy.total() / outcome.lower_bound);
+        println!(
+            "  energy            : {:>10.2} (idle {:.2}, dynamic {:.2})",
+            report.energy.total(),
+            report.energy.idle,
+            report.energy.dynamic
+        );
+        println!(
+            "  normalised vs LB  : {:>10.3}",
+            report.energy.total() / outcome.lower_bound
+        );
         println!("  active links      : {:>10}", report.active_link_count());
         println!("  deadline misses   : {:>10}", report.deadline_misses);
         println!("  worst slack       : {:>10.3} time units", worst_slack);

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         topo.network.host_count(),
         topo.network.link_count()
     );
-    println!("workload : {} flows, horizon {:?}", flows.len(), flows.horizon());
+    println!(
+        "workload : {} flows, horizon {:?}",
+        flows.len(),
+        flows.horizon()
+    );
     println!("power    : {power}");
     println!();
 
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lb = outcome.lower_bound;
     let simulator = Simulator::new(power);
 
-    println!("{:<28} {:>12} {:>12} {:>8} {:>10}", "scheme", "energy", "vs LB", "links", "misses");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8} {:>10}",
+        "scheme", "energy", "vs LB", "links", "misses"
+    );
     for (name, schedule) in [
         ("fractional lower bound", None),
         ("Random-Schedule (RS)", Some(&outcome.schedule)),
@@ -51,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         match schedule {
             None => {
-                println!("{:<28} {:>12.2} {:>12.3} {:>8} {:>10}", name, lb, 1.0, "-", "-");
+                println!(
+                    "{:<28} {:>12.2} {:>12.3} {:>8} {:>10}",
+                    name, lb, 1.0, "-", "-"
+                );
             }
             Some(s) => {
                 let report = simulator.run(&topo.network, &flows, s);

@@ -19,14 +19,22 @@ fn example1_closed_form_through_public_api() {
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
     let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)]).unwrap();
 
-    let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+    let paths = Routing::ShortestPath
+        .compute(&topo.network, &flows)
+        .unwrap();
     let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
     schedule.verify(&topo.network, &flows, &power).unwrap();
 
     let s2 = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
     let s1 = s2 / 2f64.sqrt();
-    assert!(close(schedule.flow_schedule(0).unwrap().profile.max_rate(), s1));
-    assert!(close(schedule.flow_schedule(1).unwrap().profile.max_rate(), s2));
+    assert!(close(
+        schedule.flow_schedule(0).unwrap().profile.max_rate(),
+        s1
+    ));
+    assert!(close(
+        schedule.flow_schedule(1).unwrap().profile.max_rate(),
+        s2
+    ));
 
     let expected_energy = 2.0 * 6.0 * s1 + 8.0 * s2;
     assert!(close(schedule.energy(&power).total(), expected_energy));
@@ -47,7 +55,9 @@ fn example1_sp_mcf_is_the_same_since_routes_are_forced() {
     let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)]).unwrap();
 
     let via_baseline = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-    let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+    let paths = Routing::ShortestPath
+        .compute(&topo.network, &flows)
+        .unwrap();
     let direct = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
     assert!(close(
         via_baseline.energy(&power).total(),
@@ -63,7 +73,9 @@ fn example1_energy_scales_with_alpha() {
     let topo = builders::line_with_capacity(3, 1e9);
     let (a, b, c) = (topo.hosts()[0], topo.hosts()[1], topo.hosts()[2]);
     let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)]).unwrap();
-    let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+    let paths = Routing::ShortestPath
+        .compute(&topo.network, &flows)
+        .unwrap();
 
     let x2 = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
     let x4 = PowerFunction::speed_scaling_only(1.0, 4.0, 1e9);

@@ -3,9 +3,7 @@
 //! simulator.
 
 use deadline_dcn::core::{baselines, prelude::*};
-use deadline_dcn::flow::workload::{
-    PartitionAggregateWorkload, ShuffleWorkload, UniformWorkload,
-};
+use deadline_dcn::flow::workload::{PartitionAggregateWorkload, ShuffleWorkload, UniformWorkload};
 use deadline_dcn::flow::FlowSet;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -51,8 +49,16 @@ fn uniform_workload_all_topologies() {
         let sp_report = simulator.run(&topo.network, &flows, &sp);
         assert_eq!(rs_report.deadline_misses, 0, "{}", topo.name);
         assert_eq!(sp_report.deadline_misses, 0, "{}", topo.name);
-        assert!(rs_report.energy.total() >= rs.lower_bound - 1e-6, "{}", topo.name);
-        assert!(sp_report.energy.total() >= rs.lower_bound - 1e-6, "{}", topo.name);
+        assert!(
+            rs_report.energy.total() >= rs.lower_bound - 1e-6,
+            "{}",
+            topo.name
+        );
+        assert!(
+            sp_report.energy.total() >= rs.lower_bound - 1e-6,
+            "{}",
+            topo.name
+        );
     }
 }
 
@@ -105,9 +111,18 @@ fn routing_strategies_feasible_and_energy_consistent() {
     let simulator = Simulator::new(power);
 
     let schedules = vec![
-        ("sp", baselines::sp_mcf(&topo.network, &flows, &power).unwrap()),
-        ("ecmp", baselines::ecmp_mcf(&topo.network, &flows, &power, 5).unwrap()),
-        ("ksp", baselines::least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap()),
+        (
+            "sp",
+            baselines::sp_mcf(&topo.network, &flows, &power).unwrap(),
+        ),
+        (
+            "ecmp",
+            baselines::ecmp_mcf(&topo.network, &flows, &power, 5).unwrap(),
+        ),
+        (
+            "ksp",
+            baselines::least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap(),
+        ),
     ];
     for (name, schedule) in schedules {
         schedule
@@ -147,9 +162,7 @@ fn idle_power_accounting_is_consistent() {
     assert!(sp_energy.total() >= rs.lower_bound - 1e-6);
     // The idle share equals sigma * horizon * active links.
     let (t0, t1) = flows.horizon();
-    assert!(
-        (rs_energy.idle - 2.0 * (t1 - t0) * rs_energy.active_links as f64).abs() < 1e-6
-    );
+    assert!((rs_energy.idle - 2.0 * (t1 - t0) * rs_energy.active_links as f64).abs() < 1e-6);
 }
 
 /// A single flow between adjacent hosts: every scheme degenerates to the
@@ -158,8 +171,7 @@ fn idle_power_accounting_is_consistent() {
 fn degenerate_single_flow_instance() {
     let topo = builders::line_with_capacity(2, 1e9);
     let power = x2(1e9);
-    let flows =
-        FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[1], 0.0, 5.0, 10.0)]).unwrap();
+    let flows = FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[1], 0.0, 5.0, 10.0)]).unwrap();
 
     let rs = RandomSchedule::default()
         .run(&topo.network, &flows, &power)

@@ -36,8 +36,13 @@ fn arb_flows(max_flows: usize) -> impl Strategy<Value = FlowSet> {
             .enumerate()
             .map(|(id, (s, d, release, span, volume))| {
                 let src = hosts[s];
-                let dst = if s == d { hosts[(d + 1) % host_count] } else { hosts[d] };
-                Flow::new(id, src, dst, release, release + span, volume).expect("valid by construction")
+                let dst = if s == d {
+                    hosts[(d + 1) % host_count]
+                } else {
+                    hosts[d]
+                };
+                Flow::new(id, src, dst, release, release + span, volume)
+                    .expect("valid by construction")
             })
             .collect();
         FlowSet::from_flows(flows).expect("dense ids by construction")

@@ -1,0 +1,175 @@
+//! Manifest and feature hygiene for the whole workspace:
+//!
+//! * every algorithm crate (`crates/*`) and the umbrella crate pull shared
+//!   external dependencies (`rand`, `serde`, ...) exclusively through
+//!   `[workspace.dependencies]`, so the tree can never split into two
+//!   versions of the same dependency;
+//! * the root manifest actually declares those shared dependencies;
+//! * every workspace member (including the offline stand-ins under
+//!   `vendor/`) carries `#![forbid(unsafe_code)]` in its crate root.
+//!
+//! The checks parse the manifests line-by-line on purpose: the offline
+//! environment has no `toml` crate, and the subset of TOML that Cargo
+//! manifests use is regular enough for this.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// External dependencies that must be version-unified through the
+/// workspace table.
+const SHARED_DEPS: &[&str] = &[
+    "rand",
+    "rand_distr",
+    "serde",
+    "serde_json",
+    "proptest",
+    "criterion",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All member manifest paths: the root package plus `crates/*` and
+/// `vendor/*`.
+fn member_manifests() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for dir in ["crates", "vendor"] {
+        let entries = fs::read_dir(root.join(dir))
+            .unwrap_or_else(|e| panic!("workspace directory {dir}/ must exist: {e}"));
+        for entry in entries {
+            let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+            assert!(
+                manifest.is_file(),
+                "every {dir}/ subdirectory must be a crate, missing {}",
+                manifest.display()
+            );
+            manifests.push(manifest);
+        }
+    }
+    manifests
+}
+
+/// Returns the lines of a named TOML section (e.g. `dependencies`),
+/// stopping at the next `[section]` header.
+fn section_lines(manifest: &str, section: &str) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_section = trimmed == format!("[{section}]");
+            continue;
+        }
+        if in_section && !trimmed.is_empty() && !trimmed.starts_with('#') {
+            lines.push(trimmed.to_string());
+        }
+    }
+    lines
+}
+
+/// The dependency name of a manifest dependency line (`foo = ...` or
+/// `foo.workspace = true`).
+fn dep_name(line: &str) -> Option<&str> {
+    let key = line.split('=').next()?.trim();
+    let name = key.split('.').next()?.trim();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+#[test]
+fn workspace_table_declares_all_shared_dependencies() {
+    let root_manifest = fs::read_to_string(workspace_root().join("Cargo.toml"))
+        .expect("root Cargo.toml is readable");
+    let table = section_lines(&root_manifest, "workspace.dependencies");
+    for dep in SHARED_DEPS {
+        assert!(
+            table.iter().any(|l| dep_name(l) == Some(dep)),
+            "[workspace.dependencies] must declare {dep}"
+        );
+    }
+}
+
+#[test]
+fn members_use_workspace_versions_of_shared_dependencies() {
+    let root = workspace_root();
+    for manifest_path in member_manifests() {
+        let manifest = fs::read_to_string(&manifest_path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest_path.display()));
+        let is_vendor_member = manifest_path.starts_with(root.join("vendor"));
+        for section in ["dependencies", "dev-dependencies", "build-dependencies"] {
+            for line in section_lines(&manifest, section) {
+                let Some(name) = dep_name(&line) else {
+                    continue;
+                };
+                if !SHARED_DEPS.contains(&name) {
+                    continue;
+                }
+                if is_vendor_member {
+                    // Stand-ins may depend on their siblings by relative
+                    // path; that still resolves to the single vendored
+                    // version of the dependency.
+                    assert!(
+                        line.contains("workspace = true") || line.contains("path ="),
+                        "{}: vendored dependency `{name}` must come from the \
+                         workspace or a sibling stand-in, got `{line}`",
+                        manifest_path.display()
+                    );
+                } else {
+                    assert!(
+                        line.contains("workspace = true"),
+                        "{}: dependency `{name}` must use `workspace = true` so all \
+                         members share one version, got `{line}`",
+                        manifest_path.display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_member_forbids_unsafe_code() {
+    for manifest_path in member_manifests() {
+        let crate_dir: &Path = manifest_path.parent().expect("manifest has a parent");
+        let lib = crate_dir.join("src").join("lib.rs");
+        let source = fs::read_to_string(&lib)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", lib.display()));
+        assert!(
+            source.contains("#![forbid(unsafe_code)]"),
+            "{} must carry #![forbid(unsafe_code)]",
+            lib.display()
+        );
+    }
+}
+
+#[test]
+fn no_member_pins_its_own_external_registry_version() {
+    // With no registry access, any `foo = "x.y"` version requirement on a
+    // shared dependency would break the build; everything must be a path
+    // or workspace reference.
+    for manifest_path in member_manifests() {
+        let manifest = fs::read_to_string(&manifest_path).expect("manifest readable");
+        for section in ["dependencies", "dev-dependencies", "build-dependencies"] {
+            for line in section_lines(&manifest, section) {
+                let Some(name) = dep_name(&line) else {
+                    continue;
+                };
+                if !SHARED_DEPS.contains(&name) {
+                    continue;
+                }
+                let after_eq = line.split_once('=').map(|(_, v)| v.trim()).unwrap_or("");
+                assert!(
+                    !after_eq.starts_with('"'),
+                    "{}: `{line}` pins a registry version of {name}; use \
+                     `workspace = true` instead",
+                    manifest_path.display()
+                );
+            }
+        }
+    }
+}

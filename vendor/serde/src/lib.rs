@@ -1,0 +1,300 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` is not vendored in this repository (the build
+//! environment has no network access), so this crate provides the minimal
+//! subset the workspace uses: `#[derive(Serialize, Deserialize)]` over
+//! structs and enums, driven through a self-describing [`Value`] tree
+//! instead of serde's visitor machinery. `serde_json` (also a stand-in)
+//! renders [`Value`] to and from JSON text.
+//!
+//! Only the shapes the workspace actually serializes are supported:
+//! numeric primitives, `bool`, `String`, `Option<T>`, `Vec<T>`, tuples up
+//! to arity 4, unit structs, named/tuple structs and enums with unit,
+//! newtype, tuple or struct variants (externally tagged, like real serde).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// A static `Null`, used for absent optional fields.
+pub const NULL: Value = Value::Null;
+
+impl Value {
+    /// The map entries if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks a field up in map entries, yielding [`NULL`] when absent so that
+/// `Option` fields deserialize to `None`.
+pub fn map_field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Error produced when a [`Value`] cannot be decoded into the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Creates a "expected X while decoding Y" error.
+    pub fn expected(what: &str, decoding: &str) -> Self {
+        DeError(format!("expected {what} while decoding {decoding}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Decodes a value of the data model into `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = match *value {
+                    Value::U64(u) => u,
+                    Value::I64(i) if i >= 0 => i as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($ty))),
+                };
+                <$ty>::try_from(wide)
+                    .map_err(|_| DeError::expected("in-range integer", stringify!($ty)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = match *value {
+                    Value::I64(i) => i,
+                    Value::U64(u) if u <= i64::MAX as u64 => u as i64,
+                    Value::F64(f)
+                        if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+                    {
+                        f as i64
+                    }
+                    _ => return Err(DeError::expected("integer", stringify!($ty))),
+                };
+                <$ty>::try_from(wide)
+                    .map_err(|_| DeError::expected("in-range integer", stringify!($ty)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match *value {
+                    Value::F64(f) => Ok(f as $ty),
+                    Value::I64(i) => Ok(i as $ty),
+                    Value::U64(u) => Ok(u as $ty),
+                    _ => Err(DeError::expected("number", stringify!($ty))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($idx:tt : $name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(0: A);
+impl_tuple!(0: A, 1: B);
+impl_tuple!(0: A, 1: B, 2: C);
+impl_tuple!(0: A, 1: B, 2: C, 3: D);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
