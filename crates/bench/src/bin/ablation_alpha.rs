@@ -3,42 +3,60 @@
 //! `alpha = 2` and `alpha = 4`).
 //!
 //! ```text
-//! cargo run --release -p dcn-bench --bin ablation_alpha -- [--flows N] [--runs R]
+//! cargo run --release -p dcn-bench --bin ablation_alpha -- \
+//!     [--flows N] [--runs R] [--threads T] [--quick] [--json-out [PATH]]
 //! ```
 
-use dcn_bench::{arg_value, average, print_table, run_instance};
+use dcn_bench::runner::ExperimentCli;
+use dcn_bench::{print_table, Experiment, InstanceInput, InstanceSpec};
 use dcn_power::PowerFunction;
 use dcn_topology::builders;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flows: usize = arg_value(&args, "--flows").unwrap_or(80);
-    let runs: usize = arg_value(&args, "--runs").unwrap_or(3);
+    let cli = ExperimentCli::parse("ablation_alpha");
+    let flows: usize = cli.flows.unwrap_or(if cli.quick { 40 } else { 80 });
+    let runs: usize = cli.runs.unwrap_or(if cli.quick { 1 } else { 3 });
 
-    let topo = builders::fat_tree(4);
+    let mut exp = Experiment::new("ablation_alpha", vec![builders::fat_tree(4)]);
     println!(
         "alpha sweep on {} with {} flows, {} run(s) per point\n",
-        topo.name, flows, runs
+        exp.topologies[0].name, flows, runs
     );
 
-    let mut rows = Vec::new();
     for alpha in [1.5, 2.0, 2.5, 3.0, 4.0] {
         let power = PowerFunction::speed_scaling_only(1.0, alpha, builders::DEFAULT_CAPACITY);
-        let results: Vec<_> = (0..runs)
-            .map(|run| run_instance(&topo, flows, 7 * flows as u64 + run as u64, &power))
-            .collect();
-        let avg = average(&results);
-        rows.push(vec![
-            format!("{alpha:.1}"),
-            "1.000".to_string(),
-            format!("{:.3}", avg.sp),
-            format!("{:.3}", avg.rs),
-        ]);
+        for run in 0..runs {
+            exp.push(InstanceSpec {
+                group: "alpha".to_string(),
+                x: alpha,
+                topology: 0,
+                power,
+                input: InstanceInput::Uniform { flows },
+                seed: 7 * flows as u64 + run as u64,
+                extra: vec![("run".to_string(), run as f64)],
+            });
+        }
     }
+
+    let outcome = exp.run(cli.threads);
+    let rows: Vec<Vec<String>> = outcome
+        .report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.x),
+                "1.000".to_string(),
+                format!("{:.3}", p.sp),
+                format!("{:.3}", p.rs),
+            ]
+        })
+        .collect();
     print_table(
         "Normalised energy vs alpha",
         &["alpha", "LB", "SP+MCF", "RS"],
         &rows,
     );
     println!("Larger alpha penalises load concentration more, so the SP+MCF gap grows with alpha.");
+    cli.emit(&outcome.report, outcome.elapsed_seconds);
 }

@@ -4,25 +4,36 @@
 //! functions `x^2` and `x^4`, as the number of flows grows from 40 to 200.
 //!
 //! ```text
-//! cargo run --release -p dcn-bench --bin fig2                 # quick: 3 runs, step 40
+//! cargo run --release -p dcn-bench --bin fig2                 # 3 runs, step 40
 //! cargo run --release -p dcn-bench --bin fig2 -- --full       # paper: 10 runs, step 20
-//! cargo run --release -p dcn-bench --bin fig2 -- --runs 5 --small
+//! cargo run --release -p dcn-bench --bin fig2 -- --quick --json-out   # CI smoke
+//! cargo run --release -p dcn-bench --bin fig2 -- --runs 5 --small --threads 8
 //! ```
 //!
-//! `--small` swaps the k=8 fat-tree for a k=4 fat-tree, which is useful for
-//! smoke-testing the harness.
+//! `--small` swaps the k=8 fat-tree for a k=4 fat-tree; `--quick` also
+//! drops to one run per point with a coarser flow-count grid.
 
-use dcn_bench::{arg_present, arg_value, average, fig2_power_functions, print_table, run_instance};
+use dcn_bench::runner::ExperimentCli;
+use dcn_bench::{fig2_power_functions, print_table, Experiment, InstanceInput, InstanceSpec};
 use dcn_topology::builders;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = arg_present(&args, "--full");
-    let small = arg_present(&args, "--small");
-    let runs: usize = arg_value(&args, "--runs").unwrap_or(if full { 10 } else { 3 });
-    let step: usize = arg_value(&args, "--step").unwrap_or(if full { 20 } else { 40 });
-
-    let topo = if small {
+    let cli = ExperimentCli::parse("fig2");
+    let runs: usize = cli.runs.unwrap_or(if cli.quick {
+        1
+    } else if cli.full {
+        10
+    } else {
+        3
+    });
+    let step: usize = cli.step.unwrap_or(if cli.quick {
+        80
+    } else if cli.full {
+        20
+    } else {
+        40
+    });
+    let topo = if cli.small || cli.quick {
         builders::fat_tree(4)
     } else {
         builders::fat_tree(8)
@@ -35,29 +46,44 @@ fn main() {
         runs
     );
 
+    let mut exp = Experiment::new("fig2", vec![topo]);
     let flow_counts: Vec<usize> = (40..=200).step_by(step).collect();
     for power in fig2_power_functions() {
-        let mut rows = Vec::new();
+        let group = format!("x^{}", power.alpha());
         for &n in &flow_counts {
-            let results: Vec<_> = (0..runs)
-                .map(|run| run_instance(&topo, n, 1000 * n as u64 + run as u64, &power))
-                .collect();
-            let avg = average(&results);
-            rows.push(vec![
-                n.to_string(),
-                "1.000".to_string(),
-                format!("{:.3}", avg.sp),
-                format!("{:.3}", avg.rs),
-            ]);
-            eprintln!(
-                "  [alpha = {}] n = {n}: SP+MCF = {:.3}, RS = {:.3}",
-                power.alpha(),
-                avg.sp,
-                avg.rs
-            );
+            for run in 0..runs {
+                exp.push(InstanceSpec {
+                    group: group.clone(),
+                    x: n as f64,
+                    topology: 0,
+                    power,
+                    input: InstanceInput::Uniform { flows: n },
+                    seed: 1000 * n as u64 + run as u64,
+                    extra: vec![("run".to_string(), run as f64)],
+                });
+            }
         }
+    }
+
+    let outcome = exp.run(cli.threads);
+    for power in fig2_power_functions() {
+        let group = format!("x^{}", power.alpha());
+        let rows: Vec<Vec<String>> = outcome
+            .report
+            .points
+            .iter()
+            .filter(|p| p.group == group)
+            .map(|p| {
+                vec![
+                    format!("{}", p.x as usize),
+                    "1.000".to_string(),
+                    format!("{:.3}", p.sp),
+                    format!("{:.3}", p.rs),
+                ]
+            })
+            .collect();
         print_table(
-            &format!("Fig. 2, power function x^{}", power.alpha()),
+            &format!("Fig. 2, power function {group}"),
             &["flows", "LB", "SP+MCF", "RS"],
             &rows,
         );
@@ -65,4 +91,5 @@ fn main() {
 
     println!("Values are energies normalised by the fractional lower bound (LB = 1.0),");
     println!("averaged over {runs} seeded runs, as in the paper's Section V-C.");
+    cli.emit(&outcome.report, outcome.elapsed_seconds);
 }

@@ -3,13 +3,17 @@
 //! `R_opt = B`. The reduction's optimum uses exactly `m` links at rate `B`
 //! for a total energy of `m * alpha * mu * B^alpha`; this binary reports how
 //! close Random-Schedule gets and how much worse single-path (SP+MCF)
-//! routing is.
+//! routing is. In the JSON artifact the analytic optimum plays the role of
+//! the `lower_bound` normaliser.
 //!
 //! ```text
-//! cargo run --release -p dcn-bench --bin hardness_gadget
+//! cargo run --release -p dcn-bench --bin hardness_gadget -- \
+//!     [--threads T] [--quick] [--json-out [PATH]]
 //! ```
 
 use dcn_bench::print_table;
+use dcn_bench::report::{ExperimentReport, InstanceRecord};
+use dcn_bench::runner::{run_indexed, timed, ExperimentCli};
 use dcn_core::baselines;
 use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
 use dcn_flow::workload::hardness;
@@ -17,39 +21,75 @@ use dcn_power::PowerFunction;
 use dcn_topology::builders;
 
 fn main() {
+    let cli = ExperimentCli::parse("hardness_gadget");
     let alpha = 2.0;
     let mu = 1.0;
     let b = 9.0_f64;
     let sigma = mu * (alpha - 1.0) * b.powf(alpha);
+    let sizes: &[usize] = if cli.quick { &[2, 4] } else { &[2, 4, 6, 8] };
 
-    let mut rows = Vec::new();
-    for m in [2usize, 4, 6, 8] {
-        let power = PowerFunction::new(sigma, mu, alpha, 2.0 * b).expect("valid power function");
-        let topo = builders::parallel(2 * m, 2.0 * b);
-        let values = hardness::satisfiable_three_partition(m, b);
-        let flows = hardness::three_partition_flows(topo.source(), topo.sink(), &values)
-            .expect("gadget flows are valid");
+    let (solved, elapsed_seconds) = timed(|| {
+        run_indexed(sizes.len(), cli.threads, |i| {
+            let m = sizes[i];
+            let power =
+                PowerFunction::new(sigma, mu, alpha, 2.0 * b).expect("valid power function");
+            let topo = builders::parallel(2 * m, 2.0 * b);
+            let values = hardness::satisfiable_three_partition(m, b);
+            let flows = hardness::three_partition_flows(topo.source(), topo.sink(), &values)
+                .expect("gadget flows are valid");
 
-        let outcome = RandomSchedule::new(RandomScheduleConfig {
-            max_rounding_attempts: 50,
-            ..Default::default()
+            let outcome = RandomSchedule::new(RandomScheduleConfig {
+                max_rounding_attempts: 50,
+                ..Default::default()
+            })
+            .run(&topo.network, &flows, &power)
+            .expect("gadget is connected");
+            let sp = baselines::sp_mcf(&topo.network, &flows, &power).expect("gadget is connected");
+
+            let optimum = m as f64 * alpha * mu * b.powf(alpha);
+            let rs_energy = outcome.schedule.energy(&power).total();
+            let sp_energy = sp.energy(&power).total();
+            InstanceRecord {
+                label: format!("m={m}"),
+                flows: flows.len(),
+                seed: 0,
+                alpha,
+                lower_bound: optimum,
+                rs_energy,
+                sp_energy,
+                rs_normalized: rs_energy / optimum,
+                sp_normalized: sp_energy / optimum,
+                deadline_misses: 0,
+                rs_capacity_excess: outcome.capacity_excess,
+                rs_sim: None,
+                sp_sim: None,
+                extra: vec![("m".to_string(), m as f64), ("B".to_string(), b)],
+            }
         })
-        .run(&topo.network, &flows, &power)
-        .expect("gadget is connected");
-        let sp = baselines::sp_mcf(&topo.network, &flows, &power).expect("gadget is connected");
+    });
 
-        let optimum = m as f64 * alpha * mu * b.powf(alpha);
-        let rs = outcome.schedule.energy(&power).total();
-        let sp_energy = sp.energy(&power).total();
-        rows.push(vec![
-            m.to_string(),
-            format!("{optimum:.1}"),
-            format!("{:.1}", rs),
-            format!("{:.2}", rs / optimum),
-            format!("{:.1}", sp_energy),
-            format!("{:.2}", sp_energy / optimum),
-        ]);
-    }
+    let mut report = ExperimentReport::new("hardness_gadget", "parallel(2m)");
+    let coordinates: Vec<(String, f64)> = sizes
+        .iter()
+        .map(|&m| ("gadget".to_string(), m as f64))
+        .collect();
+    report.instances = solved;
+    report.aggregate_points(&coordinates);
+
+    let rows: Vec<Vec<String>> = report
+        .instances
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.extra("m").expect("m recorded") as usize),
+                format!("{:.1}", r.lower_bound),
+                format!("{:.1}", r.rs_energy),
+                format!("{:.2}", r.rs_normalized),
+                format!("{:.1}", r.sp_energy),
+                format!("{:.2}", r.sp_normalized),
+            ]
+        })
+        .collect();
     print_table(
         "3-partition gadget (B = 9, R_opt = B)",
         &["m", "optimum", "RS", "RS/opt", "SP+MCF", "SP/opt"],
@@ -57,4 +97,5 @@ fn main() {
     );
     println!("Spreading flows across parallel links (RS) stays near the reduction's optimum,");
     println!("while single-path routing pays the alpha-th power of the concentration.");
+    cli.emit(&report, elapsed_seconds);
 }

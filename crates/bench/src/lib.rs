@@ -2,6 +2,17 @@
 //! paper's evaluation (Fig. 2) and the extension experiments documented in
 //! `EXPERIMENTS.md`.
 //!
+//! The crate is an experiment-runner subsystem in three layers:
+//!
+//! * **this module** — the solving primitives ([`run_instance`],
+//!   [`run_flow_set`]) and the declarative [`Experiment`] descriptor
+//!   (name, topologies, workload template, instance grid);
+//! * **[`runner`]** — the scoped worker pool that fans independent
+//!   `(seed, flow-count)` instances out across cores, plus the
+//!   [`runner::ExperimentCli`] shared by every binary;
+//! * **[`report`]** — the versioned, canonical JSON artifact
+//!   (`BENCH_<name>.json`) each run can be serialized to.
+//!
 //! Every binary builds on [`run_instance`]: generate the paper's workload
 //! for a given flow count and seed, solve the per-interval relaxation once
 //! (its cost is the `LB` normaliser), run Random-Schedule on that
@@ -11,16 +22,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+pub mod runner;
+
 use dcn_core::baselines;
 use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
 use dcn_core::relaxation::interval_relaxation;
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
 use dcn_power::PowerFunction;
-use dcn_sim::Simulator;
+use dcn_sim::{SimSummary, Simulator};
 use dcn_solver::fmcf::FmcfSolverConfig;
 use dcn_topology::builders::BuiltTopology;
 use serde::Serialize;
+
+use report::{ExperimentReport, InstanceRecord};
 
 /// The result of one (topology, workload, power-function, seed) instance.
 #[derive(Debug, Clone, Serialize)]
@@ -41,6 +57,10 @@ pub struct InstanceResult {
     pub deadline_misses: usize,
     /// Worst per-link capacity excess of the Random-Schedule draw.
     pub rs_capacity_excess: f64,
+    /// Simulator verification of the Random-Schedule schedule.
+    pub rs_sim: SimSummary,
+    /// Simulator verification of the SP+MCF schedule.
+    pub sp_sim: SimSummary,
 }
 
 impl InstanceResult {
@@ -114,6 +134,8 @@ pub fn run_flow_set(
         sp_energy: sp_report.energy.total(),
         deadline_misses: rs_report.deadline_misses + sp_report.deadline_misses,
         rs_capacity_excess: rs.capacity_excess,
+        rs_sim: rs_report.summary(),
+        sp_sim: sp_report.summary(),
     }
 }
 
@@ -128,42 +150,6 @@ pub fn run_instance(
         .generate(topo.hosts())
         .expect("workload generation succeeds on topologies with >= 2 hosts");
     run_flow_set(topo, &flows, power, seed)
-}
-
-/// Averages the normalised energies of several runs of the same
-/// configuration.
-#[derive(Debug, Clone, Copy, Serialize)]
-pub struct AveragedPoint {
-    /// Number of flows.
-    pub flows: usize,
-    /// Mean LB-normalised energy of Random-Schedule.
-    pub rs: f64,
-    /// Mean LB-normalised energy of SP+MCF.
-    pub sp: f64,
-    /// Number of runs averaged.
-    pub runs: usize,
-}
-
-/// Averages a slice of instance results (all with the same flow count).
-pub fn average(results: &[InstanceResult]) -> AveragedPoint {
-    assert!(!results.is_empty(), "cannot average zero runs");
-    let flows = results[0].flows;
-    let rs = results
-        .iter()
-        .map(InstanceResult::rs_normalized)
-        .sum::<f64>()
-        / results.len() as f64;
-    let sp = results
-        .iter()
-        .map(InstanceResult::sp_normalized)
-        .sum::<f64>()
-        / results.len() as f64;
-    AveragedPoint {
-        flows,
-        rs,
-        sp,
-        runs: results.len(),
-    }
 }
 
 /// The two power functions of the paper's Fig. 2: `x^2` and `x^4` on links
@@ -206,17 +192,184 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!();
 }
 
-/// Parses a `--flag value` style option from the command line.
-pub fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+/// The flows one experiment instance solves.
+#[derive(Debug, Clone)]
+pub enum InstanceInput {
+    /// Draw `flows` flows from the experiment's [`UniformWorkload`]
+    /// template (with `num_flows` and `seed` overridden per instance).
+    Uniform {
+        /// Number of flows to draw.
+        flows: usize,
+    },
+    /// Solve an explicit, pre-built flow set (used by the ablations that
+    /// post-process the workload, e.g. interval quantisation).
+    Explicit(FlowSet),
 }
 
-/// Returns `true` when `--flag` appears on the command line.
-pub fn arg_present(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
+/// One cell of an experiment's instance grid.
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// Series the instance belongs to (one table per group, e.g. `"x^2"`).
+    pub group: String,
+    /// Sweep coordinate within the group (flow count, alpha, grain, ...).
+    pub x: f64,
+    /// Index into the experiment's topology list.
+    pub topology: usize,
+    /// The power function of this instance.
+    pub power: PowerFunction,
+    /// The flows to solve.
+    pub input: InstanceInput,
+    /// Seed for workload generation and randomized rounding.
+    pub seed: u64,
+    /// Experiment-specific dimensions recorded verbatim in the artifact.
+    pub extra: Vec<(String, f64)>,
+}
+
+/// A declarative experiment: a name, the topologies it runs on, an optional
+/// uniform-workload template, and the grid of instances to solve.
+///
+/// [`Experiment::run`] fans the grid out over [`runner::run_indexed`] —
+/// every instance is an independent, internally seeded unit of work — and
+/// assembles the [`ExperimentReport`] artifact with one [`InstanceRecord`]
+/// per instance (in grid order) plus the `(group, x)`-averaged sweep
+/// points. The artifact is byte-identical for a fixed grid regardless of
+/// the thread count.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Experiment name (also names the default `BENCH_<name>.json`).
+    pub name: String,
+    /// The topologies instances reference by index.
+    pub topologies: Vec<BuiltTopology>,
+    /// Template for [`InstanceInput::Uniform`] instances; `None` means
+    /// paper defaults.
+    pub workload: Option<UniformWorkload>,
+    /// The instance grid, in deterministic order.
+    pub instances: Vec<InstanceSpec>,
+}
+
+/// The outcome of [`Experiment::run`]: the artifact plus the measured
+/// wall-clock (kept outside the report so the default artifact stays
+/// deterministic).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The assembled report.
+    pub report: ExperimentReport,
+    /// Wall-clock of the whole run in seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl Experiment {
+    /// Creates an experiment with an empty instance grid.
+    pub fn new(name: impl Into<String>, topologies: Vec<BuiltTopology>) -> Self {
+        Self {
+            name: name.into(),
+            topologies,
+            workload: None,
+            instances: Vec::new(),
+        }
+    }
+
+    /// Appends one instance to the grid.
+    pub fn push(&mut self, spec: InstanceSpec) {
+        self.instances.push(spec);
+    }
+
+    /// Solves the whole grid on `threads` workers and assembles the
+    /// artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an instance references a topology index out of range,
+    /// when workload generation fails, or when a scheduler violates its
+    /// invariants (see [`run_flow_set`]).
+    pub fn run(&self, threads: usize) -> RunOutcome {
+        let total = self.instances.len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let (results, elapsed_seconds) = runner::timed(|| {
+            runner::run_indexed(total, threads, |i| {
+                let result = self.solve(i);
+                let spec = &self.instances[i];
+                let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                eprintln!(
+                    "  [{}] {n}/{total} {} x={} seed={}",
+                    self.name, spec.group, spec.x, spec.seed
+                );
+                result
+            })
+        });
+        let mut report = ExperimentReport::new(&self.name, self.topology_description());
+        // Record the workload template the uniform instances were drawn
+        // from (num_flows/seed are the per-instance overrides, so the
+        // template's own values for those two fields are zeroed).
+        report.workload = self.workload.clone().or_else(|| {
+            self.instances
+                .iter()
+                .any(|s| matches!(s.input, InstanceInput::Uniform { .. }))
+                .then(|| UniformWorkload::paper_defaults(0, 0))
+        });
+        let mut coordinates = Vec::with_capacity(self.instances.len());
+        for (spec, result) in self.instances.iter().zip(&results) {
+            report.instances.push(Self::record(spec, result));
+            coordinates.push((spec.group.clone(), spec.x));
+        }
+        report.aggregate_points(&coordinates);
+        RunOutcome {
+            report,
+            elapsed_seconds,
+        }
+    }
+
+    /// Solves the `i`-th instance of the grid.
+    fn solve(&self, i: usize) -> InstanceResult {
+        let spec = &self.instances[i];
+        let topo = &self.topologies[spec.topology];
+        match &spec.input {
+            InstanceInput::Uniform { flows } => {
+                let mut workload = self
+                    .workload
+                    .clone()
+                    .unwrap_or_else(|| UniformWorkload::paper_defaults(*flows, spec.seed));
+                workload.num_flows = *flows;
+                workload.seed = spec.seed;
+                let flow_set = workload
+                    .generate(topo.hosts())
+                    .expect("workload generation succeeds on topologies with >= 2 hosts");
+                run_flow_set(topo, &flow_set, &spec.power, spec.seed)
+            }
+            InstanceInput::Explicit(flow_set) => {
+                run_flow_set(topo, flow_set, &spec.power, spec.seed)
+            }
+        }
+    }
+
+    /// Builds the artifact record of one solved instance.
+    fn record(spec: &InstanceSpec, result: &InstanceResult) -> InstanceRecord {
+        InstanceRecord {
+            label: format!("{} x={} seed={}", spec.group, spec.x, spec.seed),
+            flows: result.flows,
+            seed: result.seed,
+            alpha: result.alpha,
+            lower_bound: result.lower_bound,
+            rs_energy: result.rs_energy,
+            sp_energy: result.sp_energy,
+            rs_normalized: result.rs_normalized(),
+            sp_normalized: result.sp_normalized(),
+            deadline_misses: result.deadline_misses,
+            rs_capacity_excess: result.rs_capacity_excess,
+            rs_sim: Some(result.rs_sim),
+            sp_sim: Some(result.sp_sim),
+            extra: spec.extra.clone(),
+        }
+    }
+
+    /// Human-readable list of the topologies in use.
+    fn topology_description(&self) -> String {
+        self.topologies
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 #[cfg(test)]
@@ -239,27 +392,58 @@ mod tests {
     }
 
     #[test]
-    fn average_combines_runs() {
-        let topo = builders::fat_tree(4);
+    fn experiment_grid_runs_and_aggregates() {
+        let mut exp = Experiment::new("unit", vec![builders::fat_tree(4)]);
         let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
-        let results: Vec<_> = (0..2).map(|s| run_instance(&topo, 10, s, &power)).collect();
-        let avg = average(&results);
-        assert_eq!(avg.flows, 10);
-        assert_eq!(avg.runs, 2);
-        assert!(avg.rs >= 1.0 - 1e-9);
-        assert!(avg.sp >= 1.0 - 1e-9);
+        for flows in [8usize, 12] {
+            for run in 0..2u64 {
+                exp.push(InstanceSpec {
+                    group: "x^2".to_string(),
+                    x: flows as f64,
+                    topology: 0,
+                    power,
+                    input: InstanceInput::Uniform { flows },
+                    seed: 100 * flows as u64 + run,
+                    extra: vec![("run".to_string(), run as f64)],
+                });
+            }
+        }
+        let outcome = exp.run(1);
+        let report = &outcome.report;
+        report.validate().expect("artifact validates");
+        assert_eq!(report.instances.len(), 4);
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.points[0].runs, 2);
+        assert_eq!(report.topology, "fat-tree(k=4)");
+        let template = report.workload.as_ref().expect("uniform template recorded");
+        assert_eq!(template.num_flows, 0, "per-instance override is zeroed");
+        assert_eq!(template.horizon_end, 100.0);
+        assert!(report.points.iter().all(|p| p.rs >= 1.0 - 1e-9));
+        assert!(report
+            .instances
+            .iter()
+            .all(|r| r.rs_sim.expect("simulated").all_good()));
+        assert!(outcome.elapsed_seconds >= 0.0);
     }
 
     #[test]
-    fn arg_parsing_helpers() {
-        let args: Vec<String> = ["--runs", "5", "--full"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_value::<usize>(&args, "--runs"), Some(5));
-        assert_eq!(arg_value::<usize>(&args, "--flows"), None);
-        assert!(arg_present(&args, "--full"));
-        assert!(!arg_present(&args, "--quick"));
+    fn experiment_report_is_thread_count_invariant() {
+        let mut exp = Experiment::new("unit", vec![builders::fat_tree(4)]);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        for run in 0..3u64 {
+            exp.push(InstanceSpec {
+                group: "x^2".to_string(),
+                x: 10.0,
+                topology: 0,
+                power,
+                input: InstanceInput::Uniform { flows: 10 },
+                seed: run,
+                extra: vec![],
+            });
+        }
+        let serial = exp.run(1).report.to_json();
+        let parallel = exp.run(3).report.to_json();
+        assert_eq!(serial, parallel, "JSON must not depend on --threads");
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The parallel experiment runner and the CLI shared by every benchmark
+//! binary.
+//!
+//! The sweeps in this crate are embarrassingly parallel: every
+//! `(seed, flow-count)` instance is independent and internally seeded, so
+//! [`run_indexed`] fans instances out across a [`std::thread::scope`]-based
+//! worker pool and collects results **in input order**, which makes the
+//! output of a run — and therefore its JSON report — independent of the
+//! thread count. That is the determinism contract the CI relies on: same
+//! seed ⇒ byte-identical `BENCH_*.json` regardless of `--threads`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::report::ExperimentReport;
+
+/// The number of worker threads to use by default: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `job(i)` for every `i in 0..count` on a pool of `threads` scoped
+/// worker threads and returns the results **in index order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so long and short
+/// instances mix freely across workers; because every job is a pure
+/// function of its index, the returned vector — unlike the execution
+/// schedule — is deterministic. With `threads <= 1` the jobs run inline on
+/// the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins every worker).
+pub fn run_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = job(i);
+                *slots[i].lock().expect("result slot is never poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot is never poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Runs a closure and measures its wall-clock time in seconds.
+pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = work();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// The command line shared by all benchmark binaries.
+///
+/// ```text
+/// --runs N        seeds averaged per sweep point
+/// --seeds N       rounding seeds (ablation_rounding)
+/// --flows N       workload size for the single-size ablations
+/// --step N        flow-count step of the fig2 sweep
+/// --threads N     worker threads (default: all cores)
+/// --quick         CI smoke mode: smallest topology, one run per point
+/// --full          paper-scale mode (fig2: 10 runs, step 20)
+/// --small         swap the k=8 fat-tree for k=4 (fig2)
+/// --json-out [P]  write the JSON report to P (default BENCH_<name>.json)
+/// --timings       embed wall-clock seconds in the JSON report; timing
+///                 varies run to run, so this intentionally opts out of
+///                 the byte-determinism contract
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentCli {
+    /// Name of the experiment (used for the default JSON path).
+    pub experiment: String,
+    /// `--runs N`: number of seeds averaged per sweep point.
+    pub runs: Option<usize>,
+    /// `--seeds N`: number of rounding seeds (`ablation_rounding`).
+    pub seeds: Option<u64>,
+    /// `--flows N`: workload size for the single-size ablations.
+    pub flows: Option<usize>,
+    /// `--step N`: flow-count step of the `fig2` sweep.
+    pub step: Option<usize>,
+    /// `--threads N`: worker-pool size; defaults to every available core.
+    pub threads: usize,
+    /// `--quick`: CI smoke mode (smallest topology, one run per point).
+    pub quick: bool,
+    /// `--full`: paper-scale mode.
+    pub full: bool,
+    /// `--small`: swap the k=8 fat-tree for the k=4 one (`fig2`).
+    pub small: bool,
+    /// `--timings`: embed wall-clock seconds in the JSON report.
+    pub timings: bool,
+    /// `--json-out [PATH]`: where to write the JSON report, if anywhere.
+    pub json_out: Option<PathBuf>,
+}
+
+/// The flags [`ExperimentCli::from_args`] accepts a value for.
+const VALUE_FLAGS: &[&str] = &["--runs", "--seeds", "--flows", "--step", "--threads"];
+
+/// The boolean flags [`ExperimentCli::from_args`] accepts.
+const SWITCH_FLAGS: &[&str] = &["--quick", "--full", "--small", "--timings"];
+
+impl ExperimentCli {
+    /// Parses the process's command line, exiting with usage on errors.
+    pub fn parse(experiment: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::from_args(experiment, &args) {
+            Ok(cli) => cli,
+            Err(message) => {
+                eprintln!("{experiment}: {message}");
+                eprintln!(
+                    "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
+                     [--threads N] [--quick] [--full] [--small] [--json-out [PATH]] [--timings]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing or malformed values.
+    pub fn from_args(experiment: &str, args: &[String]) -> Result<Self, String> {
+        let mut cli = Self {
+            experiment: experiment.to_string(),
+            runs: None,
+            seeds: None,
+            flows: None,
+            step: None,
+            threads: default_threads(),
+            quick: false,
+            full: false,
+            small: false,
+            timings: false,
+            json_out: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if flag == "--json-out" {
+                // The path is optional: `--json-out --quick` and a trailing
+                // `--json-out` both mean "use the default path".
+                match args.get(i + 1) {
+                    Some(path) if !path.starts_with("--") => {
+                        cli.json_out = Some(PathBuf::from(path));
+                        i += 2;
+                    }
+                    _ => {
+                        cli.json_out = Some(cli.default_json_path());
+                        i += 1;
+                    }
+                }
+            } else if VALUE_FLAGS.contains(&flag) {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} expects a value"))?;
+                match flag {
+                    "--runs" => cli.runs = Some(parse_value(flag, value)?),
+                    "--seeds" => cli.seeds = Some(parse_value(flag, value)?),
+                    "--flows" => cli.flows = Some(parse_value(flag, value)?),
+                    "--step" => cli.step = Some(parse_value(flag, value)?),
+                    "--threads" => cli.threads = parse_value(flag, value)?,
+                    _ => unreachable!("flag is in VALUE_FLAGS"),
+                }
+                i += 2;
+            } else if SWITCH_FLAGS.contains(&flag) {
+                match flag {
+                    "--quick" => cli.quick = true,
+                    "--full" => cli.full = true,
+                    "--small" => cli.small = true,
+                    "--timings" => cli.timings = true,
+                    _ => unreachable!("flag is in SWITCH_FLAGS"),
+                }
+                i += 1;
+            } else {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+        }
+        if cli.threads == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        // Zero sweep sizes produce empty (schema-invalid) artifacts, NaN
+        // averages, or a step_by(0) panic downstream; fail fast instead.
+        for (flag, value) in [
+            ("--runs", cli.runs),
+            ("--flows", cli.flows),
+            ("--step", cli.step),
+        ] {
+            if value == Some(0) {
+                return Err(format!("{flag} must be at least 1"));
+            }
+        }
+        if cli.seeds == Some(0) {
+            return Err("--seeds must be at least 1".to_string());
+        }
+        Ok(cli)
+    }
+
+    /// The conventional artifact path: `BENCH_<experiment>.json`.
+    pub fn default_json_path(&self) -> PathBuf {
+        PathBuf::from(format!("BENCH_{}.json", self.experiment))
+    }
+
+    /// Writes the report to `--json-out` (when given), embedding the
+    /// measured wall-clock only under `--timings`, and prints where it
+    /// went.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written — the artifact is the point
+    /// of the run, so failing loudly beats a silent miss.
+    pub fn emit(&self, report: &ExperimentReport, elapsed_seconds: f64) {
+        eprintln!(
+            "[{}] {} instance(s) on {} thread(s) in {:.2}s",
+            self.experiment,
+            report.instances.len(),
+            self.threads,
+            elapsed_seconds
+        );
+        let Some(path) = &self.json_out else {
+            return;
+        };
+        let mut artifact = report.clone();
+        artifact.wall_clock_seconds = self.timings.then_some(elapsed_seconds);
+        artifact
+            .write(path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("[{}] report written to {}", self.experiment, path.display());
+    }
+}
+
+/// Parses one flag value with a contextual error message.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let serial = run_indexed(17, 1, |i| i * i);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run_indexed(17, threads, |i| i * i), serial);
+        }
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn run_indexed_runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_indexed(100, 7, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(results, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cli_parses_the_shared_flags() {
+        let cli = ExperimentCli::from_args(
+            "fig2",
+            &args(&[
+                "--runs",
+                "5",
+                "--step",
+                "20",
+                "--threads",
+                "3",
+                "--quick",
+                "--json-out",
+                "out.json",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(cli.runs, Some(5));
+        assert_eq!(cli.step, Some(20));
+        assert_eq!(cli.threads, 3);
+        assert!(cli.quick && !cli.full);
+        assert_eq!(cli.json_out, Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn cli_json_out_path_is_optional() {
+        let cli = ExperimentCli::from_args("fig2", &args(&["--json-out", "--quick"])).unwrap();
+        assert_eq!(cli.json_out, Some(PathBuf::from("BENCH_fig2.json")));
+        assert!(cli.quick);
+
+        let cli = ExperimentCli::from_args("fig2", &args(&["--json-out"])).unwrap();
+        assert_eq!(cli.json_out, Some(PathBuf::from("BENCH_fig2.json")));
+    }
+
+    #[test]
+    fn cli_rejects_unknown_and_malformed_flags() {
+        assert!(ExperimentCli::from_args("x", &args(&["--frobnicate"])).is_err());
+        assert!(ExperimentCli::from_args("x", &args(&["--runs"])).is_err());
+        assert!(ExperimentCli::from_args("x", &args(&["--runs", "many"])).is_err());
+        assert!(ExperimentCli::from_args("x", &args(&["--threads", "0"])).is_err());
+        for flag in ["--runs", "--seeds", "--flows", "--step"] {
+            assert!(
+                ExperimentCli::from_args("x", &args(&[flag, "0"])).is_err(),
+                "{flag} 0 must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, seconds) = timed(|| 7);
+        assert_eq!(value, 7);
+        assert!(seconds >= 0.0);
+    }
+}

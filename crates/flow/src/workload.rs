@@ -13,6 +13,7 @@ use dcn_topology::NodeId;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
 
 /// The synthetic workload from the paper's Fig. 2 evaluation.
 ///
@@ -35,7 +36,7 @@ use rand_distr::{Distribution, Normal};
 /// let (t0, t1) = flows.horizon();
 /// assert!(t0 >= 1.0 && t1 <= 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UniformWorkload {
     /// Number of flows to generate.
     pub num_flows: usize,
@@ -119,7 +120,7 @@ impl UniformWorkload {
 ///
 /// This matches the paper's motivation that user-perceived latency is
 /// bounded by the slowest of many small request/response flows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionAggregateWorkload {
     /// Number of request rounds to generate.
     pub requests: usize,
@@ -198,7 +199,7 @@ impl PartitionAggregateWorkload {
 /// MapReduce-style shuffle traffic: every mapper host sends an equal-sized
 /// chunk to every reducer host, and the whole shuffle must finish before a
 /// single stage deadline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShuffleWorkload {
     /// Number of mapper hosts (taken from the front of the host list).
     pub mappers: usize,
@@ -344,6 +345,24 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_descriptors_roundtrip_json() {
+        let w = UniformWorkload::paper_defaults(40, 7);
+        let back: UniformWorkload = serde_json::from_str(&serde_json::to_string(&w).unwrap())
+            .expect("descriptor JSON round-trips");
+        assert_eq!(back, w);
+
+        let pa = PartitionAggregateWorkload::default();
+        let back: PartitionAggregateWorkload =
+            serde_json::from_str(&serde_json::to_string(&pa).unwrap()).unwrap();
+        assert_eq!(back, pa);
+
+        let sh = ShuffleWorkload::default();
+        let back: ShuffleWorkload =
+            serde_json::from_str(&serde_json::to_string(&sh).unwrap()).unwrap();
+        assert_eq!(back, sh);
     }
 
     #[test]

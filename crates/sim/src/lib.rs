@@ -48,5 +48,5 @@
 mod report;
 mod simulator;
 
-pub use report::{FlowOutcome, LinkLoad, SimReport};
+pub use report::{FlowOutcome, LinkLoad, SimReport, SimSummary};
 pub use simulator::Simulator;

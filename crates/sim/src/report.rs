@@ -62,6 +62,31 @@ impl LinkLoad {
     }
 }
 
+/// A compact, serializable digest of a [`SimReport`], sized for embedding
+/// into experiment artifacts (one per scheduler per instance) where the
+/// full per-flow / per-link breakdown would dominate the file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Number of flows that missed their deadline (or never completed).
+    pub deadline_misses: usize,
+    /// Number of links whose peak rate exceeded the capacity.
+    pub capacity_violations: usize,
+    /// The largest peak utilisation over all links (1.0 = at capacity).
+    pub max_utilization: f64,
+    /// Number of links that carried any traffic.
+    pub active_links: usize,
+    /// Total measured energy under the paper's objective.
+    pub energy: f64,
+}
+
+impl SimSummary {
+    /// Returns `true` when every flow met its deadline and no link exceeded
+    /// its capacity.
+    pub fn all_good(&self) -> bool {
+        self.deadline_misses == 0 && self.capacity_violations == 0
+    }
+}
+
 /// The complete result of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -102,6 +127,17 @@ impl SimReport {
     pub fn active_link_count(&self) -> usize {
         self.links.len()
     }
+
+    /// The compact digest of this report for experiment artifacts.
+    pub fn summary(&self) -> SimSummary {
+        SimSummary {
+            deadline_misses: self.deadline_misses,
+            capacity_violations: self.capacity_violations,
+            max_utilization: self.max_utilization,
+            active_links: self.links.len(),
+            energy: self.energy.total(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +169,39 @@ mod tests {
         };
         assert!(!never.deadline_met());
         assert_eq!(never.slack(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn summary_digests_the_report() {
+        let report = SimReport {
+            flows: vec![],
+            links: vec![LinkLoad {
+                link: LinkId(0),
+                peak_rate: 4.0,
+                busy_time: 1.0,
+                volume: 4.0,
+                energy: 16.0,
+            }],
+            energy: EnergyBreakdown {
+                idle: 2.0,
+                dynamic: 16.0,
+                active_links: 1,
+            },
+            deadline_misses: 0,
+            capacity_violations: 0,
+            max_utilization: 0.4,
+            horizon: (0.0, 10.0),
+        };
+        let s = report.summary();
+        assert!(s.all_good());
+        assert_eq!(s.active_links, 1);
+        assert_eq!(s.energy, 18.0);
+        assert_eq!(s.max_utilization, 0.4);
+        let missed = SimSummary {
+            deadline_misses: 1,
+            ..s
+        };
+        assert!(!missed.all_good());
     }
 
     #[test]

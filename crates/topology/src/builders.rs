@@ -67,7 +67,7 @@ pub fn line(n: usize) -> BuiltTopology {
     line_with_capacity(n, DEFAULT_CAPACITY)
 }
 
-/// Same as [`line`] with an explicit uniform link capacity.
+/// Same as [`line()`] with an explicit uniform link capacity.
 pub fn line_with_capacity(n: usize, capacity: f64) -> BuiltTopology {
     assert!(n >= 2, "a line network needs at least two nodes");
     let mut network = Network::new();
