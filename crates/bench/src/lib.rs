@@ -27,7 +27,7 @@ pub mod runner;
 
 use dcn_core::baselines;
 use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
-use dcn_core::relaxation::interval_relaxation;
+use dcn_core::relaxation::interval_relaxation_on;
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
 use dcn_power::PowerFunction;
@@ -102,7 +102,10 @@ pub fn run_flow_set(
     power: &PowerFunction,
     seed: u64,
 ) -> InstanceResult {
-    let relaxation = interval_relaxation(&topo.network, flows, power, &harness_fmcf_config());
+    // One CSR view per instance, shared by the relaxation's interval loop
+    // and both simulator verifications.
+    let graph = topo.csr();
+    let relaxation = interval_relaxation_on(&graph, flows, power, &harness_fmcf_config());
     let rs = RandomSchedule::new(RandomScheduleConfig {
         fmcf: harness_fmcf_config(),
         seed,
@@ -114,8 +117,8 @@ pub fn run_flow_set(
         .expect("SP+MCF must succeed on connected topologies");
 
     let simulator = Simulator::new(*power);
-    let rs_report = simulator.run(&topo.network, flows, &rs.schedule);
-    let sp_report = simulator.run(&topo.network, flows, &sp);
+    let rs_report = simulator.run_on(&graph, flows, &rs.schedule);
+    let sp_report = simulator.run_on(&graph, flows, &sp);
     assert_eq!(
         rs_report.deadline_misses, 0,
         "Random-Schedule must meet every deadline (Theorem 4)"

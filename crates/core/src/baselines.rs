@@ -114,7 +114,7 @@ pub fn consolidating_mcf(
     power: &PowerFunction,
     k: usize,
 ) -> Result<Schedule, BaselineError> {
-    use dcn_topology::k_shortest_paths;
+    use dcn_topology::{k_shortest_paths_on, GraphCsr, ShortestPathEngine};
 
     let k = k.max(1);
     let mut order: Vec<usize> = (0..flows.len()).collect();
@@ -126,12 +126,14 @@ pub fn consolidating_mcf(
             .expect("finite volumes")
     });
 
+    let graph = GraphCsr::from_network(network);
+    let mut engine = ShortestPathEngine::new();
     let mut active = vec![false; network.link_count()];
     let mut committed = vec![0.0_f64; network.link_count()];
     let mut paths: Vec<Option<dcn_topology::Path>> = vec![None; flows.len()];
     for id in order {
         let f = flows.flow(id);
-        let candidates = k_shortest_paths(network, f.src, f.dst, k, |_| 1.0);
+        let candidates = k_shortest_paths_on(&graph, &mut engine, f.src, f.dst, k, |_| 1.0);
         if candidates.is_empty() {
             return Err(BaselineError::Routing(RoutingError::Unreachable {
                 flow: f.id,

@@ -16,7 +16,7 @@ use crate::dcfs::most_critical_first;
 use crate::schedule::Schedule;
 use dcn_flow::FlowSet;
 use dcn_power::PowerFunction;
-use dcn_topology::{k_shortest_paths, Network, Path};
+use dcn_topology::{k_shortest_paths_on, Network, Path};
 use std::fmt;
 
 /// Errors raised by [`exact_dcfsr`].
@@ -92,10 +92,19 @@ pub fn exact_dcfsr(
     max_assignments: u128,
 ) -> Result<ExactOutcome, ExactError> {
     let paths_per_flow = paths_per_flow.max(1);
-    // Candidate paths per flow.
+    // Candidate paths per flow, over one shared CSR view and engine.
+    let graph = dcn_topology::GraphCsr::from_network(network);
+    let mut engine = dcn_topology::ShortestPathEngine::new();
     let mut candidates: Vec<Vec<Path>> = Vec::with_capacity(flows.len());
     for flow in flows.iter() {
-        let paths = k_shortest_paths(network, flow.src, flow.dst, paths_per_flow, |_| 1.0);
+        let paths = k_shortest_paths_on(
+            &graph,
+            &mut engine,
+            flow.src,
+            flow.dst,
+            paths_per_flow,
+            |_| 1.0,
+        );
         if paths.is_empty() {
             return Err(ExactError::Unroutable { flow: flow.id });
         }

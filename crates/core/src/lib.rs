@@ -62,7 +62,9 @@ pub mod schedule;
 pub use dcfs::{most_critical_first, DcfsError};
 pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
 pub use exact::{exact_dcfsr, ExactError, ExactOutcome};
-pub use relaxation::{interval_relaxation, IntervalRelaxation, RelaxationSummary};
+pub use relaxation::{
+    interval_relaxation, interval_relaxation_on, IntervalRelaxation, RelaxationSummary,
+};
 pub use routing::{Routing, RoutingError};
 pub use schedule::{FlowSchedule, Schedule, ScheduleError, ScheduleViolation};
 

@@ -16,8 +16,10 @@
 
 use dcn_flow::{FlowId, FlowSet, Interval};
 use dcn_power::PowerFunction;
-use dcn_solver::fmcf::{Commodity, FmcfProblem, FmcfSolution, FmcfSolverConfig, PowerFlowCost};
-use dcn_topology::Network;
+use dcn_solver::fmcf::{
+    Commodity, FmcfProblem, FmcfScratch, FmcfSolution, FmcfSolverConfig, PowerFlowCost,
+};
+use dcn_topology::{GraphCsr, Network};
 
 /// The fractional solution of one interval's F-MCF subproblem.
 #[derive(Debug, Clone)]
@@ -83,6 +85,18 @@ pub fn interval_relaxation(
     power: &PowerFunction,
     fmcf_config: &FmcfSolverConfig,
 ) -> RelaxationSummary {
+    interval_relaxation_on(&GraphCsr::from_network(network), flows, power, fmcf_config)
+}
+
+/// [`interval_relaxation`] on a prebuilt CSR view; the interval loop shares
+/// one [`FmcfScratch`] (and therefore one shortest-path engine and one set
+/// of Frank–Wolfe buffers) across every interval's solve.
+pub fn interval_relaxation_on(
+    graph: &GraphCsr,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    fmcf_config: &FmcfSolverConfig,
+) -> RelaxationSummary {
     let cost = PowerFlowCost::new(*power);
     let mut config = *fmcf_config;
     if config.capacity.is_none() {
@@ -91,6 +105,7 @@ pub fn interval_relaxation(
 
     let mut intervals = Vec::new();
     let mut lower_bound = 0.0;
+    let mut scratch = FmcfScratch::new();
     for interval in flows.intervals() {
         let flow_ids = flows.active_in_interval(&interval);
         let commodities: Vec<Commodity> = flow_ids
@@ -105,8 +120,8 @@ pub fn interval_relaxation(
                 }
             })
             .collect();
-        let problem = FmcfProblem::new(network, commodities);
-        let solution = problem.solve(&cost, &config);
+        let problem = FmcfProblem::with_graph(graph, commodities);
+        let solution = problem.solve_with(&cost, &config, &mut scratch);
         let cost_rate = solution.total_cost(&cost);
         lower_bound += cost_rate * interval.length();
         intervals.push(IntervalRelaxation {
@@ -168,6 +183,30 @@ mod tests {
         assert_eq!(summary.intervals[1].flow_ids.len(), 0);
         assert_eq!(summary.intervals[1].cost_rate, 0.0);
         assert!(summary.lower_bound > 0.0);
+    }
+
+    #[test]
+    fn relaxation_on_prebuilt_graph_matches_one_shot() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(12, 5)
+            .generate(topo.hosts())
+            .unwrap();
+        let one_shot =
+            interval_relaxation(&topo.network, &flows, &power, &FmcfSolverConfig::default());
+        let shared = super::interval_relaxation_on(
+            &topo.csr(),
+            &flows,
+            &power,
+            &FmcfSolverConfig::default(),
+        );
+        assert_eq!(one_shot.lower_bound, shared.lower_bound);
+        assert_eq!(one_shot.intervals.len(), shared.intervals.len());
+        for (a, b) in one_shot.intervals.iter().zip(&shared.intervals) {
+            assert_eq!(a.flow_ids, b.flow_ids);
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.cost_rate, b.cost_rate);
+        }
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   work discusses.
 
 use dcn_flow::FlowSet;
-use dcn_topology::{all_shortest_paths, k_shortest_paths, Network, Path};
+use dcn_topology::{
+    all_shortest_paths_on, k_shortest_paths_on, GraphCsr, Network, Path, ShortestPathEngine,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::fmt;
@@ -64,15 +66,29 @@ pub enum Routing {
 impl Routing {
     /// Computes one path per flow, indexed by flow id.
     ///
+    /// Builds a one-shot [`GraphCsr`] view; callers that route repeatedly
+    /// on the same network should build the view once and call
+    /// [`Routing::compute_on`].
+    ///
     /// # Errors
     ///
     /// Returns [`RoutingError::Unreachable`] if some flow has no path.
     pub fn compute(&self, network: &Network, flows: &FlowSet) -> Result<Vec<Path>, RoutingError> {
+        self.compute_on(&GraphCsr::from_network(network), flows)
+    }
+
+    /// Computes one path per flow on a prebuilt CSR view, sharing one
+    /// shortest-path engine across all per-flow queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoutingError::Unreachable`] if some flow has no path.
+    pub fn compute_on(&self, graph: &GraphCsr, flows: &FlowSet) -> Result<Vec<Path>, RoutingError> {
         match self {
             Routing::ShortestPath => flows
                 .iter()
                 .map(|f| {
-                    network
+                    graph
                         .shortest_path(f.src, f.dst)
                         .ok_or(RoutingError::Unreachable { flow: f.id })
                 })
@@ -82,7 +98,7 @@ impl Routing {
                 flows
                     .iter()
                     .map(|f| {
-                        let candidates = all_shortest_paths(network, f.src, f.dst, 64);
+                        let candidates = all_shortest_paths_on(graph, f.src, f.dst, 64);
                         candidates
                             .choose(&mut rng)
                             .cloned()
@@ -102,11 +118,13 @@ impl Routing {
                         .partial_cmp(&flows.flow(a).volume)
                         .expect("finite volumes")
                 });
-                let mut link_volume = vec![0.0_f64; network.link_count()];
+                let mut engine = ShortestPathEngine::new();
+                let mut link_volume = vec![0.0_f64; graph.link_count()];
                 let mut paths: Vec<Option<Path>> = vec![None; flows.len()];
                 for id in order {
                     let f = flows.flow(id);
-                    let candidates = k_shortest_paths(network, f.src, f.dst, k, |_| 1.0);
+                    let candidates =
+                        k_shortest_paths_on(graph, &mut engine, f.src, f.dst, k, |_| 1.0);
                     if candidates.is_empty() {
                         return Err(RoutingError::Unreachable { flow: f.id });
                     }
@@ -206,6 +224,24 @@ mod tests {
         used.sort();
         used.dedup();
         assert_eq!(used.len(), 4, "each flow should use a distinct link");
+    }
+
+    #[test]
+    fn compute_on_matches_compute_for_every_strategy() {
+        let topo = builders::fat_tree(4);
+        let graph = topo.csr();
+        let flows = UniformWorkload::paper_defaults(25, 9)
+            .generate(topo.hosts())
+            .unwrap();
+        for strategy in [
+            Routing::ShortestPath,
+            Routing::Ecmp { seed: 4 },
+            Routing::LeastLoadedKsp { k: 4 },
+        ] {
+            let classic = strategy.compute(&topo.network, &flows).unwrap();
+            let on = strategy.compute_on(&graph, &flows).unwrap();
+            assert_eq!(classic, on, "{strategy:?} diverges on the CSR view");
+        }
     }
 
     #[test]

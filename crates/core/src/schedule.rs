@@ -11,7 +11,7 @@
 
 use dcn_flow::{FlowId, FlowSet};
 use dcn_power::{EnergyBreakdown, EnergyMeter, PowerFunction, RateProfile};
-use dcn_topology::{LinkId, Network, Path};
+use dcn_topology::{GraphCsr, LinkId, Network, Path};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -300,6 +300,30 @@ impl Schedule {
         flows: &FlowSet,
         power: &PowerFunction,
     ) -> Result<(), ScheduleError> {
+        self.verify_impl(|l| network.link(l).capacity, flows, power)
+    }
+
+    /// [`Schedule::verify`] against a prebuilt CSR view of the network
+    /// (capacities are read from the flat per-link array).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] listing every violation found.
+    pub fn verify_on(
+        &self,
+        graph: &GraphCsr,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<(), ScheduleError> {
+        self.verify_impl(|l| graph.capacity(l), flows, power)
+    }
+
+    fn verify_impl(
+        &self,
+        link_capacity: impl Fn(LinkId) -> f64,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<(), ScheduleError> {
         let mut violations = Vec::new();
         for flow in flows.iter() {
             let Some(fs) = self.flow_schedule(flow.id) else {
@@ -347,7 +371,7 @@ impl Schedule {
         // Link capacities.
         for (link, profile) in self.link_profiles() {
             let max_rate = profile.max_rate();
-            let capacity = network.link(link).capacity.min(power.capacity());
+            let capacity = link_capacity(link).min(power.capacity());
             if max_rate > capacity * (1.0 + 1e-9) + 1e-9 {
                 violations.push(ScheduleViolation::CapacityExceeded {
                     link,
@@ -406,6 +430,21 @@ mod tests {
     fn valid_schedule_verifies() {
         let (topo, flows, schedule) = simple_instance();
         schedule.verify(&topo.network, &flows, &power()).unwrap();
+        // The CSR read path reports the same verdict.
+        schedule.verify_on(&topo.csr(), &flows, &power()).unwrap();
+    }
+
+    #[test]
+    fn verify_on_detects_the_same_capacity_violation() {
+        let (topo, flows, _) = simple_instance();
+        let schedule = rebuild_with_profile(&topo, RateProfile::constant(0.0, 0.4, 20.0));
+        let classic = schedule
+            .verify(&topo.network, &flows, &power())
+            .unwrap_err();
+        let on_csr = schedule
+            .verify_on(&topo.csr(), &flows, &power())
+            .unwrap_err();
+        assert_eq!(classic, on_csr);
     }
 
     #[test]

@@ -140,7 +140,7 @@ impl PowerFunction {
         if rate <= 0.0 {
             0.0
         } else {
-            self.mu * rate.powf(self.alpha)
+            self.mu * pow_fast(rate, self.alpha)
         }
     }
 
@@ -193,7 +193,7 @@ impl PowerFunction {
                 self.mu
             }
         } else {
-            self.mu * self.alpha * rate.powf(self.alpha - 1.0)
+            self.mu * self.alpha * pow_fast(rate, self.alpha - 1.0)
         }
     }
 
@@ -223,6 +223,27 @@ impl PowerFunction {
     }
 }
 
+/// `x^a` with multiply-only fast paths for the small integer exponents the
+/// paper's experiments use (`alpha` in `{2, 3, 4}`, and `alpha - 1` in
+/// `{1, 2, 3}`). The Frank–Wolfe line search evaluates the link cost tens
+/// of thousands of times per interval, where a libm `powf` call dominates
+/// the whole solve.
+#[inline]
+fn pow_fast(x: f64, a: f64) -> f64 {
+    if a == 1.0 {
+        x
+    } else if a == 2.0 {
+        x * x
+    } else if a == 3.0 {
+        x * x * x
+    } else if a == 4.0 {
+        let s = x * x;
+        s * s
+    } else {
+        x.powf(a)
+    }
+}
+
 impl fmt::Display for PowerFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -239,6 +260,28 @@ mod tests {
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn pow_fast_agrees_with_powf() {
+        // The multiply-only fast paths for integer exponents may differ
+        // from libm `powf` by an ulp; pin them to within 1e-15 relative
+        // error (and exactly at the exercised identities).
+        for &a in &[1.0, 2.0, 3.0, 4.0, 2.5, 3.7] {
+            for i in 0..200 {
+                let x = 0.01 + (i as f64) * 0.173;
+                let fast = pow_fast(x, a);
+                let exact = x.powf(a);
+                assert!(
+                    (fast - exact).abs() <= 1e-15 * exact.abs(),
+                    "pow_fast({x}, {a}) = {fast} vs powf {exact}"
+                );
+            }
+        }
+        assert_eq!(pow_fast(7.25, 1.0), 7.25);
+        assert_eq!(pow_fast(3.0, 2.0), 9.0);
+        assert_eq!(pow_fast(2.0, 3.0), 8.0);
+        assert_eq!(pow_fast(2.0, 4.0), 16.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::report::{FlowOutcome, LinkLoad, SimReport};
 use dcn_core::Schedule;
 use dcn_flow::FlowSet;
 use dcn_power::{EnergyBreakdown, PowerFunction, RateProfile};
-use dcn_topology::{LinkId, Network};
+use dcn_topology::{GraphCsr, LinkId, Network};
 use std::collections::BTreeMap;
 
 /// Executes schedules on a topology at fluid (flow-level) granularity.
@@ -32,7 +32,18 @@ impl Simulator {
 
     /// Runs `schedule` for the given instance and reports what actually
     /// happened.
+    ///
+    /// Builds a one-shot [`GraphCsr`] view; batch callers (the experiment
+    /// harness verifying many schedules on one topology) should build the
+    /// view once and call [`Simulator::run_on`].
     pub fn run(&self, network: &Network, flows: &FlowSet, schedule: &Schedule) -> SimReport {
+        self.run_on(&GraphCsr::from_network(network), flows, schedule)
+    }
+
+    /// Runs `schedule` against a prebuilt CSR view of the network; link
+    /// capacities are served from the flat per-link array instead of
+    /// re-deriving anything from the mutable builder.
+    pub fn run_on(&self, graph: &GraphCsr, flows: &FlowSet, schedule: &Schedule) -> SimReport {
         let horizon = if flows.is_empty() {
             schedule.horizon()
         } else {
@@ -135,7 +146,7 @@ impl Simulator {
         let mut capacity_violations = 0;
         let mut max_utilization: f64 = 0.0;
         for (link, acc) in &link_acc {
-            let capacity = network.link(*link).capacity.min(self.power.capacity());
+            let capacity = graph.capacity(*link).min(self.power.capacity());
             let idle = self.power.sigma() * horizon_length;
             idle_energy += idle;
             dynamic_energy += acc.dynamic_energy;
@@ -261,6 +272,20 @@ mod tests {
         let analytic = outcome.schedule.energy(&power).total();
         assert!((report.energy.total() - analytic).abs() < 1e-6 * analytic);
         assert!(report.energy.total() >= outcome.lower_bound - 1e-6);
+    }
+
+    #[test]
+    fn run_on_csr_matches_run_on_network() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(20, 11)
+            .generate(topo.hosts())
+            .unwrap();
+        let schedule = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
+        let simulator = Simulator::new(power);
+        let classic = simulator.run(&topo.network, &flows, &schedule);
+        let on_csr = simulator.run_on(&topo.csr(), &flows, &schedule);
+        assert_eq!(classic, on_csr);
     }
 
     #[test]

@@ -147,7 +147,7 @@ mod tests {
     fn split_flow_decomposes_into_both_branches() {
         let t = builders::parallel(2, 10.0);
         let net = &t.network;
-        let links = net.find_links(t.source(), t.sink());
+        let links: Vec<_> = net.find_links(t.source(), t.sink()).collect();
         let mut edge_flow = vec![0.0; net.link_count()];
         edge_flow[links[0].index()] = 1.0;
         edge_flow[links[1].index()] = 3.0;

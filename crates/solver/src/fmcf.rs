@@ -15,9 +15,29 @@
 //! combination of the old solution and that all-or-nothing assignment, with
 //! the mixing coefficient chosen by exact (golden-section) line search on
 //! the convex objective.
+//!
+//! # Hot-path layout
+//!
+//! The solver runs on the flat [`GraphCsr`] view and keeps every
+//! per-iteration buffer in a reusable [`FmcfScratch`]:
+//!
+//! * the all-or-nothing step groups commodities by source and runs **one**
+//!   multi-target Dijkstra per distinct source (not per commodity) through
+//!   the arena-reuse [`ShortestPathEngine`];
+//! * chosen paths are stored as spans into one shared link buffer, and the
+//!   per-commodity flow matrix is a single flat `n x m` array, so blending
+//!   and load accumulation are sequential passes;
+//! * after the first iteration has warmed the arenas up, a Frank–Wolfe
+//!   iteration performs **zero heap allocations**.
+//!
+//! Callers solving many problems on one network (the per-interval
+//! relaxation) should build one [`GraphCsr`], construct problems with
+//! [`FmcfProblem::with_graph`] and pass one scratch to
+//! [`FmcfProblem::solve_with`]; [`FmcfProblem::new`] and
+//! [`FmcfProblem::solve`] remain as one-shot conveniences.
 
 use dcn_power::PowerFunction;
-use dcn_topology::{dijkstra, LinkId, Network, NodeId};
+use dcn_topology::{GraphCsr, LinkId, Network, NodeId, ShortestPathEngine};
 
 /// One commodity of the multi-commodity flow problem: `demand` units of
 /// traffic per unit time from `src` to `dst`.
@@ -41,6 +61,17 @@ pub trait FlowCost {
 
     /// The derivative of [`FlowCost::cost`] with respect to the load.
     fn marginal(&self, link: LinkId, load: f64) -> f64;
+
+    /// Returns `true` when `cost(link, 0.0) == 0.0` for **every** link.
+    ///
+    /// When it holds, the Frank–Wolfe solver confines its objective and
+    /// blending passes to the links actually touched by some chosen path
+    /// (unloaded links contribute exactly `+0.0`, so skipping them is
+    /// bit-for-bit neutral). The conservative default keeps the dense
+    /// full-graph passes.
+    fn zero_load_is_free(&self) -> bool {
+        false
+    }
 }
 
 /// The power-model cost used throughout the reproduction:
@@ -82,6 +113,10 @@ impl FlowCost for PowerFlowCost {
     fn marginal(&self, _link: LinkId, load: f64) -> f64 {
         self.power.marginal_power(load.max(0.0)) + self.power.sigma() / self.power.capacity()
     }
+
+    fn zero_load_is_free(&self) -> bool {
+        true
+    }
 }
 
 /// Configuration of the Frank–Wolfe solver.
@@ -112,18 +147,121 @@ impl Default for FmcfSolverConfig {
     }
 }
 
+/// The graph a problem runs on: borrowed from the caller (the amortised
+/// path) or built once from a `Network` (the one-shot convenience path).
+#[derive(Debug, Clone)]
+enum GraphRef<'a> {
+    Owned(GraphCsr),
+    Borrowed(&'a GraphCsr),
+}
+
+impl GraphRef<'_> {
+    fn get(&self) -> &GraphCsr {
+        match self {
+            GraphRef::Owned(g) => g,
+            GraphRef::Borrowed(g) => g,
+        }
+    }
+}
+
 /// A fractional multi-commodity flow problem on a network.
 #[derive(Debug, Clone)]
 pub struct FmcfProblem<'a> {
-    network: &'a Network,
+    graph: GraphRef<'a>,
     commodities: Vec<Commodity>,
 }
 
-/// The fractional solution: per-commodity, per-link flow values.
+/// Reusable solver state: the shortest-path engine arenas and every
+/// per-iteration buffer. One scratch can (and should) be shared across the
+/// many [`FmcfProblem::solve_with`] calls of an interval sweep; it grows to
+/// the largest problem seen and allocates nothing afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct FmcfScratch {
+    engine: ShortestPathEngine,
+    /// Per-link weights of the current all-or-nothing step.
+    weights: Vec<f64>,
+    /// Aggregate loads of the all-or-nothing assignment.
+    target_loads: Vec<f64>,
+    /// Line-search evaluation buffer.
+    blended: Vec<f64>,
+    /// Commodity indices grouped by source node (sorted by `(src, index)`).
+    order: Vec<usize>,
+    /// Concatenated link sequences of the chosen all-or-nothing paths.
+    path_links: Vec<LinkId>,
+    /// Per-commodity `(start, len)` span into `path_links`.
+    path_spans: Vec<(usize, usize)>,
+    /// Destination batch of the current source group.
+    targets: Vec<NodeId>,
+    /// Links touched by any chosen path so far, sorted ascending; the
+    /// objective/blending passes are confined to these when the cost is
+    /// [`FlowCost::zero_load_is_free`] (all other loads are exactly zero).
+    active: Vec<LinkId>,
+    /// Membership mask of `active`.
+    active_mark: Vec<bool>,
+}
+
+impl FmcfScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for a problem with `n` commodities and `m` links
+    /// and rebuilds the source-grouped commodity order.
+    ///
+    /// With `sparse` set, the active-link set starts empty and grows with
+    /// the chosen paths; otherwise every link is active and the solver's
+    /// passes stay dense.
+    fn prepare(&mut self, commodities: &[Commodity], m: usize, sparse: bool) {
+        let n = commodities.len();
+        self.weights.resize(m, 0.0);
+        self.target_loads.resize(m, 0.0);
+        self.blended.resize(m, 0.0);
+        self.path_spans.resize(n, (0, 0));
+        self.order.clear();
+        self.order.extend(0..n);
+        self.order
+            .sort_unstable_by_key(|&c| (commodities[c].src.index(), c));
+        self.active.clear();
+        self.active_mark.clear();
+        self.active_mark.resize(m, !sparse);
+        if !sparse {
+            self.active.extend((0..m).map(LinkId));
+        }
+    }
+
+    /// Adds every link of the freshly chosen paths to the active set,
+    /// keeping it sorted (ascending link id, the historical summation
+    /// order of the dense passes).
+    fn register_active_paths(&mut self) {
+        let mut added = false;
+        for &l in &self.path_links {
+            if !self.active_mark[l.index()] {
+                self.active_mark[l.index()] = true;
+                self.active.push(l);
+                added = true;
+            }
+        }
+        if added {
+            self.active.sort_unstable();
+        }
+    }
+}
+
+/// The fractional solution: per-commodity, per-link flow values in one flat
+/// row-major matrix, plus the aggregate per-link loads maintained by the
+/// solve loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FmcfSolution {
-    /// `flows[c][e]` = amount of commodity `c`'s demand routed over link `e`.
-    commodity_flows: Vec<Vec<f64>>,
+    /// `flows[c * link_count + e]` = amount of commodity `c`'s demand
+    /// routed over link `e`.
+    flows: Vec<f64>,
+    /// Aggregate per-link loads (always consistent with `flows`).
+    loads: Vec<f64>,
+    /// Number of commodities.
+    commodities: usize,
+    /// Number of links (the row stride of `flows`).
+    link_count: usize,
     /// Number of Frank–Wolfe iterations performed.
     pub iterations: usize,
     /// Whether the relative-improvement stopping criterion was reached.
@@ -131,25 +269,49 @@ pub struct FmcfSolution {
 }
 
 impl<'a> FmcfProblem<'a> {
-    /// Creates a problem instance.
+    /// Creates a problem instance, building a one-shot [`GraphCsr`] view of
+    /// the network. Callers with many problems on the same network should
+    /// build the view once and use [`FmcfProblem::with_graph`].
     ///
     /// # Panics
     ///
     /// Panics if any commodity has a non-positive demand or equal endpoints.
     pub fn new(network: &'a Network, commodities: Vec<Commodity>) -> Self {
-        for c in &commodities {
+        Self::validate(&commodities);
+        Self {
+            graph: GraphRef::Owned(GraphCsr::from_network(network)),
+            commodities,
+        }
+    }
+
+    /// Creates a problem instance on a prebuilt CSR view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any commodity has a non-positive demand or equal endpoints.
+    pub fn with_graph(graph: &'a GraphCsr, commodities: Vec<Commodity>) -> Self {
+        Self::validate(&commodities);
+        Self {
+            graph: GraphRef::Borrowed(graph),
+            commodities,
+        }
+    }
+
+    fn validate(commodities: &[Commodity]) {
+        for c in commodities {
             assert!(c.demand > 0.0, "commodity {} has non-positive demand", c.id);
             assert!(c.src != c.dst, "commodity {} has equal endpoints", c.id);
-        }
-        Self {
-            network,
-            commodities,
         }
     }
 
     /// The commodities of the problem.
     pub fn commodities(&self) -> &[Commodity] {
         &self.commodities
+    }
+
+    /// The CSR view the problem solves on.
+    pub fn graph(&self) -> &GraphCsr {
+        self.graph.get()
     }
 
     fn penalty(&self, load: f64, config: &FmcfSolverConfig) -> f64 {
@@ -166,80 +328,192 @@ impl<'a> FmcfProblem<'a> {
         }
     }
 
-    fn objective(&self, loads: &[f64], cost: &impl FlowCost, config: &FmcfSolverConfig) -> f64 {
-        loads
+    /// The objective restricted to `active` links (ascending). Equal to
+    /// the dense sum over every link — bit for bit — because every
+    /// inactive link has exactly zero load (and the cost is either
+    /// zero-load-free, or the active set covers the whole graph).
+    fn objective_over(
+        &self,
+        loads: &[f64],
+        active: &[LinkId],
+        cost: &impl FlowCost,
+        config: &FmcfSolverConfig,
+    ) -> f64 {
+        active
             .iter()
-            .enumerate()
-            .map(|(e, &x)| cost.cost(LinkId(e), x) + self.penalty(x, config))
+            .map(|&l| {
+                let x = loads[l.index()];
+                cost.cost(l, x) + self.penalty(x, config)
+            })
             .sum()
     }
 
-    /// Routes every commodity on its cheapest path under the given per-link
-    /// weights, returning the all-or-nothing assignment. Returns `None` if
-    /// some commodity has no path at all.
-    fn all_or_nothing(&self, weights: &[f64]) -> Option<Vec<Vec<f64>>> {
-        let m = self.network.link_count();
-        let mut assignment = vec![vec![0.0; m]; self.commodities.len()];
-        for (ci, c) in self.commodities.iter().enumerate() {
-            let path = dijkstra(self.network, c.src, c.dst, |l| weights[l.index()])?;
-            for &l in path.links() {
-                assignment[ci][l.index()] = c.demand;
+    /// Routes every commodity on its cheapest path under
+    /// `scratch.weights`, one multi-target Dijkstra per distinct source,
+    /// recording the chosen paths as spans in `scratch`. Returns `false`
+    /// if some commodity has no path at all.
+    fn all_or_nothing(&self, scratch: &mut FmcfScratch) -> bool {
+        let FmcfScratch {
+            engine,
+            weights,
+            order,
+            path_links,
+            path_spans,
+            targets,
+            ..
+        } = scratch;
+        let graph = self.graph.get();
+        path_links.clear();
+
+        let mut i = 0;
+        while i < order.len() {
+            let src = self.commodities[order[i]].src;
+            let mut j = i;
+            targets.clear();
+            while j < order.len() && self.commodities[order[j]].src == src {
+                targets.push(self.commodities[order[j]].dst);
+                j += 1;
             }
+            engine.single_source_all_targets(graph, src, targets, |l| weights[l.index()]);
+            for &c in &order[i..j] {
+                let dst = self.commodities[c].dst;
+                if !engine.settled(dst) {
+                    return false;
+                }
+                let start = path_links.len();
+                let mut cur = dst;
+                while cur != src {
+                    let lid = engine
+                        .parent_link(cur)
+                        .expect("settled node has a parent chain");
+                    path_links.push(lid);
+                    cur = graph.link_src(lid);
+                }
+                path_links[start..].reverse();
+                path_spans[c] = (start, path_links.len() - start);
+            }
+            i = j;
         }
-        Some(assignment)
+        true
     }
 
-    /// Solves the problem with Frank–Wolfe under the given convex cost.
+    /// The chosen path of commodity `c` after [`Self::all_or_nothing`].
+    fn span<'s>(&self, scratch: &'s FmcfScratch, c: usize) -> &'s [LinkId] {
+        let (start, len) = scratch.path_spans[c];
+        &scratch.path_links[start..start + len]
+    }
+
+    /// Solves the problem with Frank–Wolfe under the given convex cost,
+    /// using a fresh scratch (one-shot convenience for
+    /// [`FmcfProblem::solve_with`]).
     ///
     /// # Panics
     ///
     /// Panics if some commodity's destination is unreachable from its
     /// source.
     pub fn solve(&self, cost: &impl FlowCost, config: &FmcfSolverConfig) -> FmcfSolution {
-        let m = self.network.link_count();
+        self.solve_with(cost, config, &mut FmcfScratch::new())
+    }
+
+    /// Solves the problem with Frank–Wolfe, reusing the caller's scratch
+    /// buffers; after the scratch has warmed up, each Frank–Wolfe
+    /// iteration is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some commodity's destination is unreachable from its
+    /// source.
+    pub fn solve_with(
+        &self,
+        cost: &impl FlowCost,
+        config: &FmcfSolverConfig,
+        scratch: &mut FmcfScratch,
+    ) -> FmcfSolution {
+        let m = self.graph.get().link_count();
         let n = self.commodities.len();
         if n == 0 {
             return FmcfSolution {
-                commodity_flows: Vec::new(),
+                flows: Vec::new(),
+                // Loads stay link-indexed even with no commodities so
+                // `edge_load` keeps returning 0.0 for every link.
+                loads: vec![0.0; m],
+                commodities: 0,
+                link_count: m,
                 iterations: 0,
                 converged: true,
             };
         }
+        // With a zero-load-free cost (and a sane capacity) the objective,
+        // blending and load passes can be confined to the links actually
+        // touched by some chosen path: every other load stays exactly 0.0
+        // and contributes exactly +0.0, so the restriction is bit-for-bit
+        // neutral while cutting the per-iteration work from O(n·m) to
+        // O(n·|active|).
+        let sparse = cost.zero_load_is_free() && config.capacity.is_none_or(|c| c >= 0.0);
+        scratch.prepare(&self.commodities, m, sparse);
+
+        // The solution buffers are the only per-solve allocations.
+        let mut flows = vec![0.0; n * m];
+        let mut loads = vec![0.0; m];
 
         // Initial feasible point: hop-count shortest paths.
-        let hop_weights = vec![1.0; m];
-        let mut flows = self
-            .all_or_nothing(&hop_weights)
-            .expect("every commodity must have a path in the network");
-
-        let mut loads = column_sums(&flows, m);
-        let mut objective = self.objective(&loads, cost, config);
+        scratch.weights.fill(1.0);
+        assert!(
+            self.all_or_nothing(scratch),
+            "every commodity must have a path in the network"
+        );
+        scratch.register_active_paths();
+        for (c, commodity) in self.commodities.iter().enumerate() {
+            for &l in self.span(scratch, c) {
+                flows[c * m + l.index()] = commodity.demand;
+            }
+        }
+        column_sums_over(&flows, m, &scratch.active, &mut loads);
+        let mut objective = self.objective_over(&loads, &scratch.active, cost, config);
         let mut converged = false;
         let mut iterations = 0;
 
         for it in 0..config.max_iterations {
             iterations = it + 1;
-            // Marginal costs at the current loads.
-            let weights: Vec<f64> = loads
-                .iter()
-                .enumerate()
-                .map(|(e, &x)| {
-                    (cost.marginal(LinkId(e), x) + self.penalty_marginal(x, config)).max(0.0)
-                })
-                .collect();
-            let target = self
-                .all_or_nothing(&weights)
-                .expect("every commodity must have a path in the network");
-            let target_loads = column_sums(&target, m);
+            // Marginal costs at the current loads (Dijkstra may traverse
+            // any link, so the weights stay dense).
+            for (e, w) in scratch.weights.iter_mut().enumerate() {
+                *w = (cost.marginal(LinkId(e), loads[e]) + self.penalty_marginal(loads[e], config))
+                    .max(0.0);
+            }
+            assert!(
+                self.all_or_nothing(scratch),
+                "every commodity must have a path in the network"
+            );
+            scratch.register_active_paths();
+            {
+                // Disjoint field borrows: read the path spans while
+                // accumulating into the load buffer.
+                let FmcfScratch {
+                    path_links,
+                    path_spans,
+                    target_loads,
+                    ..
+                } = &mut *scratch;
+                target_loads.fill(0.0);
+                for (c, commodity) in self.commodities.iter().enumerate() {
+                    let (start, len) = path_spans[c];
+                    for &l in &path_links[start..start + len] {
+                        target_loads[l.index()] += commodity.demand;
+                    }
+                }
+            }
 
             // Golden-section line search on gamma in [0, 1].
+            let blended = &mut scratch.blended;
+            let target_loads = &scratch.target_loads;
+            let active = &scratch.active;
             let eval = |gamma: f64| {
-                let blended: Vec<f64> = loads
-                    .iter()
-                    .zip(&target_loads)
-                    .map(|(&a, &b)| (1.0 - gamma) * a + gamma * b)
-                    .collect();
-                self.objective(&blended, cost, config)
+                for &l in active {
+                    let e = l.index();
+                    blended[e] = (1.0 - gamma) * loads[e] + gamma * target_loads[e];
+                }
+                self.objective_over(blended, active, cost, config)
             };
             let gamma = golden_section_min(eval, 0.0, 1.0, config.line_search_steps);
             if gamma <= 1e-12 {
@@ -247,13 +521,23 @@ impl<'a> FmcfProblem<'a> {
                 break;
             }
 
-            for (fc, tc) in flows.iter_mut().zip(&target) {
-                for (fe, te) in fc.iter_mut().zip(tc) {
-                    *fe = (1.0 - gamma) * *fe + gamma * *te;
+            // Blend: scale the matrix (inactive columns are exactly zero),
+            // then add the assignment back on the (sparse) chosen paths.
+            // Bit-identical to the dense two-matrix blend because the
+            // assignment is zero elsewhere.
+            let keep = 1.0 - gamma;
+            for row in flows.chunks_exact_mut(m) {
+                for &l in &scratch.active {
+                    row[l.index()] *= keep;
                 }
             }
-            loads = column_sums(&flows, m);
-            let new_objective = self.objective(&loads, cost, config);
+            for (c, commodity) in self.commodities.iter().enumerate() {
+                for &l in self.span(scratch, c) {
+                    flows[c * m + l.index()] += gamma * commodity.demand;
+                }
+            }
+            column_sums_over(&flows, m, &scratch.active, &mut loads);
+            let new_objective = self.objective_over(&loads, &scratch.active, cost, config);
             let improvement = (objective - new_objective) / objective.abs().max(1e-12);
             objective = new_objective;
             if improvement.abs() < config.tolerance {
@@ -262,17 +546,23 @@ impl<'a> FmcfProblem<'a> {
             }
         }
 
-        // Clean tiny numerical residue so that path decomposition terminates.
-        for fc in &mut flows {
-            for fe in fc.iter_mut() {
+        // Clean tiny numerical residue so that path decomposition
+        // terminates, and refresh the loads to stay consistent.
+        for row in flows.chunks_exact_mut(m) {
+            for &l in &scratch.active {
+                let fe = &mut row[l.index()];
                 if *fe < 1e-12 {
                     *fe = 0.0;
                 }
             }
         }
+        column_sums_over(&flows, m, &scratch.active, &mut loads);
 
         FmcfSolution {
-            commodity_flows: flows,
+            flows,
+            loads,
+            commodities: n,
+            link_count: m,
             iterations,
             converged,
         }
@@ -282,36 +572,34 @@ impl<'a> FmcfProblem<'a> {
 impl FmcfSolution {
     /// Number of commodities in the solution.
     pub fn commodity_count(&self) -> usize {
-        self.commodity_flows.len()
+        self.commodities
     }
 
     /// The flow of commodity index `c` (position in the problem's commodity
     /// list) on `link`.
     pub fn commodity_flow(&self, c: usize, link: LinkId) -> f64 {
-        self.commodity_flows[c][link.index()]
+        self.flows[c * self.link_count + link.index()]
     }
 
     /// The full per-link flow vector of commodity index `c`.
     pub fn commodity_flows(&self, c: usize) -> &[f64] {
-        &self.commodity_flows[c]
+        &self.flows[c * self.link_count..(c + 1) * self.link_count]
     }
 
     /// The aggregate load on `link` over all commodities.
     pub fn edge_load(&self, link: LinkId) -> f64 {
-        self.commodity_flows.iter().map(|f| f[link.index()]).sum()
+        self.loads[link.index()]
     }
 
-    /// Aggregate loads on all links.
-    pub fn total_loads(&self) -> Vec<f64> {
-        if self.commodity_flows.is_empty() {
-            return Vec::new();
-        }
-        column_sums(&self.commodity_flows, self.commodity_flows[0].len())
+    /// Aggregate loads on all links, maintained by the solve loop (no
+    /// recomputation).
+    pub fn total_loads(&self) -> &[f64] {
+        &self.loads
     }
 
     /// The objective value under a cost function (no capacity penalty).
     pub fn total_cost(&self, cost: &impl FlowCost) -> f64 {
-        self.total_loads()
+        self.loads
             .iter()
             .enumerate()
             .map(|(e, &x)| cost.cost(LinkId(e), x))
@@ -335,14 +623,20 @@ impl FmcfSolution {
     }
 }
 
-fn column_sums(rows: &[Vec<f64>], m: usize) -> Vec<f64> {
-    let mut sums = vec![0.0; m];
-    for row in rows {
-        for (s, &v) in sums.iter_mut().zip(row) {
-            *s += v;
+/// Accumulates the per-link column sums of the flat row-major flow matrix
+/// into `out`, visiting only `active` columns (rows in commodity order,
+/// preserving the historical per-link summation order bit-for-bit; the
+/// skipped columns are exactly zero in every row).
+fn column_sums_over(rows: &[f64], m: usize, active: &[LinkId], out: &mut [f64]) {
+    out.fill(0.0);
+    if m == 0 {
+        return;
+    }
+    for row in rows.chunks_exact(m) {
+        for &l in active {
+            out[l.index()] += row[l.index()];
         }
     }
-    sums
 }
 
 /// Minimises a unimodal function on `[lo, hi]` by golden-section search.
@@ -572,6 +866,66 @@ mod tests {
         let sol = problem.solve(&quadratic_cost(), &tight_config());
         assert!(sol.converged);
         assert_eq!(sol.commodity_count(), 0);
+    }
+
+    #[test]
+    fn shared_graph_and_scratch_match_the_one_shot_path() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let graph = t.csr();
+        let mut scratch = FmcfScratch::new();
+        let cost = quadratic_cost();
+        let config = tight_config();
+        // Two different problems reusing one scratch must match their
+        // one-shot counterparts exactly.
+        for (a, b, d) in [(0usize, 10usize, 3.0), (5, 1, 2.0), (2, 14, 1.0)] {
+            let commodities = vec![Commodity {
+                id: 0,
+                src: hosts[a],
+                dst: hosts[b],
+                demand: d,
+            }];
+            let shared = FmcfProblem::with_graph(&graph, commodities.clone()).solve_with(
+                &cost,
+                &config,
+                &mut scratch,
+            );
+            let one_shot = FmcfProblem::new(&t.network, commodities).solve(&cost, &config);
+            assert_eq!(shared, one_shot);
+        }
+    }
+
+    #[test]
+    fn total_loads_is_consistent_with_commodity_flows() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let problem = FmcfProblem::new(
+            &t.network,
+            vec![
+                Commodity {
+                    id: 0,
+                    src: hosts[0],
+                    dst: hosts[9],
+                    demand: 2.0,
+                },
+                Commodity {
+                    id: 1,
+                    src: hosts[0],
+                    dst: hosts[12],
+                    demand: 1.0,
+                },
+            ],
+        );
+        let sol = problem.solve(&quadratic_cost(), &tight_config());
+        let loads = sol.total_loads();
+        assert_eq!(loads.len(), t.network.link_count());
+        for (e, &load) in loads.iter().enumerate() {
+            let expected: f64 = (0..sol.commodity_count())
+                .map(|c| sol.commodity_flow(c, LinkId(e)))
+                .sum();
+            assert!((load - expected).abs() < 1e-12);
+            assert_eq!(load, sol.edge_load(LinkId(e)));
+        }
     }
 
     #[test]

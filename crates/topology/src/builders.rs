@@ -52,6 +52,12 @@ impl BuiltTopology {
     pub fn sink(&self) -> NodeId {
         *self.hosts.last().expect("topology has no hosts")
     }
+
+    /// Builds the flat CSR read view of the topology's network
+    /// (a convenience for [`crate::GraphCsr::from_network`]).
+    pub fn csr(&self) -> crate::GraphCsr {
+        crate::GraphCsr::from_network(&self.network)
+    }
 }
 
 /// A line (path) network of `n` nodes connected by `n - 1` cables, as in the
@@ -506,7 +512,7 @@ mod tests {
         let t = parallel(5, 2.0);
         assert_eq!(t.network.node_count(), 2);
         assert_eq!(t.network.link_count(), 10);
-        assert_eq!(t.network.find_links(t.source(), t.sink()).len(), 5);
+        assert_eq!(t.network.find_links(t.source(), t.sink()).count(), 5);
         for l in t.network.links() {
             assert_eq!(l.capacity, 2.0);
         }

@@ -1,0 +1,394 @@
+//! A flat, cache-friendly compressed-sparse-row (CSR) view of a
+//! [`Network`].
+//!
+//! [`Network`] is the *mutable builder*: nodes and links are appended one at
+//! a time and adjacency lives in per-node `Vec`s, which is convenient to
+//! grow but scatters every neighbourhood across the heap. [`GraphCsr`] is
+//! the *read path*: built once from a finished network, it packs the whole
+//! graph into a handful of contiguous arrays —
+//!
+//! * `out_offsets`/`out_link_ids` — the out-adjacency of node `v` is the
+//!   slice `out_link_ids[out_offsets[v]..out_offsets[v + 1]]`, preserving
+//!   link insertion order (the deterministic tie-break order every routing
+//!   algorithm in this workspace relies on);
+//! * `in_offsets`/`in_link_ids` — the same for in-adjacency;
+//! * `link_src`/`link_dst`/`link_capacity` — per-link attributes indexed
+//!   directly by [`LinkId`].
+//!
+//! Traversals touch memory sequentially instead of chasing `Vec<Vec<_>>`
+//! pointers, which is what makes the hot paths (the Frank–Wolfe solver's
+//! inner Dijkstra, the simulator's capacity lookups) fast at fat-tree
+//! k ≥ 16 scale.
+//!
+//! # Example
+//!
+//! ```
+//! use dcn_topology::{builders, GraphCsr, ShortestPathEngine};
+//!
+//! let ft = builders::fat_tree(4);
+//! let graph = GraphCsr::from_network(&ft.network);
+//! assert_eq!(graph.node_count(), ft.network.node_count());
+//!
+//! // Same BFS shortest path as the Network, served from flat arrays.
+//! let hosts = ft.hosts();
+//! let path = graph.shortest_path(hosts[0], hosts[15]).unwrap();
+//! assert_eq!(path.len(), 6);
+//!
+//! // Weighted shortest paths run through the reusable engine.
+//! let mut engine = ShortestPathEngine::new();
+//! let weighted = engine
+//!     .shortest_path(&graph, hosts[0], hosts[15], |_| 1.0)
+//!     .unwrap();
+//! assert_eq!(weighted.len(), 6);
+//! ```
+
+use crate::{LinkId, Network, NodeId, Path, PathError};
+use std::collections::VecDeque;
+
+/// A compressed-sparse-row snapshot of a [`Network`]: contiguous adjacency
+/// and per-link attribute arrays, the read-optimised counterpart of the
+/// mutable builder. See the module-level documentation for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphCsr {
+    /// `out_offsets[v]..out_offsets[v + 1]` indexes `out_link_ids`.
+    out_offsets: Vec<u32>,
+    /// Out-links of all nodes, concatenated in node order; insertion order
+    /// is preserved within each node.
+    out_link_ids: Vec<LinkId>,
+    /// Destination of `out_link_ids[i]`, position-aligned so traversals
+    /// read the neighbour sequentially instead of via `link_dst[link]`.
+    out_dsts: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v + 1]` indexes `in_link_ids`.
+    in_offsets: Vec<u32>,
+    /// In-links of all nodes, concatenated in node order.
+    in_link_ids: Vec<LinkId>,
+    /// Source node of every link, indexed by [`LinkId`].
+    link_src: Vec<NodeId>,
+    /// Destination node of every link, indexed by [`LinkId`].
+    link_dst: Vec<NodeId>,
+    /// Capacity of every link, indexed by [`LinkId`].
+    link_capacity: Vec<f64>,
+}
+
+impl GraphCsr {
+    /// Builds the CSR view of a network.
+    ///
+    /// The view is a snapshot: links added to the network afterwards are
+    /// not reflected. Building is `O(nodes + links)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network exceeds the CSR's compact id range
+    /// (`u32::MAX - 1` nodes or links) — offsets and the search engine's
+    /// node/parent stamps are stored as `u32`.
+    pub fn from_network(network: &Network) -> Self {
+        let n = network.node_count();
+        let m = network.link_count();
+        assert!(
+            n < u32::MAX as usize && m < u32::MAX as usize,
+            "network exceeds the CSR u32 id range ({n} nodes, {m} links)"
+        );
+
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_link_ids = Vec::with_capacity(m);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_link_ids = Vec::with_capacity(m);
+        let mut out_dsts = Vec::with_capacity(m);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for node in network.nodes() {
+            out_link_ids.extend_from_slice(network.out_links(node.id));
+            out_dsts.extend(
+                network
+                    .out_links(node.id)
+                    .iter()
+                    .map(|&l| network.link(l).dst),
+            );
+            out_offsets.push(out_link_ids.len() as u32);
+            in_link_ids.extend_from_slice(network.in_links(node.id));
+            in_offsets.push(in_link_ids.len() as u32);
+        }
+
+        let mut link_src = Vec::with_capacity(m);
+        let mut link_dst = Vec::with_capacity(m);
+        let mut link_capacity = Vec::with_capacity(m);
+        for link in network.links() {
+            link_src.push(link.src);
+            link_dst.push(link.dst);
+            link_capacity.push(link.capacity);
+        }
+
+        Self {
+            out_offsets,
+            out_link_ids,
+            out_dsts,
+            in_offsets,
+            in_link_ids,
+            link_src,
+            link_dst,
+            link_capacity,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.link_src.len()
+    }
+
+    /// Outgoing links of `node`, in insertion order.
+    #[inline]
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        let lo = self.out_offsets[node.index()] as usize;
+        let hi = self.out_offsets[node.index() + 1] as usize;
+        &self.out_link_ids[lo..hi]
+    }
+
+    /// Outgoing `(link, destination)` pairs of `node`, in insertion order,
+    /// read from two position-aligned sequential arrays (the hot-loop
+    /// variant of [`GraphCsr::out_links`] that avoids the per-link
+    /// `link_dst` lookup).
+    #[inline]
+    pub fn out_links_with_dsts(&self, node: NodeId) -> impl Iterator<Item = (LinkId, NodeId)> + '_ {
+        let lo = self.out_offsets[node.index()] as usize;
+        let hi = self.out_offsets[node.index() + 1] as usize;
+        self.out_link_ids[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_dsts[lo..hi].iter().copied())
+    }
+
+    /// Incoming links of `node`, in insertion order.
+    #[inline]
+    pub fn in_links(&self, node: NodeId) -> &[LinkId] {
+        let lo = self.in_offsets[node.index()] as usize;
+        let hi = self.in_offsets[node.index() + 1] as usize;
+        &self.in_link_ids[lo..hi]
+    }
+
+    /// Source node of `link`.
+    #[inline]
+    pub fn link_src(&self, link: LinkId) -> NodeId {
+        self.link_src[link.index()]
+    }
+
+    /// Destination node of `link`.
+    #[inline]
+    pub fn link_dst(&self, link: LinkId) -> NodeId {
+        self.link_dst[link.index()]
+    }
+
+    /// Capacity of `link`.
+    #[inline]
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.link_capacity[link.index()]
+    }
+
+    /// The unique out-neighbour of `node`, if its out-degree is exactly 1
+    /// (e.g. a host hanging off its edge switch). Used by the search
+    /// engine's leaf-skip optimisation.
+    #[inline]
+    pub fn sole_out_neighbor(&self, node: NodeId) -> Option<NodeId> {
+        let lo = self.out_offsets[node.index()] as usize;
+        let hi = self.out_offsets[node.index() + 1] as usize;
+        (hi - lo == 1).then(|| self.out_dsts[lo])
+    }
+
+    /// Every directed link from `src` to `dst` (parallel links), served
+    /// from the contiguous out-neighbourhood of `src` without allocating.
+    pub fn links_between(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = LinkId> + '_ {
+        self.out_links(src)
+            .iter()
+            .copied()
+            .filter(move |&l| self.link_dst(l) == dst)
+    }
+
+    /// The first-inserted directed link from `src` to `dst`, if any.
+    pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.links_between(src, dst).next()
+    }
+
+    /// Breadth-first shortest path (fewest hops) from `src` to `dst`.
+    ///
+    /// Identical tie-breaking (link insertion order) and results as
+    /// [`Network::shortest_path`]; this is the flat-array read path.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        if src == dst {
+            return self.path_from_links(src, &[]).ok();
+        }
+        let n = self.node_count();
+        let mut parent_link: Vec<Option<LinkId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[src.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &lid in self.out_links(u) {
+                let v = self.link_dst(lid);
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    parent_link[v.index()] = Some(lid);
+                    if v == dst {
+                        let mut links_rev = Vec::new();
+                        let mut cur = dst;
+                        while cur != src {
+                            let lid = parent_link[cur.index()]
+                                .expect("path reconstruction reached a dead end");
+                            links_rev.push(lid);
+                            cur = self.link_src(lid);
+                        }
+                        links_rev.reverse();
+                        return self.path_from_links(src, &links_rev).ok();
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// BFS hop distance from every node *to* `dst` (`usize::MAX` =
+    /// unreachable), computed over the in-adjacency.
+    pub fn hop_distances_to(&self, dst: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.node_count()];
+        dist[dst.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            for &lid in self.in_links(u) {
+                let v = self.link_src(lid);
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Builds a [`Path`] from a link sequence, validating adjacency and
+    /// simplicity against the CSR data (the counterpart of
+    /// [`Path::from_links`] that does not need the originating network).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`PathError`] variants as [`Path::from_links`].
+    pub fn path_from_links(&self, source: NodeId, links: &[LinkId]) -> Result<Path, PathError> {
+        let mut nodes = Vec::with_capacity(links.len() + 1);
+        nodes.push(source);
+        let mut cur = source;
+        for (pos, &lid) in links.iter().enumerate() {
+            if lid.index() >= self.link_count() {
+                return Err(PathError::UnknownLink(lid));
+            }
+            if self.link_src(lid) != cur {
+                return Err(PathError::Disconnected {
+                    position: pos.saturating_sub(1),
+                });
+            }
+            cur = self.link_dst(lid);
+            nodes.push(cur);
+        }
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(PathError::Loop { node: w[0] });
+            }
+        }
+        Ok(Path::from_parts(source, links.to_vec(), nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builders, NodeKind};
+
+    #[test]
+    fn csr_mirrors_the_network_adjacency() {
+        let ft = builders::fat_tree(4);
+        let g = GraphCsr::from_network(&ft.network);
+        assert_eq!(g.node_count(), ft.network.node_count());
+        assert_eq!(g.link_count(), ft.network.link_count());
+        for node in ft.network.nodes() {
+            assert_eq!(g.out_links(node.id), ft.network.out_links(node.id));
+            assert_eq!(g.in_links(node.id), ft.network.in_links(node.id));
+        }
+        for link in ft.network.links() {
+            assert_eq!(g.link_src(link.id), link.src);
+            assert_eq!(g.link_dst(link.id), link.dst);
+            assert_eq!(g.capacity(link.id), link.capacity);
+        }
+    }
+
+    #[test]
+    fn links_between_matches_network_find_links() {
+        let mut net = Network::new();
+        let s = net.add_node(NodeKind::Host, "s");
+        let d = net.add_node(NodeKind::Host, "d");
+        for _ in 0..4 {
+            net.add_link(s, d, 2.0);
+        }
+        net.add_link(d, s, 2.0);
+        let g = GraphCsr::from_network(&net);
+        let from_csr: Vec<LinkId> = g.links_between(s, d).collect();
+        let from_net: Vec<LinkId> = net.find_links(s, d).collect();
+        assert_eq!(from_csr, from_net);
+        assert_eq!(from_csr.len(), 4);
+        assert_eq!(g.find_link(s, d), net.find_link(s, d));
+        assert_eq!(g.find_link(d, s), net.find_link(d, s));
+    }
+
+    #[test]
+    fn bfs_shortest_path_matches_network() {
+        for topo in [builders::fat_tree(4), builders::bcube(2, 1)] {
+            let g = GraphCsr::from_network(&topo.network);
+            let hosts = topo.hosts();
+            for (i, &a) in hosts.iter().enumerate().step_by(3) {
+                for &b in hosts.iter().skip(i) {
+                    assert_eq!(g.shortest_path(a, b), topo.network.shortest_path(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hop_distances_to_reverses_correctly() {
+        let topo = builders::line(4);
+        let g = GraphCsr::from_network(&topo.network);
+        let d = g.hop_distances_to(topo.hosts()[3]);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn path_from_links_validates_like_path_from_links() {
+        let topo = builders::line(3);
+        let net = &topo.network;
+        let g = GraphCsr::from_network(net);
+        let p = net.shortest_path(topo.hosts()[0], topo.hosts()[2]).unwrap();
+        let rebuilt = g.path_from_links(p.source(), p.links()).unwrap();
+        assert_eq!(rebuilt, p);
+
+        assert!(matches!(
+            g.path_from_links(topo.hosts()[0], &[LinkId(999)]),
+            Err(PathError::UnknownLink(_))
+        ));
+        // Disconnected: second link does not start where the first ends.
+        let l0 = p.links()[0];
+        assert!(matches!(
+            g.path_from_links(topo.hosts()[1], &[l0]),
+            Err(PathError::Disconnected { .. })
+        ));
+        // Loop: forward then backward over the same cable.
+        let back = net.reverse_link(l0).unwrap();
+        assert!(matches!(
+            g.path_from_links(topo.hosts()[0], &[l0, back]),
+            Err(PathError::Loop { .. })
+        ));
+    }
+}

@@ -18,6 +18,10 @@
 //! * No external graph library is used: the schedulers need stable link ids,
 //!   per-link attributes and deterministic iteration order, which are easier
 //!   to guarantee with a purpose-built structure.
+//! * [`Network`] is the **mutable builder**; the read path of every hot
+//!   loop is the flat CSR view ([`GraphCsr`]) traversed through the
+//!   arena-reuse [`ShortestPathEngine`], which keeps the per-query cost
+//!   allocation-free and cache-friendly.
 //!
 //! # Example
 //!
@@ -42,13 +46,20 @@
 #![forbid(unsafe_code)]
 
 pub mod builders;
+mod csr;
+mod engine;
 mod ids;
 mod network;
 mod path;
 mod routing;
 
 pub use builders::BuiltTopology;
+pub use csr::GraphCsr;
+pub use engine::ShortestPathEngine;
 pub use ids::{LinkId, NodeId, NodeKind};
 pub use network::{Link, LinkEndpoints, Network, Node};
 pub use path::{Path, PathError};
-pub use routing::{all_shortest_paths, dijkstra, k_shortest_paths};
+pub use routing::{
+    all_shortest_paths, all_shortest_paths_on, dijkstra, dijkstra_on, k_shortest_paths,
+    k_shortest_paths_on,
+};

@@ -218,13 +218,16 @@ impl Network {
             .find(|&l| self.link(l).dst == dst)
     }
 
-    /// Returns every directed link from `src` to `dst` (parallel links).
-    pub fn find_links(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+    /// Iterates over every directed link from `src` to `dst` (parallel
+    /// links), in insertion order and without allocating: the scan is
+    /// confined to the out-neighbourhood of `src`. The flat read path is
+    /// [`crate::GraphCsr::links_between`], which serves the same query from
+    /// the contiguous CSR arrays.
+    pub fn find_links(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = LinkId> + '_ {
         self.out_links[src.index()]
             .iter()
             .copied()
-            .filter(|&l| self.link(l).dst == dst)
-            .collect()
+            .filter(move |&l| self.link(l).dst == dst)
     }
 
     /// Reverse link of `link` (same cable, opposite direction), if present.
@@ -371,7 +374,7 @@ mod tests {
         for _ in 0..4 {
             net.add_link(s, d, 2.0);
         }
-        assert_eq!(net.find_links(s, d).len(), 4);
+        assert_eq!(net.find_links(s, d).count(), 4);
         assert_eq!(net.link_count(), 4);
     }
 

@@ -98,6 +98,19 @@ impl Path {
         })
     }
 
+    /// Assembles a path from already-validated parts (crate-internal: used
+    /// by [`crate::GraphCsr`] and the shortest-path engine, whose walks
+    /// produce valid simple paths by construction).
+    pub(crate) fn from_parts(source: NodeId, links: Vec<LinkId>, nodes: Vec<NodeId>) -> Self {
+        debug_assert_eq!(nodes.len(), links.len() + 1);
+        debug_assert_eq!(nodes.first(), Some(&source));
+        Path {
+            source,
+            links,
+            nodes,
+        }
+    }
+
     /// Builds a path from a node sequence, looking up the connecting links.
     ///
     /// # Errors

@@ -6,43 +6,25 @@
 //! under marginal link costs, the SP+MCF baseline needs hop-count shortest
 //! paths, and the randomized-rounding analysis benefits from bounded
 //! candidate path sets (k-shortest paths).
+//!
+//! Every algorithm runs on the flat [`GraphCsr`] view through the reusable
+//! [`ShortestPathEngine`]; the `*_on` variants take both explicitly so
+//! callers with many queries (per-flow routing loops, Frank–Wolfe
+//! iterations) amortise the CSR build and the engine's arenas. The classic
+//! `&Network` entry points remain as thin wrappers that build a one-shot
+//! view — results are identical either way.
 
-use crate::{LinkId, Network, NodeId, Path};
+use crate::{GraphCsr, LinkId, Network, NodeId, Path, ShortestPathEngine};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// An entry of the Dijkstra priority queue.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so that BinaryHeap (a max-heap) pops the smallest distance;
-        // ties broken by node id for determinism.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.index().cmp(&self.node.index()))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Weighted shortest path from `src` to `dst` under a non-negative per-link
 /// weight function.
 ///
 /// Returns `None` if `dst` is unreachable. Weights must be non-negative and
 /// finite; `f64::INFINITY` may be used to forbid a link.
+///
+/// Convenience wrapper over [`dijkstra_on`] that builds a one-shot
+/// [`GraphCsr`] and engine; batch callers should hold their own.
 ///
 /// # Panics
 ///
@@ -51,92 +33,59 @@ pub fn dijkstra(
     network: &Network,
     src: NodeId,
     dst: NodeId,
-    mut link_weight: impl FnMut(LinkId) -> f64,
+    link_weight: impl FnMut(LinkId) -> f64,
 ) -> Option<Path> {
-    let n = network.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<LinkId>> = vec![None; n];
-    let mut done = vec![false; n];
-    dist[src.index()] = 0.0;
-    let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: src,
-    });
+    let graph = GraphCsr::from_network(network);
+    dijkstra_on(
+        &graph,
+        &mut ShortestPathEngine::new(),
+        src,
+        dst,
+        link_weight,
+    )
+}
 
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if done[u.index()] {
-            continue;
-        }
-        done[u.index()] = true;
-        if u == dst {
-            break;
-        }
-        for &lid in network.out_links(u) {
-            let w = link_weight(lid);
-            debug_assert!(
-                !w.is_nan() && w >= 0.0,
-                "link weight must be non-negative, got {w}"
-            );
-            if w.is_infinite() {
-                continue;
-            }
-            let v = network.link(lid).dst;
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                parent[v.index()] = Some(lid);
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
-    }
-
-    if src == dst {
-        return Path::from_links(network, src, &[]).ok();
-    }
-    if dist[dst.index()].is_infinite() {
-        return None;
-    }
-    let mut links_rev = Vec::new();
-    let mut cur = dst;
-    while cur != src {
-        let lid = parent[cur.index()]?;
-        links_rev.push(lid);
-        cur = network.link(lid).src;
-    }
-    links_rev.reverse();
-    Path::from_links(network, src, &links_rev).ok()
+/// Weighted shortest path on a prebuilt [`GraphCsr`], reusing the engine's
+/// scratch arenas. See [`dijkstra`] for the semantics.
+pub fn dijkstra_on(
+    graph: &GraphCsr,
+    engine: &mut ShortestPathEngine,
+    src: NodeId,
+    dst: NodeId,
+    link_weight: impl FnMut(LinkId) -> f64,
+) -> Option<Path> {
+    engine.shortest_path(graph, src, dst, link_weight)
 }
 
 /// Enumerates **all** hop-count shortest paths from `src` to `dst`
 /// (the ECMP path set), up to `limit` paths.
 ///
 /// Paths are produced in a deterministic order (lexicographic by link id).
+///
+/// Convenience wrapper over [`all_shortest_paths_on`].
 pub fn all_shortest_paths(network: &Network, src: NodeId, dst: NodeId, limit: usize) -> Vec<Path> {
+    all_shortest_paths_on(&GraphCsr::from_network(network), src, dst, limit)
+}
+
+/// ECMP enumeration on a prebuilt [`GraphCsr`]. See [`all_shortest_paths`].
+pub fn all_shortest_paths_on(
+    graph: &GraphCsr,
+    src: NodeId,
+    dst: NodeId,
+    limit: usize,
+) -> Vec<Path> {
     if limit == 0 {
         return Vec::new();
     }
-    // Distance from every node *to* dst (BFS on reversed links).
-    let mut dist_to_dst = vec![usize::MAX; network.node_count()];
-    dist_to_dst[dst.index()] = 0;
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(dst);
-    while let Some(u) = queue.pop_front() {
-        for &lid in network.in_links(u) {
-            let v = network.link(lid).src;
-            if dist_to_dst[v.index()] == usize::MAX {
-                dist_to_dst[v.index()] = dist_to_dst[u.index()] + 1;
-                queue.push_back(v);
-            }
-        }
-    }
+    // Distance from every node *to* dst (BFS on the reversed links).
+    let dist_to_dst = graph.hop_distances_to(dst);
     if dist_to_dst[src.index()] == usize::MAX {
         return Vec::new();
     }
 
     // DFS following only links that strictly decrease the distance to dst.
     struct EcmpDfs<'a> {
-        network: &'a Network,
+        graph: &'a GraphCsr,
         src: NodeId,
         dst: NodeId,
         dist_to_dst: &'a [usize],
@@ -151,13 +100,13 @@ pub fn all_shortest_paths(network: &Network, src: NodeId, dst: NodeId, limit: us
                 return;
             }
             if cur == self.dst {
-                if let Ok(p) = Path::from_links(self.network, self.src, &self.stack_links) {
+                if let Ok(p) = self.graph.path_from_links(self.src, &self.stack_links) {
                     self.result.push(p);
                 }
                 return;
             }
-            for &lid in self.network.out_links(cur) {
-                let v = self.network.link(lid).dst;
+            for &lid in self.graph.out_links(cur) {
+                let v = self.graph.link_dst(lid);
                 if self.dist_to_dst[v.index()] != usize::MAX
                     && self.dist_to_dst[v.index()] + 1 == self.dist_to_dst[cur.index()]
                 {
@@ -173,7 +122,7 @@ pub fn all_shortest_paths(network: &Network, src: NodeId, dst: NodeId, limit: us
     }
 
     let mut search = EcmpDfs {
-        network,
+        graph,
         src,
         dst,
         dist_to_dst: &dist_to_dst,
@@ -190,8 +139,30 @@ pub fn all_shortest_paths(network: &Network, src: NodeId, dst: NodeId, limit: us
 ///
 /// Returns fewer than `k` paths when the graph does not contain that many
 /// distinct simple paths. Weights must be non-negative.
+///
+/// Convenience wrapper over [`k_shortest_paths_on`].
 pub fn k_shortest_paths(
     network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    link_weight: impl FnMut(LinkId) -> f64,
+) -> Vec<Path> {
+    k_shortest_paths_on(
+        &GraphCsr::from_network(network),
+        &mut ShortestPathEngine::new(),
+        src,
+        dst,
+        k,
+        link_weight,
+    )
+}
+
+/// Yen's algorithm on a prebuilt [`GraphCsr`], reusing the engine across
+/// the spur searches. See [`k_shortest_paths`].
+pub fn k_shortest_paths_on(
+    graph: &GraphCsr,
+    engine: &mut ShortestPathEngine,
     src: NodeId,
     dst: NodeId,
     k: usize,
@@ -200,7 +171,7 @@ pub fn k_shortest_paths(
     if k == 0 {
         return Vec::new();
     }
-    let first = match dijkstra(network, src, dst, &mut link_weight) {
+    let first = match engine.shortest_path(graph, src, dst, &mut link_weight) {
         Some(p) => p,
         None => return Vec::new(),
     };
@@ -227,12 +198,13 @@ pub fn k_shortest_paths(
             // total path simple.
             let banned_nodes: Vec<NodeId> = last.nodes()[..i].to_vec();
 
-            let spur = dijkstra(network, spur_node, dst, |lid| {
+            let spur = engine.shortest_path(graph, spur_node, dst, |lid| {
                 if banned_links.contains(&lid) {
                     return f64::INFINITY;
                 }
-                let l = network.link(lid);
-                if banned_nodes.contains(&l.dst) || banned_nodes.contains(&l.src) {
+                if banned_nodes.contains(&graph.link_dst(lid))
+                    || banned_nodes.contains(&graph.link_src(lid))
+                {
                     return f64::INFINITY;
                 }
                 link_weight(lid)
@@ -241,7 +213,7 @@ pub fn k_shortest_paths(
 
             let mut total_links = root_links.clone();
             total_links.extend_from_slice(spur.links());
-            let Ok(total) = Path::from_links(network, src, &total_links) else {
+            let Ok(total) = graph.path_from_links(src, &total_links) else {
                 continue;
             };
             if paths.contains(&total) || candidates.iter().any(|(_, p)| *p == total) {
@@ -381,6 +353,29 @@ mod tests {
         assert_eq!(paths.len(), 4);
         for p in &paths {
             assert_eq!(p.len(), 6);
+        }
+    }
+
+    #[test]
+    fn on_variants_share_one_engine_across_queries() {
+        let ft = builders::fat_tree(4);
+        let graph = GraphCsr::from_network(&ft.network);
+        let mut engine = ShortestPathEngine::new();
+        let hosts = ft.hosts();
+        for (&a, &b) in hosts.iter().zip(hosts.iter().rev()) {
+            if a == b {
+                continue;
+            }
+            let on = dijkstra_on(&graph, &mut engine, a, b, |_| 1.0).unwrap();
+            let classic = dijkstra(&ft.network, a, b, |_| 1.0).unwrap();
+            assert_eq!(on, classic);
+            let ksp_on = k_shortest_paths_on(&graph, &mut engine, a, b, 3, |_| 1.0);
+            let ksp = k_shortest_paths(&ft.network, a, b, 3, |_| 1.0);
+            assert_eq!(ksp_on, ksp);
+            assert_eq!(
+                all_shortest_paths_on(&graph, a, b, 16),
+                all_shortest_paths(&ft.network, a, b, 16)
+            );
         }
     }
 }
