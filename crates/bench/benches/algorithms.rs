@@ -7,13 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcn_bench::harness_fmcf_config;
-use dcn_core::baselines;
-use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
-use dcn_core::relaxation::interval_relaxation;
-use dcn_core::routing::Routing;
+use dcn_core::{Algorithm, Dcfsr, RandomScheduleConfig, RoutedMcf, Routing, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_power::PowerFunction;
-use dcn_topology::{builders, k_shortest_paths};
+use dcn_topology::{builders, k_shortest_paths_on, ShortestPathEngine};
 use std::hint::black_box;
 
 fn power() -> PowerFunction {
@@ -28,9 +25,11 @@ fn bench_most_critical_first(c: &mut Criterion) {
             .generate(topo.hosts())
             .expect("workload generates");
         group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
+            let mut ctx = SolverContext::from_network(&topo.network).expect("fat-tree validates");
+            let mut algo = RoutedMcf::shortest_path();
             b.iter(|| {
-                baselines::sp_mcf(black_box(&topo.network), black_box(flows), &power())
-                    .expect("sp_mcf succeeds")
+                algo.solve(&mut ctx, black_box(flows), &power())
+                    .expect("sp-mcf succeeds")
             })
         });
     }
@@ -46,12 +45,13 @@ fn bench_random_schedule(c: &mut Criterion) {
             .generate(topo.hosts())
             .expect("workload generates");
         group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
-            let algo = RandomSchedule::new(RandomScheduleConfig {
+            let mut ctx = SolverContext::from_network(&topo.network).expect("fat-tree validates");
+            let mut algo = Dcfsr::new(RandomScheduleConfig {
                 fmcf: harness_fmcf_config(),
                 ..Default::default()
             });
             b.iter(|| {
-                algo.run(black_box(&topo.network), black_box(flows), &power())
+                algo.solve(&mut ctx, black_box(flows), &power())
                     .expect("random schedule succeeds")
             })
         });
@@ -67,13 +67,10 @@ fn bench_relaxation(c: &mut Criterion) {
     let mut group = c.benchmark_group("interval_relaxation");
     group.sample_size(10);
     group.bench_function("fat_tree4_30flows", |b| {
+        let mut ctx = SolverContext::from_network(&topo.network).expect("fat-tree validates");
         b.iter(|| {
-            interval_relaxation(
-                black_box(&topo.network),
-                black_box(&flows),
-                &power(),
-                &harness_fmcf_config(),
-            )
+            ctx.relax(black_box(&flows), &power(), &harness_fmcf_config())
+                .expect("relaxation succeeds")
         })
     });
     group.finish();
@@ -91,9 +88,12 @@ fn bench_paths(c: &mut Criterion) {
         })
     });
     group.bench_function("k_shortest_paths_k8_fat_tree8", |b| {
+        let graph = topo.csr();
+        let mut engine = ShortestPathEngine::new();
         b.iter(|| {
-            k_shortest_paths(
-                &topo.network,
+            k_shortest_paths_on(
+                &graph,
+                &mut engine,
                 black_box(hosts[0]),
                 black_box(hosts[127]),
                 8,
@@ -105,9 +105,10 @@ fn bench_paths(c: &mut Criterion) {
         .generate(hosts)
         .expect("workload generates");
     group.bench_function("ecmp_routing_50flows", |b| {
+        let graph = topo.csr();
         b.iter(|| {
             Routing::Ecmp { seed: 1 }
-                .compute(black_box(&topo.network), black_box(&flows))
+                .compute_on(black_box(&graph), black_box(&flows))
                 .expect("routable")
         })
     });

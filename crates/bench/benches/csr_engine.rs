@@ -8,14 +8,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcn_bench::harness_fmcf_config;
-use dcn_core::baselines;
-use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
-use dcn_core::relaxation::interval_relaxation;
+use dcn_core::{Algorithm, Dcfsr, RandomScheduleConfig, RoutedMcf, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_power::PowerFunction;
 use dcn_sim::Simulator;
 use dcn_solver::fmcf::{Commodity, FmcfProblem, FmcfScratch, FmcfSolverConfig, PowerFlowCost};
-use dcn_topology::{builders, dijkstra, GraphCsr, ShortestPathEngine};
+#[allow(deprecated)] // the classic one-shot Dijkstra is the benchmark's baseline
+use dcn_topology::dijkstra;
+use dcn_topology::{builders, GraphCsr, ShortestPathEngine};
 use std::hint::black_box;
 
 fn power() -> PowerFunction {
@@ -35,7 +35,10 @@ fn bench_dijkstra(c: &mut Criterion) {
         let weight = |l: dcn_topology::LinkId| 1.0 + (l.index() % 5) as f64 * 0.3;
 
         group.bench_function(&format!("classic_per_call/fat_tree{k}"), |b| {
-            b.iter(|| dijkstra(black_box(&topo.network), src, dst, weight).expect("connected"))
+            b.iter(|| {
+                #[allow(deprecated)] // the classic one-shot path is the benchmark's baseline
+                dijkstra(black_box(&topo.network), src, dst, weight).expect("connected")
+            })
         });
         group.bench_function(&format!("engine_reused/fat_tree{k}"), |b| {
             let mut engine = ShortestPathEngine::new();
@@ -103,22 +106,26 @@ fn bench_fmcf_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-/// One full pipeline instance: relaxation, Random-Schedule on it, SP+MCF,
-/// and simulator verification of both (the body of `run_flow_set`).
+/// One full pipeline instance: one context, Random-Schedule (relaxation
+/// included), SP+MCF, and simulator verification of both (the body of
+/// `run_flow_set`).
 fn pipeline(topo: &builders::BuiltTopology, flows: &dcn_flow::FlowSet, seed: u64) {
     let power = power();
-    let relaxation = interval_relaxation(&topo.network, flows, &power, &harness_fmcf_config());
-    let rs = RandomSchedule::new(RandomScheduleConfig {
+    let mut ctx = SolverContext::from_network(&topo.network).expect("fat-tree validates");
+    let mut rs_algo = Dcfsr::new(RandomScheduleConfig {
         fmcf: harness_fmcf_config(),
         seed,
         ..Default::default()
-    })
-    .run_with_relaxation(&topo.network, flows, &power, &relaxation)
-    .expect("random schedule succeeds");
-    let sp = baselines::sp_mcf(&topo.network, flows, &power).expect("sp_mcf succeeds");
+    });
+    let rs = rs_algo
+        .solve(&mut ctx, flows, &power)
+        .expect("random schedule succeeds");
+    let sp = RoutedMcf::shortest_path()
+        .solve(&mut ctx, flows, &power)
+        .expect("sp-mcf succeeds");
     let simulator = Simulator::new(power);
-    black_box(simulator.run(&topo.network, flows, &rs.schedule));
-    black_box(simulator.run(&topo.network, flows, &sp));
+    black_box(simulator.run_ctx(&ctx, flows, rs.schedule.as_ref().expect("schedules")));
+    black_box(simulator.run_ctx(&ctx, flows, sp.schedule.as_ref().expect("schedules")));
 }
 
 fn bench_dcfsr_end_to_end(c: &mut Criterion) {

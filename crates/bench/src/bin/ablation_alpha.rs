@@ -38,6 +38,9 @@ fn main() {
         }
     }
 
+    if let Some(algorithms) = cli.algorithms.clone() {
+        exp.algorithms = algorithms;
+    }
     let outcome = exp.run(cli.threads);
     let rows: Vec<Vec<String>> = outcome
         .report

@@ -78,6 +78,9 @@ fn main() {
         }
     }
 
+    if let Some(algorithms) = cli.algorithms.clone() {
+        exp.algorithms = algorithms;
+    }
     let outcome = exp.run(cli.threads);
     let report = &outcome.report;
     let rows: Vec<Vec<String>> = report

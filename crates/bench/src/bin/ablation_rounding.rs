@@ -16,9 +16,7 @@
 use dcn_bench::report::{ExperimentReport, InstanceRecord};
 use dcn_bench::runner::{run_indexed, timed, ExperimentCli};
 use dcn_bench::{harness_fmcf_config, print_table};
-use dcn_core::baselines;
-use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
-use dcn_core::relaxation::interval_relaxation;
+use dcn_core::{Algorithm, RandomSchedule, RandomScheduleConfig, RoutedMcf, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_power::PowerFunction;
 use dcn_sim::Simulator;
@@ -49,11 +47,24 @@ fn main() {
     // relaxation and SP+MCF reference (the expensive serial prefix) plus
     // the parallel rounding fan-out.
     let ((relaxation, sp_sim, outcomes), elapsed_seconds) = timed(|| {
-        let relaxation =
-            interval_relaxation(&topo.network, &flow_set, &power, &harness_fmcf_config());
-        let sp = baselines::sp_mcf(&topo.network, &flow_set, &power).expect("SP+MCF succeeds");
+        // The shared interval relaxation and the SP+MCF reference are the
+        // expensive serial prefix, solved once on one context; the rounding
+        // draws (cheap, independent) fan out across the worker pool.
+        let mut ctx = SolverContext::from_network(&topo.network).expect("fat-tree validates");
+        let relaxation = ctx
+            .relax(&flow_set, &power, &harness_fmcf_config())
+            .expect("relaxation succeeds on connected instances");
+        let sp = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flow_set, &power)
+            .expect("SP+MCF succeeds");
         let simulator = Simulator::new(power);
-        let sp_sim = simulator.run(&topo.network, &flow_set, &sp).summary();
+        let sp_sim = simulator
+            .run_ctx(
+                &ctx,
+                &flow_set,
+                sp.schedule.as_ref().expect("sp-mcf schedules"),
+            )
+            .summary();
         let outcomes = run_indexed(jobs.len(), cli.threads, |i| {
             let (budget, seed) = jobs[i];
             let outcome = RandomSchedule::new(RandomScheduleConfig {
@@ -65,7 +76,7 @@ fn main() {
             .run_with_relaxation(&topo.network, &flow_set, &power, &relaxation)
             .expect("rounding succeeds");
             let rs_sim = simulator
-                .run(&topo.network, &flow_set, &outcome.schedule)
+                .run_ctx(&ctx, &flow_set, &outcome.schedule)
                 .summary();
             (
                 outcome.schedule.energy(&power).total(),

@@ -13,7 +13,7 @@
 use dcn_bench::print_table;
 use dcn_bench::report::{ExperimentReport, InstanceRecord};
 use dcn_bench::runner::{timed, ExperimentCli};
-use dcn_core::{most_critical_first, Routing};
+use dcn_core::{Algorithm, RoutedMcf, SolverContext};
 use dcn_flow::FlowSet;
 use dcn_power::PowerFunction;
 use dcn_sim::Simulator;
@@ -28,13 +28,14 @@ fn main() {
         let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)])
             .expect("example flows are valid");
 
-        let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
-            .expect("line network is connected");
-        let schedule = most_critical_first(&topo.network, &flows, &paths, &power)
+        // The optimal DCFS schedule on the (forced) shortest paths is
+        // exactly the `sp-mcf` algorithm of the registry.
+        let mut ctx = SolverContext::from_network(&topo.network).expect("line network validates");
+        let solution = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
             .expect("example instance is feasible");
-        schedule
-            .verify(&topo.network, &flows, &power)
+        let schedule = solution.schedule.as_ref().expect("sp-mcf schedules");
+        ctx.verify(schedule, &flows, &power)
             .expect("optimal schedule is feasible");
 
         let s2_paper = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
@@ -45,7 +46,7 @@ fn main() {
         let s2 = schedule.flow_schedule(1).unwrap().profile.max_rate();
         let energy = schedule.energy(&power).total();
         let sim = Simulator::new(power)
-            .run(&topo.network, &flows, &schedule)
+            .run_ctx(&ctx, &flows, schedule)
             .summary();
 
         let mut report = ExperimentReport::new("example1", &topo.name);

@@ -65,6 +65,9 @@ fn main() {
         }
     }
 
+    if let Some(algorithms) = cli.algorithms.clone() {
+        exp.algorithms = algorithms;
+    }
     let outcome = exp.run(cli.threads);
     for power in fig2_power_functions() {
         let group = format!("x^{}", power.alpha());

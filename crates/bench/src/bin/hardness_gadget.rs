@@ -14,8 +14,7 @@
 use dcn_bench::print_table;
 use dcn_bench::report::{ExperimentReport, InstanceRecord};
 use dcn_bench::runner::{run_indexed, timed, ExperimentCli};
-use dcn_core::baselines;
-use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
+use dcn_core::{Algorithm, Dcfsr, RandomScheduleConfig, RoutedMcf, SolverContext};
 use dcn_flow::workload::hardness;
 use dcn_power::PowerFunction;
 use dcn_topology::builders;
@@ -38,17 +37,20 @@ fn main() {
             let flows = hardness::three_partition_flows(topo.source(), topo.sink(), &values)
                 .expect("gadget flows are valid");
 
-            let outcome = RandomSchedule::new(RandomScheduleConfig {
+            let mut ctx = SolverContext::from_network(&topo.network).expect("gadget validates");
+            let rs = Dcfsr::new(RandomScheduleConfig {
                 max_rounding_attempts: 50,
                 ..Default::default()
             })
-            .run(&topo.network, &flows, &power)
+            .solve(&mut ctx, &flows, &power)
             .expect("gadget is connected");
-            let sp = baselines::sp_mcf(&topo.network, &flows, &power).expect("gadget is connected");
+            let sp = RoutedMcf::shortest_path()
+                .solve(&mut ctx, &flows, &power)
+                .expect("gadget is connected");
 
             let optimum = m as f64 * alpha * mu * b.powf(alpha);
-            let rs_energy = outcome.schedule.energy(&power).total();
-            let sp_energy = sp.energy(&power).total();
+            let rs_energy = rs.total_energy().expect("dcfsr schedules");
+            let sp_energy = sp.total_energy().expect("sp-mcf schedules");
             InstanceRecord {
                 label: format!("m={m}"),
                 flows: flows.len(),
@@ -60,7 +62,7 @@ fn main() {
                 rs_normalized: rs_energy / optimum,
                 sp_normalized: sp_energy / optimum,
                 deadline_misses: 0,
-                rs_capacity_excess: outcome.capacity_excess,
+                rs_capacity_excess: rs.diagnostics.capacity_excess.unwrap_or(0.0),
                 rs_sim: None,
                 sp_sim: None,
                 extra: vec![("m".to_string(), m as f64), ("B".to_string(), b)],

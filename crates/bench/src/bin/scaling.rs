@@ -65,6 +65,9 @@ fn main() {
         }
     }
 
+    if let Some(algorithms) = cli.algorithms.clone() {
+        exp.algorithms = algorithms;
+    }
     let outcome = exp.run(cli.threads);
     for &k in ks {
         let group = format!("k={k}");

@@ -5,29 +5,32 @@
 //! The crate is an experiment-runner subsystem in three layers:
 //!
 //! * **this module** — the solving primitives ([`run_instance`],
-//!   [`run_flow_set`]) and the declarative [`Experiment`] descriptor
-//!   (name, topologies, workload template, instance grid);
+//!   [`run_flow_set`], [`run_flow_set_algorithms`]) and the declarative
+//!   [`Experiment`] descriptor (name, topologies, workload template,
+//!   **algorithm list**, instance grid);
 //! * **[`runner`]** — the scoped worker pool that fans independent
 //!   `(seed, flow-count)` instances out across cores, plus the
 //!   [`runner::ExperimentCli`] shared by every binary;
 //! * **[`report`]** — the versioned, canonical JSON artifact
 //!   (`BENCH_<name>.json`) each run can be serialized to.
 //!
-//! Every binary builds on [`run_instance`]: generate the paper's workload
-//! for a given flow count and seed, solve the per-interval relaxation once
-//! (its cost is the `LB` normaliser), run Random-Schedule on that
-//! relaxation, run the SP+MCF baseline, verify both against the instance
-//! with the fluid simulator, and report LB-normalised energies.
+//! Schedulers are selected **by name** through the
+//! [`dcn_core::AlgorithmRegistry`] ([`harness_registry`] re-registers
+//! `dcfsr` and `lb` with the harness-tuned Frank–Wolfe configuration).
+//! Every instance builds one [`SolverContext`] per solve, runs the
+//! experiment's algorithm list on it — the first algorithm is the
+//! **primary** (the `rs_*` artifact fields), the second the **reference**
+//! (`sp_*`), any further ones land in the record's `extra` dimensions —
+//! and verifies each schedule with the fluid simulator.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod report;
 pub mod runner;
 
-use dcn_core::baselines;
-use dcn_core::dcfsr::{RandomSchedule, RandomScheduleConfig};
-use dcn_core::relaxation::interval_relaxation_on;
+use dcn_core::{AlgorithmRegistry, Dcfsr, RandomScheduleConfig, RelaxationLb, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
 use dcn_power::PowerFunction;
@@ -37,6 +40,16 @@ use dcn_topology::builders::BuiltTopology;
 use serde::Serialize;
 
 use report::{ExperimentReport, InstanceRecord};
+
+/// The default algorithm pair of every experiment: Random-Schedule as the
+/// primary, the paper's SP+MCF baseline as the reference.
+pub const DEFAULT_ALGORITHMS: [&str; 2] = ["dcfsr", "sp-mcf"];
+
+/// [`DEFAULT_ALGORITHMS`] as owned strings (the shape
+/// [`Experiment::algorithms`] stores).
+pub fn default_algorithms() -> Vec<String> {
+    DEFAULT_ALGORITHMS.iter().map(|s| s.to_string()).collect()
+}
 
 /// The result of one (topology, workload, power-function, seed) instance.
 #[derive(Debug, Clone, Serialize)]
@@ -49,27 +62,30 @@ pub struct InstanceResult {
     pub alpha: f64,
     /// The fractional lower bound LB.
     pub lower_bound: f64,
-    /// Energy of Random-Schedule (absolute).
+    /// Energy of the primary algorithm (absolute, simulated).
     pub rs_energy: f64,
-    /// Energy of the SP+MCF baseline (absolute).
+    /// Energy of the reference algorithm (absolute, simulated).
     pub sp_energy: f64,
     /// Number of deadline misses measured by the simulator (must be zero).
     pub deadline_misses: usize,
-    /// Worst per-link capacity excess of the Random-Schedule draw.
+    /// Worst per-link capacity excess of the primary algorithm's schedule.
     pub rs_capacity_excess: f64,
-    /// Simulator verification of the Random-Schedule schedule.
+    /// Simulator verification of the primary schedule.
     pub rs_sim: SimSummary,
-    /// Simulator verification of the SP+MCF schedule.
+    /// Simulator verification of the reference schedule.
     pub sp_sim: SimSummary,
+    /// Simulated energies of any algorithm beyond the first two, as
+    /// `("<name>_energy", energy)` pairs in selection order.
+    pub extra_energies: Vec<(String, f64)>,
 }
 
 impl InstanceResult {
-    /// Random-Schedule energy normalised by the lower bound.
+    /// Primary-algorithm energy normalised by the lower bound.
     pub fn rs_normalized(&self) -> f64 {
         self.rs_energy / self.lower_bound
     }
 
-    /// SP+MCF energy normalised by the lower bound.
+    /// Reference-algorithm energy normalised by the lower bound.
     pub fn sp_normalized(&self) -> f64 {
         self.sp_energy / self.lower_bound
     }
@@ -88,61 +104,163 @@ pub fn harness_fmcf_config() -> FmcfSolverConfig {
     }
 }
 
-/// Runs one instance of the Fig. 2 experiment on an arbitrary topology and
-/// flow set.
+/// The algorithm registry of the benchmark harness: the library defaults
+/// with `dcfsr` and `lb` re-registered on [`harness_fmcf_config`].
+pub fn harness_registry() -> AlgorithmRegistry {
+    let mut registry = AlgorithmRegistry::with_defaults();
+    registry.register("dcfsr", || {
+        Box::new(Dcfsr::new(RandomScheduleConfig {
+            fmcf: harness_fmcf_config(),
+            ..Default::default()
+        }))
+    });
+    registry.register("lb", || Box::new(RelaxationLb::new(harness_fmcf_config())));
+    registry
+}
+
+/// Runs one instance with the default algorithm pair
+/// ([`DEFAULT_ALGORITHMS`]) through [`harness_registry`].
 ///
 /// # Panics
 ///
-/// Panics if the schedulers fail or produce schedules with deadline misses
-/// — these are invariants of the algorithms, so a violation indicates a bug
-/// rather than an expected error path.
+/// See [`run_flow_set_algorithms`].
 pub fn run_flow_set(
     topo: &BuiltTopology,
     flows: &FlowSet,
     power: &PowerFunction,
     seed: u64,
 ) -> InstanceResult {
-    // One CSR view per instance, shared by the relaxation's interval loop
-    // and both simulator verifications.
-    let graph = topo.csr();
-    let relaxation = interval_relaxation_on(&graph, flows, power, &harness_fmcf_config());
-    let rs = RandomSchedule::new(RandomScheduleConfig {
-        fmcf: harness_fmcf_config(),
+    run_flow_set_algorithms(
+        topo,
+        flows,
+        power,
         seed,
-        ..Default::default()
-    })
-    .run_with_relaxation(&topo.network, flows, power, &relaxation)
-    .expect("Random-Schedule must succeed on connected topologies");
-    let sp = baselines::sp_mcf(&topo.network, flows, power)
-        .expect("SP+MCF must succeed on connected topologies");
+        &default_algorithms(),
+        &harness_registry(),
+    )
+}
 
+/// Runs one instance of an experiment on an arbitrary topology and flow
+/// set, with an explicit algorithm selection.
+///
+/// One [`SolverContext`] is built per instance and shared by every
+/// algorithm run (warm CSR view, shortest-path arenas and Frank–Wolfe
+/// buffers) and by the simulator verifications. `algorithms[0]` is the
+/// primary (`rs_*` fields), `algorithms[1]` the reference (`sp_*`), any
+/// further names land in [`InstanceResult::extra_energies`]. The lower
+/// bound is taken from the first algorithm that computes one (`dcfsr`,
+/// `lb`); when none does, the `lb` algorithm is run additionally.
+///
+/// `seed` re-seeds every algorithm's randomness ([`dcn_core::Algorithm::set_seed`]).
+///
+/// # Panics
+///
+/// Panics when fewer than two algorithms are selected, when a name is not
+/// registered, when the first two algorithms do not produce schedules,
+/// when a scheduler fails, or when a primary/reference schedule misses a
+/// deadline — these are invariants of the experiments, so a violation
+/// indicates a bug rather than an expected error path.
+pub fn run_flow_set_algorithms(
+    topo: &BuiltTopology,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    seed: u64,
+    algorithms: &[String],
+    registry: &AlgorithmRegistry,
+) -> InstanceResult {
+    assert!(
+        algorithms.len() >= 2,
+        "an experiment needs a primary and a reference algorithm, got {algorithms:?}"
+    );
+    let mut ctx =
+        SolverContext::from_network(&topo.network).expect("builder topologies always validate");
     let simulator = Simulator::new(*power);
-    let rs_report = simulator.run_on(&graph, flows, &rs.schedule);
-    let sp_report = simulator.run_on(&graph, flows, &sp);
+
+    struct Ran {
+        name: String,
+        sim: Option<SimSummary>,
+        energy: f64,
+        lower_bound: Option<f64>,
+        capacity_excess: f64,
+    }
+
+    let mut ran: Vec<Ran> = Vec::with_capacity(algorithms.len());
+    for name in algorithms {
+        let mut algo = registry
+            .create(name)
+            .unwrap_or_else(|e| panic!("cannot select algorithm: {e}"));
+        algo.set_seed(seed);
+        let solution = algo
+            .solve(&mut ctx, flows, power)
+            .unwrap_or_else(|e| panic!("{name} must solve connected instances: {e}"));
+        match &solution.schedule {
+            Some(schedule) => {
+                let sim = simulator.run_ctx(&ctx, flows, schedule);
+                ran.push(Ran {
+                    name: name.clone(),
+                    sim: Some(sim.summary()),
+                    energy: sim.energy.total(),
+                    lower_bound: solution.lower_bound,
+                    capacity_excess: solution.diagnostics.capacity_excess.unwrap_or(0.0),
+                });
+            }
+            None => ran.push(Ran {
+                name: name.clone(),
+                sim: None,
+                energy: solution.lower_bound.unwrap_or(0.0),
+                lower_bound: solution.lower_bound,
+                capacity_excess: 0.0,
+            }),
+        }
+    }
+
+    let lower_bound = ran.iter().find_map(|r| r.lower_bound).unwrap_or_else(|| {
+        registry
+            .create("lb")
+            .expect("lb is always registered")
+            .solve(&mut ctx, flows, power)
+            .expect("the relaxation solves on connected instances")
+            .lower_bound
+            .expect("lb reports a bound")
+    });
+
+    let rs_sim = ran[0]
+        .sim
+        .expect("the primary algorithm must produce a schedule");
+    let sp_sim = ran[1]
+        .sim
+        .expect("the reference algorithm must produce a schedule");
     assert_eq!(
-        rs_report.deadline_misses, 0,
-        "Random-Schedule must meet every deadline (Theorem 4)"
+        rs_sim.deadline_misses, 0,
+        "{} must meet every deadline",
+        ran[0].name
     );
     assert_eq!(
-        sp_report.deadline_misses, 0,
-        "Most-Critical-First must meet every deadline"
+        sp_sim.deadline_misses, 0,
+        "{} must meet every deadline",
+        ran[1].name
     );
 
     InstanceResult {
         flows: flows.len(),
         seed,
         alpha: power.alpha(),
-        lower_bound: relaxation.lower_bound,
-        rs_energy: rs_report.energy.total(),
-        sp_energy: sp_report.energy.total(),
-        deadline_misses: rs_report.deadline_misses + sp_report.deadline_misses,
-        rs_capacity_excess: rs.capacity_excess,
-        rs_sim: rs_report.summary(),
-        sp_sim: sp_report.summary(),
+        lower_bound,
+        rs_energy: ran[0].energy,
+        sp_energy: ran[1].energy,
+        deadline_misses: rs_sim.deadline_misses + sp_sim.deadline_misses,
+        rs_capacity_excess: ran[0].capacity_excess,
+        rs_sim,
+        sp_sim,
+        extra_energies: ran[2..]
+            .iter()
+            .map(|r| (format!("{}_energy", r.name), r.energy))
+            .collect(),
     }
 }
 
-/// Generates the paper's uniform workload and runs one instance.
+/// Generates the paper's uniform workload and runs one instance with the
+/// default algorithm pair.
 pub fn run_instance(
     topo: &BuiltTopology,
     num_flows: usize,
@@ -229,7 +347,8 @@ pub struct InstanceSpec {
 }
 
 /// A declarative experiment: a name, the topologies it runs on, an optional
-/// uniform-workload template, and the grid of instances to solve.
+/// uniform-workload template, the algorithms to compare, and the grid of
+/// instances to solve.
 ///
 /// [`Experiment::run`] fans the grid out over [`runner::run_indexed`] —
 /// every instance is an independent, internally seeded unit of work — and
@@ -246,6 +365,10 @@ pub struct Experiment {
     /// Template for [`InstanceInput::Uniform`] instances; `None` means
     /// paper defaults.
     pub workload: Option<UniformWorkload>,
+    /// Registry names of the algorithms every instance runs, in order:
+    /// primary, reference, extras. Defaults to [`DEFAULT_ALGORITHMS`];
+    /// overridden by the `--algorithms` CLI selector.
+    pub algorithms: Vec<String>,
     /// The instance grid, in deterministic order.
     pub instances: Vec<InstanceSpec>,
 }
@@ -262,12 +385,14 @@ pub struct RunOutcome {
 }
 
 impl Experiment {
-    /// Creates an experiment with an empty instance grid.
+    /// Creates an experiment with an empty instance grid and the default
+    /// algorithm pair.
     pub fn new(name: impl Into<String>, topologies: Vec<BuiltTopology>) -> Self {
         Self {
             name: name.into(),
             topologies,
             workload: None,
+            algorithms: default_algorithms(),
             instances: Vec::new(),
         }
     }
@@ -282,15 +407,22 @@ impl Experiment {
     ///
     /// # Panics
     ///
-    /// Panics when an instance references a topology index out of range,
-    /// when workload generation fails, or when a scheduler violates its
-    /// invariants (see [`run_flow_set`]).
+    /// Panics when an algorithm name is not registered in
+    /// [`harness_registry`], when an instance references a topology index
+    /// out of range, when workload generation fails, or when a scheduler
+    /// violates its invariants (see [`run_flow_set_algorithms`]).
     pub fn run(&self, threads: usize) -> RunOutcome {
+        let registry = harness_registry();
+        for name in &self.algorithms {
+            registry
+                .create(name)
+                .unwrap_or_else(|e| panic!("[{}] {e}", self.name));
+        }
         let total = self.instances.len();
         let done = std::sync::atomic::AtomicUsize::new(0);
         let (results, elapsed_seconds) = runner::timed(|| {
             runner::run_indexed(total, threads, |i| {
-                let result = self.solve(i);
+                let result = self.solve(i, &registry);
                 let spec = &self.instances[i];
                 let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                 eprintln!(
@@ -323,7 +455,7 @@ impl Experiment {
     }
 
     /// Solves the `i`-th instance of the grid.
-    fn solve(&self, i: usize) -> InstanceResult {
+    fn solve(&self, i: usize, registry: &AlgorithmRegistry) -> InstanceResult {
         let spec = &self.instances[i];
         let topo = &self.topologies[spec.topology];
         match &spec.input {
@@ -337,16 +469,32 @@ impl Experiment {
                 let flow_set = workload
                     .generate(topo.hosts())
                     .expect("workload generation succeeds on topologies with >= 2 hosts");
-                run_flow_set(topo, &flow_set, &spec.power, spec.seed)
+                run_flow_set_algorithms(
+                    topo,
+                    &flow_set,
+                    &spec.power,
+                    spec.seed,
+                    &self.algorithms,
+                    registry,
+                )
             }
-            InstanceInput::Explicit(flow_set) => {
-                run_flow_set(topo, flow_set, &spec.power, spec.seed)
-            }
+            InstanceInput::Explicit(flow_set) => run_flow_set_algorithms(
+                topo,
+                flow_set,
+                &spec.power,
+                spec.seed,
+                &self.algorithms,
+                registry,
+            ),
         }
     }
 
-    /// Builds the artifact record of one solved instance.
+    /// Builds the artifact record of one solved instance; energies of
+    /// algorithms beyond the primary/reference pair are appended to the
+    /// record's `extra` dimensions.
     fn record(spec: &InstanceSpec, result: &InstanceResult) -> InstanceRecord {
+        let mut extra = spec.extra.clone();
+        extra.extend(result.extra_energies.iter().cloned());
         InstanceRecord {
             label: format!("{} x={} seed={}", spec.group, spec.x, spec.seed),
             flows: result.flows,
@@ -361,7 +509,7 @@ impl Experiment {
             rs_capacity_excess: result.rs_capacity_excess,
             rs_sim: Some(result.rs_sim),
             sp_sim: Some(result.sp_sim),
-            extra: spec.extra.clone(),
+            extra,
         }
     }
 
@@ -392,6 +540,42 @@ mod tests {
         assert!(r.rs_normalized() >= 1.0 - 1e-9);
         assert!(r.sp_normalized() >= 1.0 - 1e-9);
         assert_eq!(r.deadline_misses, 0);
+        assert!(r.extra_energies.is_empty());
+    }
+
+    #[test]
+    fn extra_algorithms_land_in_extra_energies() {
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        let flows = UniformWorkload::paper_defaults(12, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        let names: Vec<String> = ["dcfsr", "sp-mcf", "ecmp", "least-loaded"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let r = run_flow_set_algorithms(&topo, &flows, &power, 3, &names, &harness_registry());
+        assert_eq!(r.extra_energies.len(), 2);
+        assert_eq!(r.extra_energies[0].0, "ecmp_energy");
+        assert_eq!(r.extra_energies[1].0, "least-loaded_energy");
+        for (_, energy) in &r.extra_energies {
+            assert!(*energy >= r.lower_bound - 1e-6);
+        }
+    }
+
+    #[test]
+    fn reference_only_selection_still_gets_a_lower_bound() {
+        // Neither sp-mcf nor ecmp computes LB as a by-product; the harness
+        // must fall back to the lb algorithm.
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        let flows = UniformWorkload::paper_defaults(10, 5)
+            .generate(topo.hosts())
+            .unwrap();
+        let names: Vec<String> = ["sp-mcf", "ecmp"].iter().map(|s| s.to_string()).collect();
+        let r = run_flow_set_algorithms(&topo, &flows, &power, 5, &names, &harness_registry());
+        assert!(r.lower_bound > 0.0);
+        assert!(r.rs_energy >= r.lower_bound - 1e-6);
     }
 
     #[test]
@@ -447,6 +631,40 @@ mod tests {
         let serial = exp.run(1).report.to_json();
         let parallel = exp.run(3).report.to_json();
         assert_eq!(serial, parallel, "JSON must not depend on --threads");
+    }
+
+    #[test]
+    fn experiment_with_algorithm_selection_records_extras() {
+        let mut exp = Experiment::new("unit", vec![builders::fat_tree(4)]);
+        exp.algorithms = vec![
+            "dcfsr".to_string(),
+            "sp-mcf".to_string(),
+            "greedy".to_string(),
+        ];
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        exp.push(InstanceSpec {
+            group: "x^2".to_string(),
+            x: 10.0,
+            topology: 0,
+            power,
+            input: InstanceInput::Uniform { flows: 10 },
+            seed: 4,
+            extra: vec![("run".to_string(), 0.0)],
+        });
+        let outcome = exp.run(1);
+        let record = &outcome.report.instances[0];
+        assert_eq!(record.extra("run"), Some(0.0));
+        let greedy = record.extra("greedy_energy").expect("greedy recorded");
+        assert!(greedy >= record.lower_bound - 1e-6);
+        outcome.report.validate().expect("artifact validates");
+    }
+
+    #[test]
+    #[should_panic(expected = "no algorithm named")]
+    fn unknown_algorithm_name_fails_fast() {
+        let mut exp = Experiment::new("unit", vec![builders::fat_tree(4)]);
+        exp.algorithms = vec!["dcfsr".to_string(), "frobnicate".to_string()];
+        exp.run(1);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 /// --flows N       workload size for the single-size ablations
 /// --step N        flow-count step of the fig2 sweep
 /// --threads N     worker threads (default: all cores)
+/// --algorithms L  comma-separated registry names to compare (primary,
+///                 reference, extras), e.g. dcfsr,sp-mcf,ecmp,greedy;
+///                 defaults to the experiment's own selection
 /// --quick         CI smoke mode: smallest topology, one run per point
 /// --full          paper-scale mode (fig2: 10 runs, step 20)
 /// --small         swap the k=8 fat-tree for k=4 (fig2)
@@ -105,6 +108,9 @@ pub struct ExperimentCli {
     pub step: Option<usize>,
     /// `--threads N`: worker-pool size; defaults to every available core.
     pub threads: usize,
+    /// `--algorithms a,b,...`: registry names to compare (primary,
+    /// reference, extras); `None` keeps the experiment's default.
+    pub algorithms: Option<Vec<String>>,
     /// `--quick`: CI smoke mode (smallest topology, one run per point).
     pub quick: bool,
     /// `--full`: paper-scale mode.
@@ -118,7 +124,14 @@ pub struct ExperimentCli {
 }
 
 /// The flags [`ExperimentCli::from_args`] accepts a value for.
-const VALUE_FLAGS: &[&str] = &["--runs", "--seeds", "--flows", "--step", "--threads"];
+const VALUE_FLAGS: &[&str] = &[
+    "--runs",
+    "--seeds",
+    "--flows",
+    "--step",
+    "--threads",
+    "--algorithms",
+];
 
 /// The boolean flags [`ExperimentCli::from_args`] accepts.
 const SWITCH_FLAGS: &[&str] = &["--quick", "--full", "--small", "--timings"];
@@ -133,7 +146,8 @@ impl ExperimentCli {
                 eprintln!("{experiment}: {message}");
                 eprintln!(
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
-                     [--threads N] [--quick] [--full] [--small] [--json-out [PATH]] [--timings]"
+                     [--threads N] [--algorithms a,b,...] [--quick] [--full] [--small] \
+                     [--json-out [PATH]] [--timings]"
                 );
                 std::process::exit(2);
             }
@@ -153,6 +167,7 @@ impl ExperimentCli {
             flows: None,
             step: None,
             threads: default_threads(),
+            algorithms: None,
             quick: false,
             full: false,
             small: false,
@@ -185,6 +200,21 @@ impl ExperimentCli {
                     "--flows" => cli.flows = Some(parse_value(flag, value)?),
                     "--step" => cli.step = Some(parse_value(flag, value)?),
                     "--threads" => cli.threads = parse_value(flag, value)?,
+                    "--algorithms" => {
+                        let names: Vec<String> = value
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|n| !n.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if names.len() < 2 {
+                            return Err(format!(
+                                "--algorithms expects at least a primary and a reference \
+                                 (comma-separated), got {value:?}"
+                            ));
+                        }
+                        cli.algorithms = Some(names);
+                    }
                     _ => unreachable!("flag is in VALUE_FLAGS"),
                 }
                 i += 2;
@@ -311,6 +341,23 @@ mod tests {
         assert_eq!(cli.threads, 3);
         assert!(cli.quick && !cli.full);
         assert_eq!(cli.json_out, Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn cli_parses_the_algorithms_selector() {
+        let cli = ExperimentCli::from_args("fig2", &args(&["--algorithms", "dcfsr,sp-mcf,ecmp"]))
+            .unwrap();
+        assert_eq!(
+            cli.algorithms,
+            Some(vec![
+                "dcfsr".to_string(),
+                "sp-mcf".to_string(),
+                "ecmp".to_string()
+            ])
+        );
+        // A single name cannot form a primary/reference pair.
+        assert!(ExperimentCli::from_args("fig2", &args(&["--algorithms", "dcfsr"])).is_err());
+        assert!(ExperimentCli::from_args("fig2", &args(&["--algorithms"])).is_err());
     }
 
     #[test]

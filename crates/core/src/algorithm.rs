@@ -1,0 +1,728 @@
+//! The pluggable scheduler interface: one [`Algorithm`] trait, one
+//! implementation per scheme, and a string-keyed [`AlgorithmRegistry`].
+//!
+//! Every scheduling/routing scheme in the reproduction — the paper's two
+//! algorithms, the five comparison baselines, the fractional lower bound
+//! and the exhaustive optimum — implements [`Algorithm`] and plugs into a
+//! shared [`SolverContext`], so new workloads and experiment harnesses
+//! select schedulers **by name** instead of wiring bespoke call paths:
+//!
+//! | name | scheme |
+//! |------|--------|
+//! | `dcfsr` | Random-Schedule (paper Algorithm 2): joint routing + scheduling |
+//! | `sp-mcf` | shortest-path routing + Most-Critical-First (paper's `SP+MCF`) |
+//! | `ecmp` | seeded ECMP routing + Most-Critical-First |
+//! | `least-loaded` | volume-aware k-shortest-path routing + Most-Critical-First |
+//! | `consolidate` | ElasticTree-style link-minimising routing + Most-Critical-First |
+//! | `greedy` | shortest path at full line rate, no energy management |
+//! | `lb` | the per-interval fractional relaxation (bound only, no schedule) |
+//! | `exact` | exhaustive path enumeration + Most-Critical-First (tiny instances) |
+
+use crate::context::SolverContext;
+use crate::dcfs::most_critical_first;
+use crate::dcfsr::{RandomSchedule, RandomScheduleConfig};
+use crate::error::SolveError;
+use crate::routing::{Routing, RoutingError};
+use crate::schedule::{FlowSchedule, Schedule};
+use crate::solution::Solution;
+use dcn_flow::FlowSet;
+use dcn_power::{PowerFunction, RateProfile};
+use dcn_solver::fmcf::FmcfSolverConfig;
+use dcn_topology::{k_shortest_paths_on, Path};
+use std::fmt;
+
+/// A deadline-constrained flow scheduler that runs on a shared
+/// [`SolverContext`].
+///
+/// Implementations are cheap, reusable objects: construct (or
+/// [`AlgorithmRegistry::create`]) once, call [`Algorithm::solve`] many
+/// times. The context carries all warm per-network state; the algorithm
+/// object only carries configuration.
+pub trait Algorithm {
+    /// The registry name of the algorithm (stable, lowercase, kebab-case).
+    fn name(&self) -> &str;
+
+    /// Re-seeds the algorithm's randomness, if it has any (`dcfsr`
+    /// rounding, `ecmp` path draws). Deterministic algorithms ignore this.
+    fn set_seed(&mut self, _seed: u64) {}
+
+    /// Solves one instance: produces a [`Solution`] for `flows` on the
+    /// context's network under `power`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SolveError`] for invalid input (empty flow set,
+    /// endpoints outside the network, disconnected commodities) or for
+    /// algorithm-specific failures (infeasibility, enumeration budget).
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError>;
+}
+
+impl fmt::Debug for dyn Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Algorithm({})", self.name())
+    }
+}
+
+/// **Random-Schedule** (paper Algorithm 2) as an [`Algorithm`]: relaxation
+/// → decomposition → randomized rounding → density scheduling.
+///
+/// The solution carries the fractional lower bound (computed as a
+/// by-product of the relaxation) and the rounding diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Dcfsr {
+    config: RandomScheduleConfig,
+}
+
+impl Dcfsr {
+    /// Creates the algorithm with an explicit configuration.
+    pub fn new(config: RandomScheduleConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RandomScheduleConfig {
+        &self.config
+    }
+}
+
+impl Algorithm for Dcfsr {
+    fn name(&self) -> &str {
+        "dcfsr"
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError> {
+        let relaxation = ctx.relax(flows, power, &self.config.fmcf)?;
+        let outcome = RandomSchedule::new(self.config).run_with_relaxation(
+            ctx.network(),
+            flows,
+            power,
+            &relaxation,
+        )?;
+        let energy = outcome.schedule.energy(power);
+        let mut solution = Solution::scheduled(self.name(), outcome.schedule, energy);
+        solution.lower_bound = Some(relaxation.lower_bound);
+        solution.diagnostics.rounding_attempts = Some(outcome.attempts);
+        solution.diagnostics.capacity_excess = Some(outcome.capacity_excess);
+        solution.diagnostics.relaxation_intervals = Some(relaxation.intervals.len());
+        Ok(solution)
+    }
+}
+
+/// A routing strategy followed by the optimal DCFS scheduler
+/// (Most-Critical-First): the shape of the paper's `SP+MCF` baseline and
+/// its ECMP / least-loaded variants.
+#[derive(Debug, Clone)]
+pub struct RoutedMcf {
+    name: String,
+    routing: Routing,
+}
+
+impl RoutedMcf {
+    /// The paper's `SP+MCF` baseline (registry name `sp-mcf`).
+    pub fn shortest_path() -> Self {
+        Self {
+            name: "sp-mcf".to_string(),
+            routing: Routing::ShortestPath,
+        }
+    }
+
+    /// Seeded ECMP routing + Most-Critical-First (registry name `ecmp`).
+    pub fn ecmp(seed: u64) -> Self {
+        Self {
+            name: "ecmp".to_string(),
+            routing: Routing::Ecmp { seed },
+        }
+    }
+
+    /// Volume-aware k-shortest-path routing + Most-Critical-First
+    /// (registry name `least-loaded`).
+    pub fn least_loaded(k: usize) -> Self {
+        Self {
+            name: "least-loaded".to_string(),
+            routing: Routing::LeastLoadedKsp { k },
+        }
+    }
+
+    /// A custom-named pairing of any [`Routing`] strategy with
+    /// Most-Critical-First, for experiment-specific registrations.
+    pub fn custom(name: impl Into<String>, routing: Routing) -> Self {
+        Self {
+            name: name.into(),
+            routing,
+        }
+    }
+
+    /// The routing strategy in use.
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+}
+
+impl Algorithm for RoutedMcf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        if let Routing::Ecmp { seed: s } = &mut self.routing {
+            *s = seed;
+        }
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError> {
+        ctx.validate_flow_shape(flows)?;
+        let paths = ctx.route(&self.routing, flows)?;
+        let schedule = most_critical_first(ctx.network(), flows, &paths, power)?;
+        let energy = schedule.energy(power);
+        Ok(Solution::scheduled(self.name.clone(), schedule, energy))
+    }
+}
+
+/// The consolidation-style (ElasticTree-like) baseline as an
+/// [`Algorithm`] (registry name `consolidate`): flows are routed greedily,
+/// in decreasing volume order, onto the candidate shortest path that
+/// activates the fewest *new* links (ties broken by committed volume, then
+/// hop count), then scheduled optimally with Most-Critical-First.
+#[derive(Debug, Clone)]
+pub struct ConsolidatingMcf {
+    k: usize,
+}
+
+impl ConsolidatingMcf {
+    /// Creates the baseline considering `k` candidate shortest paths per
+    /// flow.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1) }
+    }
+}
+
+impl Default for ConsolidatingMcf {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl Algorithm for ConsolidatingMcf {
+    fn name(&self) -> &str {
+        "consolidate"
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError> {
+        ctx.validate_flow_shape(flows)?;
+
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.sort_by(|&a, &b| {
+            flows
+                .flow(b)
+                .volume
+                .partial_cmp(&flows.flow(a).volume)
+                .expect("finite volumes")
+        });
+
+        let (graph, engine, _) = ctx.parts();
+        let mut active = vec![false; graph.link_count()];
+        let mut committed = vec![0.0_f64; graph.link_count()];
+        let mut paths: Vec<Option<Path>> = vec![None; flows.len()];
+        for id in order {
+            let f = flows.flow(id);
+            let candidates = k_shortest_paths_on(graph, engine, f.src, f.dst, self.k, |_| 1.0);
+            if candidates.is_empty() {
+                return Err(SolveError::from(RoutingError::Unreachable { flow: f.id }));
+            }
+            let best = candidates
+                .into_iter()
+                .min_by(|a, b| {
+                    let new_a = a.links().iter().filter(|l| !active[l.index()]).count();
+                    let new_b = b.links().iter().filter(|l| !active[l.index()]).count();
+                    let load_a = a
+                        .links()
+                        .iter()
+                        .map(|l| committed[l.index()])
+                        .fold(0.0_f64, f64::max);
+                    let load_b = b
+                        .links()
+                        .iter()
+                        .map(|l| committed[l.index()])
+                        .fold(0.0_f64, f64::max);
+                    new_a
+                        .cmp(&new_b)
+                        .then(load_a.partial_cmp(&load_b).expect("finite volumes"))
+                        .then(a.len().cmp(&b.len()))
+                })
+                .expect("candidates non-empty");
+            for &l in best.links() {
+                active[l.index()] = true;
+                committed[l.index()] += f.volume;
+            }
+            paths[id] = Some(best);
+        }
+        let paths: Vec<Path> = paths
+            .into_iter()
+            .map(|p| p.expect("every flow routed"))
+            .collect();
+        let schedule = most_critical_first(ctx.network(), flows, &paths, power)?;
+        let energy = schedule.energy(power);
+        Ok(Solution::scheduled(self.name(), schedule, energy))
+    }
+}
+
+/// The "no energy management" baseline as an [`Algorithm`] (registry name
+/// `greedy`): every flow is routed on its shortest path and transmitted at
+/// full line rate from its release time.
+///
+/// The schedule ignores contention, so it may exceed link capacities when
+/// many flows collide; [`SolverContext::verify`] reports that separately.
+/// It exists to quantify how much energy headroom deadline-aware
+/// scheduling exploits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullRateGreedy;
+
+impl Algorithm for FullRateGreedy {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError> {
+        ctx.validate_flow_shape(flows)?;
+        let paths = ctx.route(&Routing::ShortestPath, flows)?;
+        let horizon = flows.horizon();
+        let rate = power.capacity();
+        let flow_schedules = flows
+            .iter()
+            .map(|f| {
+                // Transmit at full rate from the release; if even full rate
+                // cannot meet the deadline, stretch to the density (the
+                // flow is then infeasible at line rate and verification
+                // will say so).
+                let duration = (f.volume / rate).min(f.span_length());
+                let actual_rate = f.volume / duration;
+                FlowSchedule::uniform(
+                    f.id,
+                    paths[f.id].clone(),
+                    RateProfile::constant(f.release, f.release + duration, actual_rate),
+                )
+            })
+            .collect();
+        let schedule = Schedule::new(flow_schedules, horizon);
+        let energy = schedule.energy(power);
+        Ok(Solution::scheduled(self.name(), schedule, energy))
+    }
+}
+
+/// The per-interval fractional relaxation as an [`Algorithm`] (registry
+/// name `lb`): computes the lower bound `LB` that normalises the paper's
+/// Fig. 2, without producing a schedule.
+#[derive(Debug, Clone, Default)]
+pub struct RelaxationLb {
+    config: FmcfSolverConfig,
+}
+
+impl RelaxationLb {
+    /// Creates the bound with an explicit Frank–Wolfe configuration.
+    pub fn new(config: FmcfSolverConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Algorithm for RelaxationLb {
+    fn name(&self) -> &str {
+        "lb"
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError> {
+        let relaxation = ctx.relax(flows, power, &self.config)?;
+        let mut solution = Solution::bound_only(self.name(), relaxation.lower_bound);
+        solution.diagnostics.relaxation_intervals = Some(relaxation.intervals.len());
+        Ok(solution)
+    }
+}
+
+/// Exact DCFSR by exhaustive path enumeration as an [`Algorithm`]
+/// (registry name `exact`) — for tiny instances only; see
+/// [`crate::exact`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExactBrute {
+    /// Candidate paths enumerated per flow (Yen's k-shortest by hop
+    /// count).
+    pub paths_per_flow: usize,
+    /// Upper bound on `paths_per_flow ^ flows`; larger instances return
+    /// [`SolveError::TooLarge`].
+    pub max_assignments: u128,
+}
+
+impl ExactBrute {
+    /// Creates the enumerator with an explicit budget.
+    pub fn new(paths_per_flow: usize, max_assignments: u128) -> Self {
+        Self {
+            paths_per_flow,
+            max_assignments,
+        }
+    }
+}
+
+impl Default for ExactBrute {
+    fn default() -> Self {
+        Self::new(3, 100_000)
+    }
+}
+
+impl Algorithm for ExactBrute {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<Solution, SolveError> {
+        ctx.validate_flow_shape(flows)?;
+        let outcome = crate::exact::exact_dcfsr_ctx(
+            ctx,
+            flows,
+            power,
+            self.paths_per_flow,
+            self.max_assignments,
+        )?;
+        let energy = outcome.schedule.energy(power);
+        let mut solution = Solution::scheduled(self.name(), outcome.schedule, energy);
+        solution.diagnostics.assignments_tried = Some(outcome.assignments_tried);
+        Ok(solution)
+    }
+}
+
+/// A factory producing fresh algorithm instances.
+type Factory = Box<dyn Fn() -> Box<dyn Algorithm> + Send + Sync>;
+
+/// A string-keyed registry of [`Algorithm`] factories.
+///
+/// [`AlgorithmRegistry::with_defaults`] registers every scheme shipped by
+/// this crate (see the [module docs](self) for the name table); harnesses
+/// can [`AlgorithmRegistry::register`] their own factories — or re-register
+/// a default name with different configuration — and select algorithms by
+/// name from CLI flags or experiment descriptors.
+pub struct AlgorithmRegistry {
+    entries: Vec<(String, Factory)>,
+}
+
+impl AlgorithmRegistry {
+    /// Creates an empty registry.
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a registry with every built-in algorithm registered, in the
+    /// documented order: `dcfsr`, `sp-mcf`, `ecmp`, `least-loaded`,
+    /// `consolidate`, `greedy`, `lb`, `exact`.
+    pub fn with_defaults() -> Self {
+        let mut registry = Self::empty();
+        registry.register("dcfsr", || Box::new(Dcfsr::default()));
+        registry.register("sp-mcf", || Box::new(RoutedMcf::shortest_path()));
+        registry.register("ecmp", || Box::new(RoutedMcf::ecmp(0)));
+        registry.register("least-loaded", || Box::new(RoutedMcf::least_loaded(4)));
+        registry.register("consolidate", || Box::new(ConsolidatingMcf::default()));
+        registry.register("greedy", || Box::new(FullRateGreedy));
+        registry.register("lb", || Box::new(RelaxationLb::default()));
+        registry.register("exact", || Box::new(ExactBrute::default()));
+        registry
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory produces an algorithm whose
+    /// [`Algorithm::name`] differs from `name` — the registry's round-trip
+    /// invariant (`create(name).name() == name`).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Algorithm> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        assert_eq!(
+            factory().name(),
+            name,
+            "registry name must match Algorithm::name()"
+        );
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, f)) => *f = Box::new(factory),
+            None => self.entries.push((name, Box::new(factory))),
+        }
+    }
+
+    /// Instantiates the algorithm registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::UnknownAlgorithm`] for unregistered names.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Algorithm>, SolveError> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, factory)| factory())
+            .ok_or_else(|| SolveError::UnknownAlgorithm {
+                name: name.to_string(),
+            })
+    }
+
+    /// Returns `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl Default for AlgorithmRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl fmt::Debug for AlgorithmRegistry {
+    /// The factories are opaque closures, so print the registered names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlgorithmRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_flow::workload::UniformWorkload;
+    use dcn_topology::builders;
+
+    fn x2(capacity: f64) -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+    }
+
+    #[test]
+    fn registry_defaults_cover_every_scheme() {
+        let registry = AlgorithmRegistry::with_defaults();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "dcfsr",
+                "sp-mcf",
+                "ecmp",
+                "least-loaded",
+                "consolidate",
+                "greedy",
+                "lb",
+                "exact"
+            ]
+        );
+        for name in registry.names() {
+            assert!(registry.contains(name));
+            assert_eq!(registry.create(name).unwrap().name(), name);
+        }
+        assert_eq!(
+            registry.create("nope").unwrap_err(),
+            SolveError::UnknownAlgorithm {
+                name: "nope".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn register_replaces_and_rejects_mismatched_names() {
+        let mut registry = AlgorithmRegistry::empty();
+        registry.register("dcfsr", || {
+            Box::new(Dcfsr::new(RandomScheduleConfig {
+                max_rounding_attempts: 3,
+                ..Default::default()
+            }))
+        });
+        assert_eq!(registry.names(), vec!["dcfsr"]);
+        // Replacing under the same name keeps a single entry.
+        registry.register("dcfsr", || Box::new(Dcfsr::default()));
+        assert_eq!(registry.names(), vec!["dcfsr"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry name must match")]
+    fn register_panics_on_name_mismatch() {
+        let mut registry = AlgorithmRegistry::empty();
+        registry.register("not-dcfsr", || Box::new(Dcfsr::default()));
+    }
+
+    #[test]
+    fn dcfsr_solution_matches_the_legacy_outcome() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(20, 5)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut algo = Dcfsr::default();
+        algo.set_seed(5);
+        let solution = algo.solve(&mut ctx, &flows, &power).unwrap();
+
+        let relaxation = crate::relaxation::interval_relaxation_on(
+            &topo.csr(),
+            &flows,
+            &power,
+            &FmcfSolverConfig::default(),
+        );
+        let legacy = RandomSchedule::new(RandomScheduleConfig {
+            seed: 5,
+            ..Default::default()
+        })
+        .run_with_relaxation(&topo.network, &flows, &power, &relaxation)
+        .unwrap();
+        assert_eq!(solution.schedule.as_ref().unwrap(), &legacy.schedule);
+        assert_eq!(solution.lower_bound, Some(relaxation.lower_bound));
+        assert_eq!(
+            solution.diagnostics.rounding_attempts,
+            Some(legacy.attempts)
+        );
+        assert_eq!(
+            solution.diagnostics.capacity_excess,
+            Some(legacy.capacity_excess)
+        );
+    }
+
+    #[test]
+    fn every_scheduling_algorithm_verifies_on_a_fat_tree() {
+        let topo = builders::fat_tree(4);
+        let power = x2(1e9);
+        let flows = UniformWorkload::paper_defaults(12, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let registry = AlgorithmRegistry::with_defaults();
+        for name in ["dcfsr", "sp-mcf", "ecmp", "least-loaded", "consolidate"] {
+            let mut algo = registry.create(name).unwrap();
+            algo.set_seed(7);
+            let solution = algo.solve(&mut ctx, &flows, &power).unwrap();
+            let schedule = solution.schedule.as_ref().unwrap();
+            ctx.verify(schedule, &flows, &power)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(solution.algorithm(), name);
+            assert!(solution.total_energy().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lb_is_a_bound_for_every_scheduler() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(15, 9)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let lb = RelaxationLb::default()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap()
+            .lower_bound
+            .unwrap();
+        assert!(lb > 0.0);
+        for name in ["dcfsr", "sp-mcf"] {
+            let mut algo = AlgorithmRegistry::with_defaults().create(name).unwrap();
+            let energy = algo
+                .solve(&mut ctx, &flows, &power)
+                .unwrap()
+                .total_energy()
+                .unwrap();
+            assert!(energy >= lb - 1e-6, "{name}: {energy} < LB {lb}");
+        }
+    }
+
+    #[test]
+    fn exact_beats_or_matches_dcfsr_on_parallel_links() {
+        let topo = builders::parallel(3, 100.0);
+        let flows =
+            FlowSet::from_tuples((0..3).map(|_| (topo.source(), topo.sink(), 0.0, 2.0, 4.0)))
+                .unwrap();
+        let power = x2(100.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let exact = ExactBrute::default()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        let dcfsr = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+        assert!(exact.diagnostics.assignments_tried.unwrap() > 0);
+        assert!(exact.total_energy().unwrap() <= dcfsr.total_energy().unwrap() + 1e-6);
+        ctx.verify(exact.schedule.as_ref().unwrap(), &flows, &power)
+            .unwrap();
+    }
+
+    #[test]
+    fn greedy_delivers_everything_at_line_rate() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = UniformWorkload::paper_defaults(10, 17)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = FullRateGreedy.solve(&mut ctx, &flows, &power).unwrap();
+        for (flow, fs) in flows
+            .iter()
+            .zip(solution.schedule.as_ref().unwrap().flow_schedules())
+        {
+            assert!((fs.delivered_volume() - flow.volume).abs() < 1e-6);
+            assert!(fs.profile.max_rate() <= power.capacity() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_flow_set_is_rejected_uniformly() {
+        let topo = builders::line(3);
+        let flows = FlowSet::from_flows(vec![]).unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let registry = AlgorithmRegistry::with_defaults();
+        for name in registry.names() {
+            let err = registry
+                .create(name)
+                .unwrap()
+                .solve(&mut ctx, &flows, &power)
+                .unwrap_err();
+            assert_eq!(err, SolveError::EmptyFlowSet, "{name}");
+        }
+    }
+
+    use dcn_flow::FlowSet;
+}

@@ -6,6 +6,11 @@
 //! optimal DCFS scheduler. This module provides that baseline plus two
 //! extension baselines used in the ablation experiments: ECMP routing and a
 //! greedy "as fast as possible" scheme with no energy management at all.
+//!
+//! Every baseline is also available behind the [`crate::Algorithm`]
+//! interface (`sp-mcf`, `ecmp`, `least-loaded`, `consolidate`, `greedy` in
+//! the [`crate::AlgorithmRegistry`]); the free functions here are the
+//! deprecated one-shot delegates kept for the transition.
 
 use crate::dcfs::{most_critical_first, DcfsError};
 use crate::routing::{Routing, RoutingError};
@@ -53,6 +58,11 @@ impl From<DcfsError> for BaselineError {
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "run the `sp-mcf` algorithm (`RoutedMcf::shortest_path`) on a SolverContext"
+)]
+#[allow(deprecated)] // the delegate body intentionally keeps the legacy call path
 pub fn sp_mcf(
     network: &Network,
     flows: &FlowSet,
@@ -69,6 +79,11 @@ pub fn sp_mcf(
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "run the `ecmp` algorithm (`RoutedMcf::ecmp`) on a SolverContext"
+)]
+#[allow(deprecated)] // the delegate body intentionally keeps the legacy call path
 pub fn ecmp_mcf(
     network: &Network,
     flows: &FlowSet,
@@ -85,6 +100,11 @@ pub fn ecmp_mcf(
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "run the `least-loaded` algorithm (`RoutedMcf::least_loaded`) on a SolverContext"
+)]
+#[allow(deprecated)] // the delegate body intentionally keeps the legacy call path
 pub fn least_loaded_mcf(
     network: &Network,
     flows: &FlowSet,
@@ -108,6 +128,11 @@ pub fn least_loaded_mcf(
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "run the `consolidate` algorithm (`ConsolidatingMcf`) on a SolverContext"
+)]
+#[allow(deprecated)] // the delegate body intentionally keeps the legacy call path
 pub fn consolidating_mcf(
     network: &Network,
     flows: &FlowSet,
@@ -186,6 +211,11 @@ pub fn consolidating_mcf(
 /// # Errors
 ///
 /// Propagates routing failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "run the `greedy` algorithm (`FullRateGreedy`) on a SolverContext"
+)]
+#[allow(deprecated)] // the delegate body intentionally keeps the legacy call path
 pub fn full_rate_greedy(
     network: &Network,
     flows: &FlowSet,
@@ -219,7 +249,8 @@ pub fn full_rate_greedy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dcfsr::RandomSchedule;
+    use crate::algorithm::{ConsolidatingMcf, Dcfsr, FullRateGreedy, RoutedMcf};
+    use crate::{Algorithm, SolverContext};
     use dcn_flow::workload::UniformWorkload;
     use dcn_topology::builders;
 
@@ -234,8 +265,12 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(40, 13)
             .generate(topo.hosts())
             .unwrap();
-        let schedule = sp_mcf(&topo.network, &flows, &power).unwrap();
-        schedule.verify(&topo.network, &flows, &power).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        ctx.verify(solution.schedule.as_ref().unwrap(), &flows, &power)
+            .unwrap();
     }
 
     #[test]
@@ -245,11 +280,12 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(30, 21)
             .generate(topo.hosts())
             .unwrap();
-        let outcome = RandomSchedule::default()
-            .run(&topo.network, &flows, &power)
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let rs = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+        let sp = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
             .unwrap();
-        let sp = sp_mcf(&topo.network, &flows, &power).unwrap();
-        assert!(sp.energy(&power).total() >= outcome.lower_bound - 1e-6);
+        assert!(sp.total_energy().unwrap() >= rs.lower_bound.unwrap() - 1e-6);
     }
 
     #[test]
@@ -259,12 +295,16 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(25, 3)
             .generate(topo.hosts())
             .unwrap();
-        for schedule in [
-            ecmp_mcf(&topo.network, &flows, &power, 4).unwrap(),
-            least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap(),
-            consolidating_mcf(&topo.network, &flows, &power, 4).unwrap(),
-        ] {
-            schedule.verify(&topo.network, &flows, &power).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut schemes: Vec<Box<dyn Algorithm>> = vec![
+            Box::new(RoutedMcf::ecmp(4)),
+            Box::new(RoutedMcf::least_loaded(4)),
+            Box::new(ConsolidatingMcf::new(4)),
+        ];
+        for algo in &mut schemes {
+            let solution = algo.solve(&mut ctx, &flows, &power).unwrap();
+            ctx.verify(solution.schedule.as_ref().unwrap(), &flows, &power)
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
         }
     }
 
@@ -277,13 +317,17 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(40, 12)
             .generate(topo.hosts())
             .unwrap();
-        let consolidated = consolidating_mcf(&topo.network, &flows, &power, 4).unwrap();
-        let ecmp = ecmp_mcf(&topo.network, &flows, &power, 12).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let consolidated = ConsolidatingMcf::new(4)
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        let ecmp = RoutedMcf::ecmp(12).solve(&mut ctx, &flows, &power).unwrap();
+        let consolidated_links = consolidated.schedule.unwrap().active_links().len();
+        let ecmp_links = ecmp.schedule.unwrap().active_links().len();
         assert!(
-            consolidated.active_links().len() <= ecmp.active_links().len(),
-            "consolidation ({}) should not activate more links than ECMP ({})",
-            consolidated.active_links().len(),
-            ecmp.active_links().len()
+            consolidated_links <= ecmp_links,
+            "consolidation ({consolidated_links}) should not activate more links than \
+             ECMP ({ecmp_links})"
         );
     }
 
@@ -294,8 +338,12 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(10, 17)
             .generate(topo.hosts())
             .unwrap();
-        let schedule = full_rate_greedy(&topo.network, &flows, &power).unwrap();
-        for (flow, fs) in flows.iter().zip(schedule.flow_schedules()) {
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = FullRateGreedy.solve(&mut ctx, &flows, &power).unwrap();
+        for (flow, fs) in flows
+            .iter()
+            .zip(solution.schedule.as_ref().unwrap().flow_schedules())
+        {
             assert!((fs.delivered_volume() - flow.volume).abs() < 1e-6);
             assert!(fs.profile.max_rate() <= power.capacity() + 1e-9);
         }
@@ -310,13 +358,16 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(20, 8)
             .generate(topo.hosts())
             .unwrap();
-        let greedy = full_rate_greedy(&topo.network, &flows, &power).unwrap();
-        let optimal = sp_mcf(&topo.network, &flows, &power).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let greedy = FullRateGreedy.solve(&mut ctx, &flows, &power).unwrap();
+        let optimal = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
         assert!(
-            greedy.energy(&power).dynamic > optimal.energy(&power).dynamic,
+            greedy.energy.unwrap().dynamic > optimal.energy.unwrap().dynamic,
             "greedy {} vs optimal {}",
-            greedy.energy(&power).dynamic,
-            optimal.energy(&power).dynamic
+            greedy.energy.unwrap().dynamic,
+            optimal.energy.unwrap().dynamic
         );
     }
 
@@ -326,9 +377,48 @@ mod tests {
         let a = net.add_node(dcn_topology::NodeKind::Host, "a");
         let b = net.add_node(dcn_topology::NodeKind::Host, "b");
         let flows = FlowSet::from_tuples([(a, b, 0.0, 1.0, 1.0)]).unwrap();
-        let err = sp_mcf(&net, &flows, &x2(10.0)).unwrap_err();
-        assert!(matches!(err, BaselineError::Routing(_)));
-        assert!(err.to_string().contains("routing"));
+        let mut ctx = SolverContext::from_network(&net).unwrap();
+        let err = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &x2(10.0))
+            .unwrap_err();
+        assert_eq!(err, crate::SolveError::Unroutable { flow: 0 });
+    }
+
+    #[test]
+    fn deprecated_delegates_match_the_algorithm_api() {
+        // The legacy free functions stay as thin delegates until they are
+        // removed; pin them against the context path so the transition
+        // cannot drift.
+        let topo = builders::fat_tree(4);
+        let power = x2(1e9);
+        let flows = UniformWorkload::paper_defaults(15, 6)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        #[allow(deprecated)]
+        let legacy = [
+            sp_mcf(&topo.network, &flows, &power).unwrap(),
+            ecmp_mcf(&topo.network, &flows, &power, 6).unwrap(),
+            least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap(),
+            consolidating_mcf(&topo.network, &flows, &power, 4).unwrap(),
+            full_rate_greedy(&topo.network, &flows, &power).unwrap(),
+        ];
+        let mut modern: Vec<Box<dyn Algorithm>> = vec![
+            Box::new(RoutedMcf::shortest_path()),
+            Box::new(RoutedMcf::ecmp(6)),
+            Box::new(RoutedMcf::least_loaded(4)),
+            Box::new(ConsolidatingMcf::new(4)),
+            Box::new(FullRateGreedy),
+        ];
+        for (old, algo) in legacy.iter().zip(&mut modern) {
+            let new = algo.solve(&mut ctx, &flows, &power).unwrap();
+            assert_eq!(
+                new.schedule.as_ref().unwrap(),
+                old,
+                "{} diverges from its legacy delegate",
+                algo.name()
+            );
+        }
     }
 
     use dcn_flow::FlowSet;

@@ -506,7 +506,7 @@ mod tests {
         ])
         .unwrap();
         let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         (topo, flows, paths)
     }
@@ -515,7 +515,7 @@ mod tests {
     fn example1_matches_the_paper_closed_form() {
         let (topo, flows, paths) = example1();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
-        schedule.verify(&topo.network, &flows, &x2()).unwrap();
+        schedule.verify_on(&topo.csr(), &flows, &x2()).unwrap();
 
         // Paper: sqrt(2) * s1 = s2 = (8 + 6 sqrt 2) / 3.
         let s2_expected = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
@@ -540,10 +540,10 @@ mod tests {
         let flows =
             FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[3], 1.0, 5.0, 8.0)]).unwrap();
         let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
-        schedule.verify(&topo.network, &flows, &x2()).unwrap();
+        schedule.verify_on(&topo.csr(), &flows, &x2()).unwrap();
         let rate = schedule.flow_schedule(0).unwrap().profile.max_rate();
         assert!(close(rate, 2.0), "a lone flow transmits at its density");
     }
@@ -560,7 +560,7 @@ mod tests {
         ])
         .unwrap();
         let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         assert!(paths[0].links().iter().all(|l| !paths[1].contains_link(*l)));
         let schedule = most_critical_first(&topo.network, &flows, &paths, &big).unwrap();
@@ -587,10 +587,10 @@ mod tests {
         ])
         .unwrap();
         let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &x2()).unwrap();
-        schedule.verify(&topo.network, &flows, &x2()).unwrap();
+        schedule.verify_on(&topo.csr(), &flows, &x2()).unwrap();
 
         let jobs: Vec<Job> = flows
             .iter()
@@ -604,16 +604,15 @@ mod tests {
     fn deadlines_met_on_random_fat_tree_workloads() {
         let topo = builders::fat_tree(4);
         let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
+        let graph = topo.csr();
         for seed in 0..5 {
             let flows = UniformWorkload::paper_defaults(40, seed)
                 .generate(topo.hosts())
                 .unwrap();
-            let paths = Routing::ShortestPath
-                .compute(&topo.network, &flows)
-                .unwrap();
+            let paths = Routing::ShortestPath.compute_on(&graph, &flows).unwrap();
             let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
             schedule
-                .verify(&topo.network, &flows, &power)
+                .verify_on(&graph, &flows, &power)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -624,7 +623,7 @@ mod tests {
         for alpha in [1.5, 2.0, 3.0, 4.0] {
             let power = PowerFunction::speed_scaling_only(1.0, alpha, 1e9);
             let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
-            schedule.verify(&topo.network, &flows, &power).unwrap();
+            schedule.verify_on(&topo.csr(), &flows, &power).unwrap();
         }
     }
 
@@ -678,7 +677,7 @@ mod tests {
             .generate(topo.hosts())
             .unwrap();
         let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
         let lower: f64 = flows

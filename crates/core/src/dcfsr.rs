@@ -23,7 +23,7 @@
 //! capacity, the implementation re-samples a bounded number of times and
 //! keeps the least-violating draw, as the paper suggests.
 
-use crate::relaxation::{interval_relaxation, RelaxationSummary};
+use crate::relaxation::{interval_relaxation_on, RelaxationSummary};
 use crate::schedule::{FlowSchedule, Schedule};
 use dcn_flow::{FlowId, FlowSet};
 use dcn_power::{PowerFunction, RateProfile};
@@ -128,12 +128,16 @@ impl RandomSchedule {
     }
 
     /// Runs the full pipeline: relaxation, decomposition, rounding and
-    /// scheduling.
+    /// scheduling, building all solver state from scratch.
     ///
     /// # Errors
     ///
     /// Returns [`DcfsrError::Unroutable`] if some flow has no path in the
     /// network.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SolverContext and run the `dcfsr` algorithm (`Dcfsr::solve`)"
+    )]
     pub fn run(
         &self,
         network: &Network,
@@ -149,7 +153,12 @@ impl RandomSchedule {
                 candidates: Vec::new(),
             });
         }
-        let relaxation = interval_relaxation(network, flows, power, &self.config.fmcf);
+        let relaxation = interval_relaxation_on(
+            &dcn_topology::GraphCsr::from_network(network),
+            flows,
+            power,
+            &self.config.fmcf,
+        );
         self.run_with_relaxation(network, flows, power, &relaxation)
     }
 
@@ -305,6 +314,7 @@ fn build_schedule(flows: &FlowSet, chosen: &[Path]) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Algorithm, Dcfsr, SolverContext};
     use dcn_flow::workload::UniformWorkload;
     use dcn_topology::builders;
 
@@ -317,19 +327,15 @@ mod tests {
         // Theorem 4: the produced schedule meets every deadline.
         let topo = builders::fat_tree(4);
         let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
         for seed in 0..3 {
             let flows = UniformWorkload::paper_defaults(30, seed)
                 .generate(topo.hosts())
                 .unwrap();
-            let outcome = RandomSchedule::new(RandomScheduleConfig {
-                seed,
-                ..Default::default()
-            })
-            .run(&topo.network, &flows, &power)
-            .unwrap();
-            outcome
-                .schedule
-                .verify(&topo.network, &flows, &power)
+            let mut algo = Dcfsr::default();
+            algo.set_seed(seed);
+            let solution = algo.solve(&mut ctx, &flows, &power).unwrap();
+            ctx.verify(solution.schedule.as_ref().unwrap(), &flows, &power)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
@@ -341,16 +347,15 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(25, 7)
             .generate(topo.hosts())
             .unwrap();
-        let outcome = RandomSchedule::default()
-            .run(&topo.network, &flows, &power)
-            .unwrap();
-        let energy = outcome.schedule.energy(&power).total();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+        let energy = solution.total_energy().unwrap();
+        let lower_bound = solution.lower_bound.unwrap();
         assert!(
-            energy >= outcome.lower_bound - 1e-6,
-            "energy {energy} below the lower bound {}",
-            outcome.lower_bound
+            energy >= lower_bound - 1e-6,
+            "energy {energy} below the lower bound {lower_bound}"
         );
-        assert!(outcome.lower_bound > 0.0);
+        assert!(lower_bound > 0.0);
     }
 
     #[test]
@@ -360,12 +365,13 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(20, 5)
             .generate(topo.hosts())
             .unwrap();
-        let algo = RandomSchedule::new(RandomScheduleConfig {
+        let mut algo = Dcfsr::new(RandomScheduleConfig {
             seed: 99,
             ..Default::default()
         });
-        let a = algo.run(&topo.network, &flows, &power).unwrap();
-        let b = algo.run(&topo.network, &flows, &power).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let a = algo.solve(&mut ctx, &flows, &power).unwrap();
+        let b = algo.solve(&mut ctx, &flows, &power).unwrap();
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.lower_bound, b.lower_bound);
     }
@@ -377,8 +383,10 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(15, 2)
             .generate(topo.hosts())
             .unwrap();
+        let relaxation =
+            interval_relaxation_on(&topo.csr(), &flows, &power, &FmcfSolverConfig::default());
         let outcome = RandomSchedule::default()
-            .run(&topo.network, &flows, &power)
+            .run_with_relaxation(&topo.network, &flows, &power, &relaxation)
             .unwrap();
         assert_eq!(outcome.candidates.len(), flows.len());
         for (flow, cands) in flows.iter().zip(&outcome.candidates) {
@@ -407,15 +415,11 @@ mod tests {
         let flows =
             FlowSet::from_tuples((0..16).map(|_| (topo.source(), topo.sink(), 0.0, 10.0, 10.0)))
                 .unwrap();
-        let outcome = RandomSchedule::default()
-            .run(&topo.network, &flows, &power)
-            .unwrap();
-        outcome
-            .schedule
-            .verify(&topo.network, &flows, &power)
-            .unwrap();
-        let mut used: Vec<_> = outcome
-            .schedule
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
+        ctx.verify(schedule, &flows, &power).unwrap();
+        let mut used: Vec<_> = schedule
             .flow_schedules()
             .iter()
             .map(|fs| fs.path.links()[0])
@@ -429,14 +433,25 @@ mod tests {
     }
 
     #[test]
-    fn empty_instance_is_handled() {
+    fn empty_instance_is_handled_by_the_legacy_delegate() {
+        // The deprecated one-shot entry keeps its historical semantics
+        // (empty outcome); the context API rejects empty sets with a typed
+        // error instead.
         let topo = builders::line(3);
         let flows = FlowSet::from_flows(vec![]).unwrap();
+        #[allow(deprecated)]
         let outcome = RandomSchedule::default()
             .run(&topo.network, &flows, &x2(10.0))
             .unwrap();
         assert!(outcome.schedule.is_empty());
         assert_eq!(outcome.lower_bound, 0.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        assert_eq!(
+            Dcfsr::default()
+                .solve(&mut ctx, &flows, &x2(10.0))
+                .unwrap_err(),
+            crate::SolveError::EmptyFlowSet
+        );
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct ExactOutcome {
 /// * [`ExactError::Unroutable`] when some flow has no path at all.
 /// * [`ExactError::NoFeasibleAssignment`] when every assignment fails
 ///   (possible only under extreme contention).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a SolverContext and run the `exact` algorithm (ExactBrute) or exact_dcfsr_ctx"
+)]
 pub fn exact_dcfsr(
     network: &Network,
     flows: &FlowSet,
@@ -91,20 +95,36 @@ pub fn exact_dcfsr(
     paths_per_flow: usize,
     max_assignments: u128,
 ) -> Result<ExactOutcome, ExactError> {
+    let mut ctx = crate::SolverContext::from_network(network)
+        .expect("networks built through the public API validate");
+    exact_dcfsr_ctx(&mut ctx, flows, power, paths_per_flow, max_assignments)
+}
+
+/// [`crate::ExactBrute`]'s engine room: exhaustive enumeration on a shared
+/// [`crate::SolverContext`] (candidate paths reuse the context's CSR view
+/// and shortest-path arenas).
+///
+/// # Errors
+///
+/// * [`ExactError::TooLarge`] when `paths_per_flow^n` exceeds
+///   `max_assignments`.
+/// * [`ExactError::Unroutable`] when some flow has no path at all.
+/// * [`ExactError::NoFeasibleAssignment`] when every assignment fails
+///   (possible only under extreme contention).
+pub fn exact_dcfsr_ctx(
+    ctx: &mut crate::SolverContext<'_>,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    paths_per_flow: usize,
+    max_assignments: u128,
+) -> Result<ExactOutcome, ExactError> {
     let paths_per_flow = paths_per_flow.max(1);
-    // Candidate paths per flow, over one shared CSR view and engine.
-    let graph = dcn_topology::GraphCsr::from_network(network);
-    let mut engine = dcn_topology::ShortestPathEngine::new();
+    let network = ctx.network();
+    // Candidate paths per flow, over the context's CSR view and engine.
+    let (graph, engine, _) = ctx.parts();
     let mut candidates: Vec<Vec<Path>> = Vec::with_capacity(flows.len());
     for flow in flows.iter() {
-        let paths = k_shortest_paths_on(
-            &graph,
-            &mut engine,
-            flow.src,
-            flow.dst,
-            paths_per_flow,
-            |_| 1.0,
-        );
+        let paths = k_shortest_paths_on(graph, engine, flow.src, flow.dst, paths_per_flow, |_| 1.0);
         if paths.is_empty() {
             return Err(ExactError::Unroutable { flow: flow.id });
         }
@@ -167,11 +187,24 @@ pub fn exact_dcfsr(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dcfsr::{RandomSchedule, RandomScheduleConfig};
+    use crate::dcfsr::RandomScheduleConfig;
+    use crate::Algorithm;
     use dcn_topology::builders;
 
     fn x2(capacity: f64) -> PowerFunction {
         PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+    }
+
+    /// One-shot enumeration through a fresh context.
+    fn exact(
+        network: &Network,
+        flows: &FlowSet,
+        power: &PowerFunction,
+        paths_per_flow: usize,
+        max_assignments: u128,
+    ) -> Result<ExactOutcome, ExactError> {
+        let mut ctx = crate::SolverContext::from_network(network).unwrap();
+        exact_dcfsr_ctx(&mut ctx, flows, power, paths_per_flow, max_assignments)
     }
 
     #[test]
@@ -183,7 +216,7 @@ mod tests {
             FlowSet::from_tuples((0..3).map(|_| (topo.source(), topo.sink(), 0.0, 2.0, 4.0)))
                 .unwrap();
         let power = x2(100.0);
-        let outcome = exact_dcfsr(&topo.network, &flows, &power, 3, 1_000).unwrap();
+        let outcome = exact(&topo.network, &flows, &power, 3, 1_000).unwrap();
         // Each flow at density 2 on its own link for 2 time units:
         // 3 * 2^2 * 2 = 24.
         assert!(
@@ -207,21 +240,22 @@ mod tests {
         ])
         .unwrap();
         let power = x2(100.0);
-        let exact = exact_dcfsr(&topo.network, &flows, &power, 3, 10_000).unwrap();
-        let rs = RandomSchedule::new(RandomScheduleConfig {
+        let exact = exact(&topo.network, &flows, &power, 3, 10_000).unwrap();
+        let mut ctx = crate::SolverContext::from_network(&topo.network).unwrap();
+        let rs = crate::Dcfsr::new(RandomScheduleConfig {
             max_rounding_attempts: 20,
             ..Default::default()
         })
-        .run(&topo.network, &flows, &power)
+        .solve(&mut ctx, &flows, &power)
         .unwrap();
-        let rs_energy = rs.schedule.energy(&power).total();
+        let rs_energy = rs.total_energy().unwrap();
         assert!(
             rs_energy >= exact.energy - 1e-6,
             "RS ({rs_energy}) cannot beat the exact optimum ({})",
             exact.energy
         );
         // And the exact optimum itself respects the fractional lower bound.
-        assert!(exact.energy >= rs.lower_bound - 1e-6);
+        assert!(exact.energy >= rs.lower_bound.unwrap() - 1e-6);
     }
 
     #[test]
@@ -231,7 +265,7 @@ mod tests {
             (0..10).map(|i| (topo.hosts()[i], topo.hosts()[15 - i], 0.0, 10.0, 5.0)),
         )
         .unwrap();
-        let err = exact_dcfsr(&topo.network, &flows, &x2(1e9), 4, 1_000).unwrap_err();
+        let err = exact(&topo.network, &flows, &x2(1e9), 4, 1_000).unwrap_err();
         assert!(matches!(err, ExactError::TooLarge { .. }));
     }
 
@@ -241,7 +275,7 @@ mod tests {
         let a = net.add_node(dcn_topology::NodeKind::Host, "a");
         let b = net.add_node(dcn_topology::NodeKind::Host, "b");
         let flows = FlowSet::from_tuples([(a, b, 0.0, 1.0, 1.0)]).unwrap();
-        let err = exact_dcfsr(&net, &flows, &x2(10.0), 2, 100).unwrap_err();
+        let err = exact(&net, &flows, &x2(10.0), 2, 100).unwrap_err();
         assert_eq!(err, ExactError::Unroutable { flow: 0 });
     }
 
@@ -251,8 +285,11 @@ mod tests {
         let flows =
             FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[3], 0.0, 5.0, 10.0)]).unwrap();
         let power = x2(1e9);
-        let exact = exact_dcfsr(&topo.network, &flows, &power, 2, 100).unwrap();
-        let sp = crate::baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-        assert!((exact.energy - sp.energy(&power).total()).abs() < 1e-9);
+        let exact = exact(&topo.network, &flows, &power, 2, 100).unwrap();
+        let mut ctx = crate::SolverContext::from_network(&topo.network).unwrap();
+        let sp = crate::RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        assert!((exact.energy - sp.total_energy().unwrap()).abs() < 1e-9);
     }
 }

@@ -17,11 +17,26 @@
 //!   implemented in [`dcfsr`], on top of the per-interval fractional
 //!   multi-commodity-flow relaxation in [`relaxation`].
 //!
+//! # The session API
+//!
+//! Every scheme — the two paper algorithms, the five baselines of
+//! [`baselines`], the fractional lower bound and the exhaustive optimum of
+//! [`exact`] — is exposed behind one pluggable interface:
+//!
+//! * [`SolverContext`] is built **once** per network and owns all warm
+//!   solver state (the CSR graph view, the arena-reuse shortest-path
+//!   engine, the Frank–Wolfe scratch), so every caller gets the
+//!   allocation-free hot path by default;
+//! * [`Algorithm`] is the scheduler trait (`solve(ctx, flows, power)`),
+//!   returning one [`Solution`] (schedule + energy + lower bound +
+//!   diagnostics) or one typed [`SolveError`];
+//! * [`AlgorithmRegistry`] resolves schedulers **by name** (`"dcfsr"`,
+//!   `"sp-mcf"`, `"ecmp"`, ...), which is how the benchmark harness and
+//!   its `--algorithms` flag select them.
+//!
 //! Supporting modules: [`schedule`] (the schedule data model, feasibility
 //! verification and energy accounting), [`routing`] (path selection
-//! strategies for the DCFS input and the SP+MCF baseline), and
-//! [`baselines`] (the comparison schemes used by the paper's Fig. 2 and the
-//! extension experiments).
+//! strategies for the DCFS input and the SP+MCF baseline).
 //!
 //! # Quick start
 //!
@@ -37,43 +52,67 @@
 //! let flows = UniformWorkload::paper_defaults(20, 42).generate(topo.hosts())?;
 //! let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
 //!
-//! // Joint scheduling and routing with Random-Schedule.
-//! let outcome = RandomSchedule::new(RandomScheduleConfig::default())
-//!     .run(&topo.network, &flows, &power)?;
-//! outcome.schedule.verify(&topo.network, &flows, &power)?;
+//! // One context per network; algorithms resolve by name.
+//! let mut ctx = SolverContext::from_network(&topo.network)?;
+//! let registry = AlgorithmRegistry::with_defaults();
+//! let outcome = registry.create("dcfsr")?.solve(&mut ctx, &flows, &power)?;
 //!
-//! // The energy is at least the fractional lower bound.
-//! assert!(outcome.schedule.energy(&power).total() >= outcome.lower_bound - 1e-6);
+//! // The schedule is feasible and never beats the fractional lower bound.
+//! ctx.verify(outcome.schedule.as_ref().unwrap(), &flows, &power)?;
+//! assert!(outcome.total_energy().unwrap() >= outcome.lower_bound.unwrap() - 1e-6);
 //! # Ok(())
 //! # }
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
+pub mod algorithm;
 pub mod baselines;
+pub mod context;
 pub mod dcfs;
 pub mod dcfsr;
+pub mod error;
 pub mod exact;
 pub mod relaxation;
 pub mod routing;
 pub mod schedule;
+pub mod solution;
 
+pub use algorithm::{
+    Algorithm, AlgorithmRegistry, ConsolidatingMcf, Dcfsr, ExactBrute, FullRateGreedy,
+    RelaxationLb, RoutedMcf,
+};
+pub use context::SolverContext;
 pub use dcfs::{most_critical_first, DcfsError};
 pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
-pub use exact::{exact_dcfsr, ExactError, ExactOutcome};
+pub use error::SolveError;
+pub use exact::{ExactError, ExactOutcome};
 pub use relaxation::{
-    interval_relaxation, interval_relaxation_on, IntervalRelaxation, RelaxationSummary,
+    interval_relaxation_on, interval_relaxation_with, IntervalRelaxation, RelaxationSummary,
 };
 pub use routing::{Routing, RoutingError};
 pub use schedule::{FlowSchedule, Schedule, ScheduleError, ScheduleViolation};
+pub use solution::{Diagnostics, Solution};
+
+#[allow(deprecated)]
+pub use exact::exact_dcfsr;
+#[allow(deprecated)]
+pub use relaxation::interval_relaxation;
 
 /// Convenient glob import of the crate's main types.
 pub mod prelude {
+    pub use crate::algorithm::{
+        Algorithm, AlgorithmRegistry, ConsolidatingMcf, Dcfsr, ExactBrute, FullRateGreedy,
+        RelaxationLb, RoutedMcf,
+    };
     pub use crate::baselines;
+    pub use crate::context::SolverContext;
     pub use crate::dcfs::most_critical_first;
     pub use crate::dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
-    pub use crate::relaxation::interval_relaxation;
+    pub use crate::error::SolveError;
     pub use crate::routing::Routing;
     pub use crate::schedule::{FlowSchedule, Schedule};
+    pub use crate::solution::{Diagnostics, Solution};
 }

@@ -78,7 +78,12 @@ impl RelaxationSummary {
 /// # Panics
 ///
 /// Panics if some active flow's destination is unreachable from its source
-/// (propagated from the Frank–Wolfe solver).
+/// (propagated from the Frank–Wolfe solver). The replacement API validates
+/// first and returns [`crate::SolveError::Unroutable`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a SolverContext and call `SolverContext::relax` (or run the `lb` algorithm)"
+)]
 pub fn interval_relaxation(
     network: &Network,
     flows: &FlowSet,
@@ -88,14 +93,39 @@ pub fn interval_relaxation(
     interval_relaxation_on(&GraphCsr::from_network(network), flows, power, fmcf_config)
 }
 
-/// [`interval_relaxation`] on a prebuilt CSR view; the interval loop shares
-/// one [`FmcfScratch`] (and therefore one shortest-path engine and one set
-/// of Frank–Wolfe buffers) across every interval's solve.
+/// [`crate::SolverContext::relax`] on a prebuilt CSR view with a fresh
+/// scratch; the interval loop still shares one [`FmcfScratch`] (and
+/// therefore one shortest-path engine and one set of Frank–Wolfe buffers)
+/// across every interval's solve.
+///
+/// # Panics
+///
+/// Panics if some active flow's destination is unreachable from its source
+/// (propagated from the Frank–Wolfe solver); validate the flow set first
+/// — [`crate::SolverContext::relax`] does.
 pub fn interval_relaxation_on(
     graph: &GraphCsr,
     flows: &FlowSet,
     power: &PowerFunction,
     fmcf_config: &FmcfSolverConfig,
+) -> RelaxationSummary {
+    interval_relaxation_with(graph, flows, power, fmcf_config, &mut FmcfScratch::new())
+}
+
+/// [`interval_relaxation_on`] with a caller-provided scratch, so the
+/// Frank–Wolfe buffers persist across *calls* as well as across intervals.
+/// This is the primitive [`crate::SolverContext::relax`] builds on.
+///
+/// # Panics
+///
+/// Panics if some active flow's destination is unreachable from its source
+/// (propagated from the Frank–Wolfe solver); validate the flow set first.
+pub fn interval_relaxation_with(
+    graph: &GraphCsr,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    fmcf_config: &FmcfSolverConfig,
+    scratch: &mut FmcfScratch,
 ) -> RelaxationSummary {
     let cost = PowerFlowCost::new(*power);
     let mut config = *fmcf_config;
@@ -105,7 +135,6 @@ pub fn interval_relaxation_on(
 
     let mut intervals = Vec::new();
     let mut lower_bound = 0.0;
-    let mut scratch = FmcfScratch::new();
     for interval in flows.intervals() {
         let flow_ids = flows.active_in_interval(&interval);
         let commodities: Vec<Commodity> = flow_ids
@@ -121,7 +150,7 @@ pub fn interval_relaxation_on(
             })
             .collect();
         let problem = FmcfProblem::with_graph(graph, commodities);
-        let solution = problem.solve_with(&cost, &config, &mut scratch);
+        let solution = problem.solve_with(&cost, &config, scratch);
         let cost_rate = solution.total_cost(&cost);
         lower_bound += cost_rate * interval.length();
         intervals.push(IntervalRelaxation {
@@ -148,6 +177,17 @@ mod tests {
         PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
     }
 
+    /// The one-shot call path of the pre-context API, expressed through
+    /// the non-deprecated `_on` primitive.
+    fn relax_network(
+        network: &Network,
+        flows: &FlowSet,
+        power: &PowerFunction,
+        config: &FmcfSolverConfig,
+    ) -> RelaxationSummary {
+        interval_relaxation_on(&GraphCsr::from_network(network), flows, power, config)
+    }
+
     #[test]
     fn single_flow_lower_bound_is_its_density_cost_times_span() {
         // One flow on a line: the relaxation must route its density over the
@@ -157,8 +197,7 @@ mod tests {
             dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
                 .unwrap();
         let power = x2(100.0);
-        let summary =
-            interval_relaxation(&topo.network, &flows, &power, &FmcfSolverConfig::default());
+        let summary = relax_network(&topo.network, &flows, &power, &FmcfSolverConfig::default());
         assert_eq!(summary.intervals.len(), 1);
         // Density 2 over 2 links for 4 time units: 2 * 2^2 * 4 = 32.
         assert!((summary.lower_bound - 32.0).abs() < 1e-3);
@@ -173,7 +212,7 @@ mod tests {
             (topo.hosts()[1], topo.hosts()[2], 6.0, 8.0, 2.0),
         ])
         .unwrap();
-        let summary = interval_relaxation(
+        let summary = relax_network(
             &topo.network,
             &flows,
             &x2(100.0),
@@ -192,8 +231,7 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(12, 5)
             .generate(topo.hosts())
             .unwrap();
-        let one_shot =
-            interval_relaxation(&topo.network, &flows, &power, &FmcfSolverConfig::default());
+        let one_shot = relax_network(&topo.network, &flows, &power, &FmcfSolverConfig::default());
         let shared = super::interval_relaxation_on(
             &topo.csr(),
             &flows,
@@ -217,7 +255,7 @@ mod tests {
             (topo.hosts()[1], topo.hosts()[2], 0.0, 4.0, 4.0),
         ])
         .unwrap();
-        let summary = interval_relaxation(
+        let summary = relax_network(
             &topo.network,
             &flows,
             &x2(100.0),
@@ -240,11 +278,9 @@ mod tests {
             .generate(topo.hosts())
             .unwrap();
         let lb_small =
-            interval_relaxation(&topo.network, &small, &power, &FmcfSolverConfig::default())
-                .lower_bound;
+            relax_network(&topo.network, &small, &power, &FmcfSolverConfig::default()).lower_bound;
         let lb_large =
-            interval_relaxation(&topo.network, &large, &power, &FmcfSolverConfig::default())
-                .lower_bound;
+            relax_network(&topo.network, &large, &power, &FmcfSolverConfig::default()).lower_bound;
         assert!(lb_small > 0.0);
         assert!(lb_large > lb_small);
     }
@@ -257,14 +293,14 @@ mod tests {
                 .unwrap();
         let no_idle = x2(10.0);
         let with_idle = PowerFunction::new(5.0, 1.0, 2.0, 10.0).unwrap();
-        let lb0 = interval_relaxation(
+        let lb0 = relax_network(
             &topo.network,
             &flows,
             &no_idle,
             &FmcfSolverConfig::default(),
         )
         .lower_bound;
-        let lb1 = interval_relaxation(
+        let lb1 = relax_network(
             &topo.network,
             &flows,
             &with_idle,

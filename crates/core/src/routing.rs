@@ -66,13 +66,15 @@ pub enum Routing {
 impl Routing {
     /// Computes one path per flow, indexed by flow id.
     ///
-    /// Builds a one-shot [`GraphCsr`] view; callers that route repeatedly
-    /// on the same network should build the view once and call
-    /// [`Routing::compute_on`].
+    /// Builds a one-shot [`GraphCsr`] view on every call.
     ///
     /// # Errors
     ///
     /// Returns [`RoutingError::Unreachable`] if some flow has no path.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SolverContext and call `SolverContext::route` (or `Routing::compute_on`)"
+    )]
     pub fn compute(&self, network: &Network, flows: &FlowSet) -> Result<Vec<Path>, RoutingError> {
         self.compute_on(&GraphCsr::from_network(network), flows)
     }
@@ -175,7 +177,7 @@ mod tests {
             .generate(topo.hosts())
             .unwrap();
         let paths = Routing::ShortestPath
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         assert_eq!(paths.len(), flows.len());
         for (f, p) in flows.iter().zip(&paths) {
@@ -191,14 +193,15 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(40, 11)
             .generate(topo.hosts())
             .unwrap();
+        let graph = topo.csr();
         let a = Routing::Ecmp { seed: 1 }
-            .compute(&topo.network, &flows)
+            .compute_on(&graph, &flows)
             .unwrap();
         let b = Routing::Ecmp { seed: 1 }
-            .compute(&topo.network, &flows)
+            .compute_on(&graph, &flows)
             .unwrap();
         let c = Routing::Ecmp { seed: 2 }
-            .compute(&topo.network, &flows)
+            .compute_on(&graph, &flows)
             .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c, "different seeds should give different ECMP draws");
@@ -218,7 +221,7 @@ mod tests {
         )
         .unwrap();
         let paths = Routing::LeastLoadedKsp { k: 4 }
-            .compute(&topo.network, &flows)
+            .compute_on(&topo.csr(), &flows)
             .unwrap();
         let mut used: Vec<_> = paths.iter().map(|p| p.links()[0]).collect();
         used.sort();
@@ -238,6 +241,7 @@ mod tests {
             Routing::Ecmp { seed: 4 },
             Routing::LeastLoadedKsp { k: 4 },
         ] {
+            #[allow(deprecated)] // pins the deprecated delegate against the blessed path
             let classic = strategy.compute(&topo.network, &flows).unwrap();
             let on = strategy.compute_on(&graph, &flows).unwrap();
             assert_eq!(classic, on, "{strategy:?} diverges on the CSR view");
@@ -256,7 +260,9 @@ mod tests {
             Routing::Ecmp { seed: 0 },
             Routing::LeastLoadedKsp { k: 2 },
         ] {
-            let err = strategy.compute(&net, &flows).unwrap_err();
+            let err = strategy
+                .compute_on(&GraphCsr::from_network(&net), &flows)
+                .unwrap_err();
             assert_eq!(err, RoutingError::Unreachable { flow: 0 });
         }
     }

@@ -294,6 +294,10 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns a [`ScheduleError`] listing every violation found.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SolverContext::verify` (or `Schedule::verify_on` with a prebuilt CSR view)"
+    )]
     pub fn verify(
         &self,
         network: &Network,
@@ -429,8 +433,10 @@ mod tests {
     #[test]
     fn valid_schedule_verifies() {
         let (topo, flows, schedule) = simple_instance();
+        // The deprecated one-shot delegate reports the same verdict as the
+        // blessed CSR read path.
+        #[allow(deprecated)]
         schedule.verify(&topo.network, &flows, &power()).unwrap();
-        // The CSR read path reports the same verdict.
         schedule.verify_on(&topo.csr(), &flows, &power()).unwrap();
     }
 
@@ -438,6 +444,7 @@ mod tests {
     fn verify_on_detects_the_same_capacity_violation() {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(0.0, 0.4, 20.0));
+        #[allow(deprecated)]
         let classic = schedule
             .verify(&topo.network, &flows, &power())
             .unwrap_err();
@@ -463,7 +470,7 @@ mod tests {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(0.0, 2.0, 2.0));
         let err = schedule
-            .verify(&topo.network, &flows, &power())
+            .verify_on(&topo.csr(), &flows, &power())
             .unwrap_err();
         assert!(err
             .violations
@@ -490,7 +497,7 @@ mod tests {
             (0.0, 4.0),
         );
         let err = schedule
-            .verify(&topo.network, &flows, &power())
+            .verify_on(&topo.csr(), &flows, &power())
             .unwrap_err();
         assert!(err
             .violations
@@ -503,7 +510,7 @@ mod tests {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(1.0, 5.0, 2.0));
         let err = schedule
-            .verify(&topo.network, &flows, &power())
+            .verify_on(&topo.csr(), &flows, &power())
             .unwrap_err();
         assert!(err
             .violations
@@ -516,7 +523,7 @@ mod tests {
         let (topo, flows, _) = simple_instance();
         let schedule = rebuild_with_profile(&topo, RateProfile::constant(0.0, 0.4, 20.0));
         let err = schedule
-            .verify(&topo.network, &flows, &power())
+            .verify_on(&topo.csr(), &flows, &power())
             .unwrap_err();
         assert!(err
             .violations
@@ -528,7 +535,7 @@ mod tests {
     fn missing_flow_detected() {
         let (topo, flows, _) = simple_instance();
         let empty = Schedule::new(vec![], (0.0, 4.0));
-        let err = empty.verify(&topo.network, &flows, &power()).unwrap_err();
+        let err = empty.verify_on(&topo.csr(), &flows, &power()).unwrap_err();
         assert_eq!(err.violations, vec![ScheduleViolation::MissingFlow(0)]);
         assert!(err.to_string().contains("flow 0"));
     }
@@ -549,7 +556,7 @@ mod tests {
             (0.0, 4.0),
         );
         let err = schedule
-            .verify(&topo.network, &flows, &power())
+            .verify_on(&topo.csr(), &flows, &power())
             .unwrap_err();
         assert!(err
             .violations

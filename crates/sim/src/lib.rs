@@ -23,7 +23,7 @@
 //! # Example
 //!
 //! ```
-//! use dcn_core::baselines;
+//! use dcn_core::{Algorithm, RoutedMcf, SolverContext};
 //! use dcn_flow::workload::UniformWorkload;
 //! use dcn_power::PowerFunction;
 //! use dcn_sim::Simulator;
@@ -33,9 +33,11 @@
 //! let topo = builders::fat_tree(4);
 //! let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
 //! let flows = UniformWorkload::paper_defaults(20, 1).generate(topo.hosts())?;
-//! let schedule = baselines::sp_mcf(&topo.network, &flows, &power)?;
+//! let mut ctx = SolverContext::from_network(&topo.network)?;
+//! let solution = RoutedMcf::shortest_path().solve(&mut ctx, &flows, &power)?;
+//! let schedule = solution.schedule.as_ref().unwrap();
 //!
-//! let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+//! let report = Simulator::new(power).run_ctx(&ctx, &flows, schedule);
 //! assert_eq!(report.deadline_misses, 0);
 //! assert!((report.energy.total() - schedule.energy(&power).total()).abs() < 1e-6);
 //! # Ok(())
@@ -44,6 +46,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 mod report;
 mod simulator;

@@ -33,11 +33,25 @@ impl Simulator {
     /// Runs `schedule` for the given instance and reports what actually
     /// happened.
     ///
-    /// Builds a one-shot [`GraphCsr`] view; batch callers (the experiment
-    /// harness verifying many schedules on one topology) should build the
-    /// view once and call [`Simulator::run_on`].
+    /// Builds a one-shot [`GraphCsr`] view on every call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulator::run_ctx` with a SolverContext (or `Simulator::run_on`)"
+    )]
     pub fn run(&self, network: &Network, flows: &FlowSet, schedule: &Schedule) -> SimReport {
         self.run_on(&GraphCsr::from_network(network), flows, schedule)
+    }
+
+    /// Runs `schedule` on the CSR view owned by a
+    /// [`SolverContext`](dcn_core::SolverContext) — the natural follow-up
+    /// to [`dcn_core::Algorithm::solve`] on the same context.
+    pub fn run_ctx(
+        &self,
+        ctx: &dcn_core::SolverContext<'_>,
+        flows: &FlowSet,
+        schedule: &Schedule,
+    ) -> SimReport {
+        self.run_on(ctx.graph(), flows, schedule)
     }
 
     /// Runs `schedule` against a prebuilt CSR view of the network; link
@@ -198,7 +212,6 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_core::baselines;
     use dcn_core::prelude::*;
     use dcn_core::schedule::FlowSchedule;
     use dcn_flow::workload::UniformWorkload;
@@ -228,7 +241,7 @@ mod tests {
             (0.0, 4.0),
         );
 
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let report = Simulator::new(power).run_on(&topo.csr(), &flows, &schedule);
         assert!(report.all_good());
         let f = report.flow(0).unwrap();
         assert!((f.delivered - 8.0).abs() < 1e-9);
@@ -246,8 +259,12 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(30, 4)
             .generate(topo.hosts())
             .unwrap();
-        let schedule = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
+        let report = Simulator::new(power).run_ctx(&ctx, &flows, schedule);
         assert_eq!(report.deadline_misses, 0);
         let analytic = schedule.energy(&power).total();
         assert!(
@@ -264,28 +281,35 @@ mod tests {
         let flows = UniformWorkload::paper_defaults(25, 9)
             .generate(topo.hosts())
             .unwrap();
-        let outcome = RandomSchedule::default()
-            .run(&topo.network, &flows, &power)
-            .unwrap();
-        let report = Simulator::new(power).run(&topo.network, &flows, &outcome.schedule);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
+        let report = Simulator::new(power).run_ctx(&ctx, &flows, schedule);
         assert_eq!(report.deadline_misses, 0);
-        let analytic = outcome.schedule.energy(&power).total();
+        let analytic = schedule.energy(&power).total();
         assert!((report.energy.total() - analytic).abs() < 1e-6 * analytic);
-        assert!(report.energy.total() >= outcome.lower_bound - 1e-6);
+        assert!(report.energy.total() >= solution.lower_bound.unwrap() - 1e-6);
     }
 
     #[test]
-    fn run_on_csr_matches_run_on_network() {
+    fn deprecated_run_matches_run_on_and_run_ctx() {
         let topo = builders::fat_tree(4);
         let power = x2(10.0);
         let flows = UniformWorkload::paper_defaults(20, 11)
             .generate(topo.hosts())
             .unwrap();
-        let schedule = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
         let simulator = Simulator::new(power);
-        let classic = simulator.run(&topo.network, &flows, &schedule);
-        let on_csr = simulator.run_on(&topo.csr(), &flows, &schedule);
+        #[allow(deprecated)] // pins the legacy delegate against the blessed paths
+        let classic = simulator.run(&topo.network, &flows, schedule);
+        let on_csr = simulator.run_on(&topo.csr(), &flows, schedule);
+        let on_ctx = simulator.run_ctx(&ctx, &flows, schedule);
         assert_eq!(classic, on_csr);
+        assert_eq!(classic, on_ctx);
     }
 
     #[test]
@@ -308,7 +332,7 @@ mod tests {
             )],
             (0.0, 4.0),
         );
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let report = Simulator::new(power).run_on(&topo.csr(), &flows, &schedule);
         assert_eq!(report.deadline_misses, 1);
         assert!(!report.all_good());
         let f = report.flow(0).unwrap();
@@ -336,7 +360,7 @@ mod tests {
             )],
             (0.0, 2.0),
         );
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let report = Simulator::new(power).run_on(&topo.csr(), &flows, &schedule);
         assert_eq!(report.capacity_violations, 2);
         assert!(report.max_utilization > 1.0);
     }
@@ -352,8 +376,12 @@ mod tests {
             (topo.hosts()[1], topo.hosts()[2], 1.0, 3.0, 4.0),
         ])
         .unwrap();
-        let schedule = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        let report =
+            Simulator::new(power).run_ctx(&ctx, &flows, solution.schedule.as_ref().unwrap());
         assert_eq!(report.deadline_misses, 0);
         for f in &report.flows {
             assert!(f.deadline_met());
@@ -366,7 +394,7 @@ mod tests {
         let power = x2(10.0);
         let flows = dcn_flow::FlowSet::from_flows(vec![]).unwrap();
         let schedule = Schedule::new(vec![], (0.0, 1.0));
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let report = Simulator::new(power).run_on(&topo.csr(), &flows, &schedule);
         assert!(report.all_good());
         assert_eq!(report.active_link_count(), 0);
         assert_eq!(report.energy.total(), 0.0);

@@ -371,7 +371,9 @@ impl ShortestPathEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{builders, dijkstra, Network, NodeKind};
+    #[allow(deprecated)]
+    use crate::dijkstra;
+    use crate::{builders, Network, NodeKind};
 
     fn diamond() -> (Network, NodeId, NodeId, NodeId, NodeId) {
         let mut net = Network::new();
@@ -396,6 +398,7 @@ mod tests {
         let weight = |l: LinkId| 1.0 + (l.index() % 3) as f64 * 0.25;
         for &a in hosts.iter().step_by(2) {
             for &b in hosts.iter().step_by(3) {
+                #[allow(deprecated)] // pins the engine against the classic one-shot path
                 let classic = dijkstra(&topo.network, a, b, weight);
                 let engined = engine.shortest_path(&g, a, b, weight);
                 assert_eq!(classic, engined, "paths {a} -> {b} diverge");
@@ -447,6 +450,7 @@ mod tests {
             assert!(engine.settled(t));
             assert!(engine.extract_path_links(&g, t, &mut links));
             let path = g.path_from_links(src, &links).unwrap();
+            #[allow(deprecated)]
             let classic = dijkstra(&topo.network, src, t, |_| 1.0).unwrap();
             assert_eq!(path, classic);
             assert_eq!(engine.distance(t), Some(classic.len() as f64));

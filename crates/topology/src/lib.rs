@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod builders;
 mod csr;
@@ -59,7 +60,6 @@ pub use engine::ShortestPathEngine;
 pub use ids::{LinkId, NodeId, NodeKind};
 pub use network::{Link, LinkEndpoints, Network, Node};
 pub use path::{Path, PathError};
-pub use routing::{
-    all_shortest_paths, all_shortest_paths_on, dijkstra, dijkstra_on, k_shortest_paths,
-    k_shortest_paths_on,
-};
+#[allow(deprecated)]
+pub use routing::{all_shortest_paths, dijkstra, k_shortest_paths};
+pub use routing::{all_shortest_paths_on, dijkstra_on, k_shortest_paths_on};

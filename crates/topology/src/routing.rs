@@ -29,6 +29,10 @@ use std::cmp::Ordering;
 /// # Panics
 ///
 /// Panics (in debug builds) if a weight is negative or NaN.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `dijkstra_on` with a shared GraphCsr and engine"
+)]
 pub fn dijkstra(
     network: &Network,
     src: NodeId,
@@ -63,6 +67,10 @@ pub fn dijkstra_on(
 /// Paths are produced in a deterministic order (lexicographic by link id).
 ///
 /// Convenience wrapper over [`all_shortest_paths_on`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `all_shortest_paths_on` with a shared GraphCsr"
+)]
 pub fn all_shortest_paths(network: &Network, src: NodeId, dst: NodeId, limit: usize) -> Vec<Path> {
     all_shortest_paths_on(&GraphCsr::from_network(network), src, dst, limit)
 }
@@ -141,6 +149,10 @@ pub fn all_shortest_paths_on(
 /// distinct simple paths. Weights must be non-negative.
 ///
 /// Convenience wrapper over [`k_shortest_paths_on`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `k_shortest_paths_on` with a shared GraphCsr and engine"
+)]
 pub fn k_shortest_paths(
     network: &Network,
     src: NodeId,
@@ -254,7 +266,9 @@ mod tests {
     #[test]
     fn dijkstra_prefers_cheap_route() {
         let (net, a, b, c, d) = diamond();
-        let p = dijkstra(&net, a, d, |lid| {
+        let graph = GraphCsr::from_network(&net);
+        let mut engine = ShortestPathEngine::new();
+        let p = dijkstra_on(&graph, &mut engine, a, d, |lid| {
             let l = net.link(lid);
             if l.src == c || l.dst == c {
                 10.0
@@ -270,8 +284,10 @@ mod tests {
     #[test]
     fn dijkstra_respects_infinite_weights() {
         let (net, a, b, _c, d) = diamond();
+        let graph = GraphCsr::from_network(&net);
+        let mut engine = ShortestPathEngine::new();
         // Forbid everything through b: must go through c.
-        let p = dijkstra(&net, a, d, |lid| {
+        let p = dijkstra_on(&graph, &mut engine, a, d, |lid| {
             let l = net.link(lid);
             if l.src == b || l.dst == b {
                 f64::INFINITY
@@ -289,13 +305,14 @@ mod tests {
         let a = net.add_node(NodeKind::Host, "a");
         let b = net.add_node(NodeKind::Host, "b");
         let _ = (a, b);
-        assert!(dijkstra(&net, a, b, |_| 1.0).is_none());
+        let graph = GraphCsr::from_network(&net);
+        assert!(dijkstra_on(&graph, &mut ShortestPathEngine::new(), a, b, |_| 1.0).is_none());
     }
 
     #[test]
     fn all_shortest_paths_finds_both_diamond_branches() {
         let (net, a, _b, _c, d) = diamond();
-        let paths = all_shortest_paths(&net, a, d, 10);
+        let paths = all_shortest_paths_on(&GraphCsr::from_network(&net), a, d, 10);
         assert_eq!(paths.len(), 2);
         for p in &paths {
             assert_eq!(p.len(), 2);
@@ -307,14 +324,15 @@ mod tests {
     #[test]
     fn all_shortest_paths_respects_limit() {
         let (net, a, _b, _c, d) = diamond();
-        let paths = all_shortest_paths(&net, a, d, 1);
+        let paths = all_shortest_paths_on(&GraphCsr::from_network(&net), a, d, 1);
         assert_eq!(paths.len(), 1);
     }
 
     #[test]
     fn k_shortest_orders_by_cost() {
         let (net, a, _b, c, d) = diamond();
-        let paths = k_shortest_paths(&net, a, d, 3, |lid| {
+        let graph = GraphCsr::from_network(&net);
+        let paths = k_shortest_paths_on(&graph, &mut ShortestPathEngine::new(), a, d, 3, |lid| {
             let l = net.link(lid);
             if l.src == c || l.dst == c {
                 5.0
@@ -331,7 +349,14 @@ mod tests {
     #[test]
     fn k_shortest_on_parallel_links() {
         let t = builders::parallel(4, 1.0);
-        let paths = k_shortest_paths(&t.network, t.source(), t.sink(), 4, |_| 1.0);
+        let paths = k_shortest_paths_on(
+            &t.csr(),
+            &mut ShortestPathEngine::new(),
+            t.source(),
+            t.sink(),
+            4,
+            |_| 1.0,
+        );
         assert_eq!(paths.len(), 4);
         let mut links: Vec<_> = paths.iter().map(|p| p.links()[0]).collect();
         links.sort();
@@ -349,7 +374,7 @@ mod tests {
         let hosts = ft.hosts();
         // First and last host are in different pods; a k=4 fat-tree has
         // (k/2)^2 = 4 equal-cost core paths between them.
-        let paths = all_shortest_paths(&ft.network, hosts[0], hosts[15], 64);
+        let paths = all_shortest_paths_on(&ft.csr(), hosts[0], hosts[15], 64);
         assert_eq!(paths.len(), 4);
         for p in &paths {
             assert_eq!(p.len(), 6);
@@ -367,15 +392,16 @@ mod tests {
                 continue;
             }
             let on = dijkstra_on(&graph, &mut engine, a, b, |_| 1.0).unwrap();
+            #[allow(deprecated)] // pins the deprecated one-shot wrappers against the `_on` path
             let classic = dijkstra(&ft.network, a, b, |_| 1.0).unwrap();
             assert_eq!(on, classic);
             let ksp_on = k_shortest_paths_on(&graph, &mut engine, a, b, 3, |_| 1.0);
+            #[allow(deprecated)]
             let ksp = k_shortest_paths(&ft.network, a, b, 3, |_| 1.0);
             assert_eq!(ksp_on, ksp);
-            assert_eq!(
-                all_shortest_paths_on(&graph, a, b, 16),
-                all_shortest_paths(&ft.network, a, b, 16)
-            );
+            #[allow(deprecated)]
+            let all_classic = all_shortest_paths(&ft.network, a, b, 16);
+            assert_eq!(all_shortest_paths_on(&graph, a, b, 16), all_classic);
         }
     }
 }

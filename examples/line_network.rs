@@ -12,7 +12,7 @@
 //! cargo run --release --example line_network
 //! ```
 
-use deadline_dcn::core::{most_critical_first, Routing};
+use deadline_dcn::core::{Algorithm, RoutedMcf, SolverContext};
 use deadline_dcn::flow::FlowSet;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::topology::builders;
@@ -27,9 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (a, b, 1.0, 3.0, 8.0), // j2
     ])?;
 
-    let paths = Routing::ShortestPath.compute(&topo.network, &flows)?;
-    let schedule = most_critical_first(&topo.network, &flows, &paths, &power)?;
-    schedule.verify(&topo.network, &flows, &power)?;
+    // The line network forces the routes, so the optimal DCFS schedule is
+    // exactly the registry's `sp-mcf` algorithm.
+    let mut ctx = SolverContext::from_network(&topo.network)?;
+    let solution = RoutedMcf::shortest_path().solve(&mut ctx, &flows, &power)?;
+    let schedule = solution.schedule.as_ref().expect("sp-mcf schedules");
+    ctx.verify(schedule, &flows, &power)?;
 
     let s2_expected = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
     let s1_expected = s2_expected / 2f64.sqrt();

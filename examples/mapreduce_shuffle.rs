@@ -13,7 +13,7 @@
 //! cargo run --release --example mapreduce_shuffle
 //! ```
 
-use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::ShuffleWorkload;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = builders::fat_tree(4);
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
     let simulator = Simulator::new(power);
+    let mut ctx = SolverContext::from_network(&topo.network)?;
 
     println!("topology : {}", topo.name);
     println!("power    : {power}\n");
@@ -41,11 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let flows = workload.generate(topo.hosts())?;
 
-        let outcome = RandomSchedule::default().run(&topo.network, &flows, &power)?;
-        let sp = baselines::sp_mcf(&topo.network, &flows, &power)?;
+        let rs = Dcfsr::default().solve(&mut ctx, &flows, &power)?;
+        let sp = RoutedMcf::shortest_path().solve(&mut ctx, &flows, &power)?;
 
-        let rs_report = simulator.run(&topo.network, &flows, &outcome.schedule);
-        let sp_report = simulator.run(&topo.network, &flows, &sp);
+        let rs_report = simulator.run_ctx(&ctx, &flows, rs.schedule.as_ref().unwrap());
+        let sp_report = simulator.run_ctx(&ctx, &flows, sp.schedule.as_ref().unwrap());
         assert_eq!(
             rs_report.deadline_misses, 0,
             "RS must meet the stage deadline"
@@ -55,13 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "SP+MCF must meet the stage deadline"
         );
 
+        let lb = rs.lower_bound.expect("dcfsr reports the bound");
         println!(
             "{:>10.0} {:>14.2} {:>14.2} {:>14.2} {:>10.3}",
             deadline,
-            outcome.lower_bound,
+            lb,
             rs_report.energy.total(),
             sp_report.energy.total(),
-            rs_report.energy.total() / outcome.lower_bound
+            rs_report.energy.total() / lb
         );
     }
 

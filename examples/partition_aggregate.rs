@@ -13,7 +13,7 @@
 //! cargo run --release --example partition_aggregate
 //! ```
 
-use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::PartitionAggregateWorkload;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -43,12 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("power    : {power}\n");
 
-    let outcome = RandomSchedule::default().run(&topo.network, &flows, &power)?;
-    let sp = baselines::sp_mcf(&topo.network, &flows, &power)?;
+    let mut ctx = SolverContext::from_network(&topo.network)?;
+    let rs = Dcfsr::default().solve(&mut ctx, &flows, &power)?;
+    let sp = RoutedMcf::shortest_path().solve(&mut ctx, &flows, &power)?;
     let simulator = Simulator::new(power);
 
-    for (name, schedule) in [("Random-Schedule", &outcome.schedule), ("SP+MCF", &sp)] {
-        let report = simulator.run(&topo.network, &flows, schedule);
+    for (name, solution) in [("Random-Schedule", &rs), ("SP+MCF", &sp)] {
+        let schedule = solution
+            .schedule
+            .as_ref()
+            .expect("both algorithms schedule");
+        let report = simulator.run_ctx(&ctx, &flows, schedule);
         let worst_slack = report
             .flows
             .iter()
@@ -65,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "  normalised vs LB  : {:>10.3}",
-            report.energy.total() / outcome.lower_bound
+            report.energy.total() / rs.lower_bound.expect("dcfsr reports the bound")
         );
         println!("  active links      : {:>10}", report.active_link_count());
         println!("  deadline misses   : {:>10}", report.deadline_misses);
@@ -73,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  mean slack        : {:>10.3} time units\n", mean_slack);
     }
 
-    println!("fractional lower bound: {:.2}", outcome.lower_bound);
+    println!(
+        "fractional lower bound: {:.2}",
+        rs.lower_bound.expect("dcfsr reports the bound")
+    );
     Ok(())
 }

@@ -1,5 +1,5 @@
 //! Quickstart: schedule a random deadline-constrained workload on a
-//! fat-tree with every scheme in the crate and compare their energy.
+//! fat-tree with every scheme in the registry and compare their energy.
 //!
 //! Run with:
 //!
@@ -7,7 +7,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::UniformWorkload;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -36,52 +36,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("power    : {power}");
     println!();
 
-    // Joint scheduling + routing (the paper's Random-Schedule, Algorithm 2).
-    let outcome = RandomSchedule::default().run(&topo.network, &flows, &power)?;
-    // Shortest-path routing + optimal scheduling (the paper's SP+MCF baseline).
-    let sp = baselines::sp_mcf(&topo.network, &flows, &power)?;
-    // No energy management at all: shortest path at full line rate.
-    let greedy = baselines::full_rate_greedy(&topo.network, &flows, &power)?;
-
-    let lb = outcome.lower_bound;
+    // One solver session per network; schedulers plug in by name. Joint
+    // scheduling + routing (the paper's Random-Schedule), the SP+MCF
+    // baseline, and "no energy management at all" — all behind the same
+    // Algorithm interface.
+    let mut ctx = SolverContext::from_network(&topo.network)?;
+    let registry = AlgorithmRegistry::with_defaults();
     let simulator = Simulator::new(power);
+
+    let mut solutions = Vec::new();
+    for (label, name) in [
+        ("Random-Schedule (RS)", "dcfsr"),
+        ("Shortest-Path + MCF", "sp-mcf"),
+        ("full-rate greedy", "greedy"),
+    ] {
+        let mut algo = registry.create(name)?;
+        solutions.push((label, algo.solve(&mut ctx, &flows, &power)?));
+    }
+
+    // dcfsr already solved the fractional relaxation, so the lower bound
+    // every scheme is normalised by comes for free.
+    let lb = solutions[0].1.lower_bound.expect("dcfsr reports the bound");
 
     println!(
         "{:<28} {:>12} {:>12} {:>8} {:>10}",
         "scheme", "energy", "vs LB", "links", "misses"
     );
-    for (name, schedule) in [
-        ("fractional lower bound", None),
-        ("Random-Schedule (RS)", Some(&outcome.schedule)),
-        ("Shortest-Path + MCF", Some(&sp)),
-        ("full-rate greedy", Some(&greedy)),
-    ] {
-        match schedule {
-            None => {
-                println!(
-                    "{:<28} {:>12.2} {:>12.3} {:>8} {:>10}",
-                    name, lb, 1.0, "-", "-"
-                );
-            }
-            Some(s) => {
-                let report = simulator.run(&topo.network, &flows, s);
-                let energy = report.energy.total();
-                println!(
-                    "{:<28} {:>12.2} {:>12.3} {:>8} {:>10}",
-                    name,
-                    energy,
-                    energy / lb,
-                    report.active_link_count(),
-                    report.deadline_misses
-                );
-            }
-        }
+    println!(
+        "{:<28} {:>12.2} {:>12.3} {:>8} {:>10}",
+        "fractional lower bound", lb, 1.0, "-", "-"
+    );
+    for (label, solution) in &solutions {
+        let schedule = solution.schedule.as_ref().expect("scheduling algorithm");
+        let report = simulator.run_ctx(&ctx, &flows, schedule);
+        let energy = report.energy.total();
+        println!(
+            "{:<28} {:>12.2} {:>12.3} {:>8} {:>10}",
+            label,
+            energy,
+            energy / lb,
+            report.active_link_count(),
+            report.deadline_misses
+        );
     }
 
     println!();
+    let diagnostics = &solutions[0].1.diagnostics;
     println!(
         "Random-Schedule used {} rounding attempt(s); worst link over-capacity by {:.3}",
-        outcome.attempts, outcome.capacity_excess
+        diagnostics.rounding_attempts.unwrap_or(0),
+        diagnostics.capacity_excess.unwrap_or(0.0)
     );
     Ok(())
 }

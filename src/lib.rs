@@ -18,7 +18,8 @@
 //!   flow (Frank–Wolfe) and Raghavan–Tompson path decomposition.
 //! * [`core`] — the paper's algorithms: **Most-Critical-First** (optimal
 //!   DCFS) and **Random-Schedule** (approximate DCFSR), baselines and the
-//!   fractional lower bound.
+//!   fractional lower bound, all behind the `SolverContext` + `Algorithm`
+//!   session API with a string-keyed registry.
 //! * [`sim`] — a fluid event-driven simulator that executes schedules and
 //!   measures deadlines, loads and energy.
 //!
@@ -35,14 +36,19 @@
 //! let topo = builders::fat_tree(4);
 //! let flows = UniformWorkload::paper_defaults(10, 1).generate(topo.hosts())?;
 //! let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
-//! let outcome = RandomSchedule::default().run(&topo.network, &flows, &power)?;
-//! println!("energy = {}", outcome.schedule.energy(&power).total());
+//!
+//! // One solver session per network; every scheduler plugs in by name.
+//! let mut ctx = SolverContext::from_network(&topo.network)?;
+//! let registry = AlgorithmRegistry::with_defaults();
+//! let outcome = registry.create("dcfsr")?.solve(&mut ctx, &flows, &power)?;
+//! println!("energy = {}", outcome.total_energy().unwrap());
 //! # Ok(())
 //! # }
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub use dcn_core as core;
 pub use dcn_flow as flow;

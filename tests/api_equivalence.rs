@@ -1,0 +1,155 @@
+//! Equivalence pin guarding the `SolverContext` + `Algorithm` migration —
+//! the same role `csr_equivalence.rs` played for the CSR refactor of PR 3.
+//!
+//! For three seeds on two topologies, every scheme is solved twice: once
+//! through the **pre-redesign call path** (the deprecated one-shot entry
+//! points, pinned here on purpose) and once through the context API. The
+//! schedules, energies and lower bounds must be **bit-identical** — the
+//! redesign moves state around but must not change a single number.
+
+#![allow(deprecated)] // the whole point of this suite is to pin the deprecated path
+
+use deadline_dcn::core::{baselines, interval_relaxation, prelude::*};
+use deadline_dcn::flow::workload::UniformWorkload;
+use deadline_dcn::power::PowerFunction;
+use deadline_dcn::topology::builders::{self, BuiltTopology};
+
+fn topologies() -> Vec<BuiltTopology> {
+    vec![builders::fat_tree(4), builders::leaf_spine(4, 2, 6)]
+}
+
+fn x2(capacity: f64) -> PowerFunction {
+    PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+}
+
+/// Random-Schedule: the legacy `RandomSchedule::run` and the `dcfsr`
+/// algorithm produce bit-identical schedules, energies and lower bounds.
+#[test]
+fn dcfsr_energies_are_bit_identical_across_apis() {
+    let power = x2(10.0);
+    for topo in topologies() {
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        for seed in [7u64, 21, 1000] {
+            let flows = UniformWorkload::paper_defaults(18, seed)
+                .generate(topo.hosts())
+                .unwrap();
+
+            let legacy = RandomSchedule::new(RandomScheduleConfig {
+                seed,
+                ..Default::default()
+            })
+            .run(&topo.network, &flows, &power)
+            .unwrap();
+
+            let mut algo = Dcfsr::default();
+            algo.set_seed(seed);
+            let modern = algo.solve(&mut ctx, &flows, &power).unwrap();
+
+            assert_eq!(
+                modern.schedule.as_ref().unwrap(),
+                &legacy.schedule,
+                "{} seed {seed}: schedules diverge",
+                topo.name
+            );
+            // Bit-identical, not approximately equal.
+            assert_eq!(
+                modern.total_energy().unwrap(),
+                legacy.schedule.energy(&power).total(),
+                "{} seed {seed}: energies diverge",
+                topo.name
+            );
+            assert_eq!(
+                modern.lower_bound,
+                Some(legacy.lower_bound),
+                "{} seed {seed}: lower bounds diverge",
+                topo.name
+            );
+            assert_eq!(modern.diagnostics.rounding_attempts, Some(legacy.attempts));
+            assert_eq!(
+                modern.diagnostics.capacity_excess,
+                Some(legacy.capacity_excess)
+            );
+        }
+    }
+}
+
+/// The five baselines: each legacy free function and its registry
+/// counterpart produce bit-identical schedules and energies.
+#[test]
+fn baseline_energies_are_bit_identical_across_apis() {
+    let power = x2(1e9);
+    for topo in topologies() {
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        for seed in [3u64, 11, 42] {
+            let flows = UniformWorkload::paper_defaults(16, seed)
+                .generate(topo.hosts())
+                .unwrap();
+
+            let legacy = [
+                (
+                    "sp-mcf",
+                    baselines::sp_mcf(&topo.network, &flows, &power).unwrap(),
+                ),
+                (
+                    "ecmp",
+                    baselines::ecmp_mcf(&topo.network, &flows, &power, seed).unwrap(),
+                ),
+                (
+                    "least-loaded",
+                    baselines::least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap(),
+                ),
+                (
+                    "consolidate",
+                    baselines::consolidating_mcf(&topo.network, &flows, &power, 4).unwrap(),
+                ),
+                (
+                    "greedy",
+                    baselines::full_rate_greedy(&topo.network, &flows, &power).unwrap(),
+                ),
+            ];
+
+            let registry = AlgorithmRegistry::with_defaults();
+            for (name, legacy_schedule) in &legacy {
+                let mut algo = registry.create(name).unwrap();
+                algo.set_seed(seed);
+                let modern = algo.solve(&mut ctx, &flows, &power).unwrap();
+                assert_eq!(
+                    modern.schedule.as_ref().unwrap(),
+                    legacy_schedule,
+                    "{} {name} seed {seed}: schedules diverge",
+                    topo.name
+                );
+                assert_eq!(
+                    modern.total_energy().unwrap(),
+                    legacy_schedule.energy(&power).total(),
+                    "{} {name} seed {seed}: energies diverge",
+                    topo.name
+                );
+            }
+        }
+    }
+}
+
+/// The relaxation lower bound: the legacy one-shot `interval_relaxation`
+/// and `SolverContext::relax` agree bit for bit, interval by interval.
+#[test]
+fn relaxation_lower_bounds_are_bit_identical_across_apis() {
+    let power = x2(10.0);
+    for topo in topologies() {
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        for seed in [5u64, 8, 13] {
+            let flows = UniformWorkload::paper_defaults(14, seed)
+                .generate(topo.hosts())
+                .unwrap();
+            let legacy = interval_relaxation(&topo.network, &flows, &power, &Default::default());
+            let modern = ctx.relax(&flows, &power, &Default::default()).unwrap();
+            assert_eq!(legacy.lower_bound, modern.lower_bound);
+            assert_eq!(legacy.intervals.len(), modern.intervals.len());
+            for (a, b) in legacy.intervals.iter().zip(&modern.intervals) {
+                assert_eq!(a.flow_ids, b.flow_ids);
+                assert_eq!(a.solution, b.solution);
+                assert_eq!(a.cost_rate, b.cost_rate);
+            }
+        }
+    }
+}

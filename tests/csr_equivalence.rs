@@ -15,9 +15,9 @@ use deadline_dcn::power::PowerFunction;
 use deadline_dcn::solver::fmcf::{
     Commodity, FlowCost, FmcfProblem, FmcfSolverConfig, PowerFlowCost,
 };
-use deadline_dcn::topology::{
-    dijkstra, GraphCsr, LinkId, Network, NodeId, NodeKind, ShortestPathEngine,
-};
+#[allow(deprecated)] // the deprecated one-shot wrapper is this suite's pinned oracle
+use deadline_dcn::topology::dijkstra;
+use deadline_dcn::topology::{GraphCsr, LinkId, Network, NodeId, NodeKind, ShortestPathEngine};
 use proptest::prelude::*;
 
 /// The pre-refactor adjacency-list algorithms, copied verbatim (modulo
@@ -185,6 +185,7 @@ mod reference {
             let m = network.link_count();
             let mut assignment = vec![vec![0.0; m]; commodities.len()];
             for (ci, c) in commodities.iter().enumerate() {
+                #[allow(deprecated)] // the deprecated one-shot wrapper is the pinned oracle
                 let path = dijkstra(network, c.src, c.dst, |l| weights[l.index()])?;
                 for &l in path.links() {
                     assignment[ci][l.index()] = c.demand;
@@ -338,6 +339,7 @@ proptest! {
         let dst = NodeId(t % spec.n);
 
         let oracle = reference::dijkstra(&net, src, dst, |l| weights[l.index()]);
+        #[allow(deprecated)] // the deprecated one-shot wrapper is pinned against the engine
         let wrapper = dijkstra(&net, src, dst, |l| weights[l.index()]);
         prop_assert_eq!(&oracle, &wrapper);
 

@@ -2,7 +2,7 @@
 //! API of the umbrella crate (routing, scheduling, verification, energy and
 //! simulation all agree with the closed form).
 
-use deadline_dcn::core::{baselines, most_critical_first, Routing};
+use deadline_dcn::core::{most_critical_first, Algorithm, RoutedMcf, Routing, SolverContext};
 use deadline_dcn::flow::FlowSet;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -19,11 +19,12 @@ fn example1_closed_form_through_public_api() {
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
     let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)]).unwrap();
 
-    let paths = Routing::ShortestPath
-        .compute(&topo.network, &flows)
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let solution = RoutedMcf::shortest_path()
+        .solve(&mut ctx, &flows, &power)
         .unwrap();
-    let schedule = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
-    schedule.verify(&topo.network, &flows, &power).unwrap();
+    let schedule = solution.schedule.as_ref().unwrap();
+    ctx.verify(schedule, &flows, &power).unwrap();
 
     let s2 = (8.0 + 6.0 * 2f64.sqrt()) / 3.0;
     let s1 = s2 / 2f64.sqrt();
@@ -40,27 +41,31 @@ fn example1_closed_form_through_public_api() {
     assert!(close(schedule.energy(&power).total(), expected_energy));
 
     // The simulator measures the same energy and reports zero misses.
-    let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+    let report = Simulator::new(power).run_ctx(&ctx, &flows, schedule);
     assert!(report.all_good());
     assert!(close(report.energy.total(), expected_energy));
 }
 
 #[test]
 fn example1_sp_mcf_is_the_same_since_routes_are_forced() {
-    // On a line there is a single route per flow, so SP+MCF equals the
-    // schedule computed from explicit shortest paths.
+    // On a line there is a single route per flow, so the registry's
+    // `sp-mcf` algorithm equals the schedule computed from explicit
+    // shortest paths through the DCFS building block.
     let topo = builders::line_with_capacity(3, 1e9);
     let (a, b, c) = (topo.hosts()[0], topo.hosts()[1], topo.hosts()[2]);
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);
     let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)]).unwrap();
 
-    let via_baseline = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let via_algorithm = RoutedMcf::shortest_path()
+        .solve(&mut ctx, &flows, &power)
+        .unwrap();
     let paths = Routing::ShortestPath
-        .compute(&topo.network, &flows)
+        .compute_on(ctx.graph(), &flows)
         .unwrap();
     let direct = most_critical_first(&topo.network, &flows, &paths, &power).unwrap();
     assert!(close(
-        via_baseline.energy(&power).total(),
+        via_algorithm.total_energy().unwrap(),
         direct.energy(&power).total()
     ));
 }
@@ -74,7 +79,7 @@ fn example1_energy_scales_with_alpha() {
     let (a, b, c) = (topo.hosts()[0], topo.hosts()[1], topo.hosts()[2]);
     let flows = FlowSet::from_tuples([(a, c, 2.0, 4.0, 6.0), (a, b, 1.0, 3.0, 8.0)]).unwrap();
     let paths = Routing::ShortestPath
-        .compute(&topo.network, &flows)
+        .compute_on(&topo.csr(), &flows)
         .unwrap();
 
     let x2 = PowerFunction::speed_scaling_only(1.0, 2.0, 1e9);

@@ -10,7 +10,7 @@
 //! spreading the load, and the spread solution approaches the analytic
 //! optimum `m * alpha * mu * B^alpha` when `R_opt = B`.
 
-use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::hardness;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -31,21 +31,20 @@ fn three_partition_gadget_spreads_load_close_to_the_analytic_optimum() {
     let values = hardness::satisfiable_three_partition(m, b);
     let flows = hardness::three_partition_flows(topo.source(), topo.sink(), &values).unwrap();
 
-    let outcome = RandomSchedule::new(RandomScheduleConfig {
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let rs = Dcfsr::new(RandomScheduleConfig {
         max_rounding_attempts: 50,
         ..Default::default()
     })
-    .run(&topo.network, &flows, &power)
+    .solve(&mut ctx, &flows, &power)
     .unwrap();
-    outcome
-        .schedule
-        .verify(&topo.network, &flows, &power)
+    ctx.verify(rs.schedule.as_ref().unwrap(), &flows, &power)
         .unwrap();
 
     // The analytic optimum of the reduction: m links at rate B for one unit
     // of time, i.e. m * alpha * mu * B^alpha.
     let optimum = m as f64 * alpha * mu * b.powf(alpha);
-    let rs_energy = outcome.schedule.energy(&power).total();
+    let rs_energy = rs.total_energy().unwrap();
     assert!(
         rs_energy >= optimum - 1e-6,
         "no schedule can beat the reduction's optimum: {rs_energy} < {optimum}"
@@ -59,8 +58,10 @@ fn three_partition_gadget_spreads_load_close_to_the_analytic_optimum() {
 
     // Shortest-path routing concentrates all 3m flows on one link; its
     // dynamic energy alone is (mB)^alpha versus the spread m * B^alpha.
-    let sp = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-    let sp_energy = sp.energy(&power).total();
+    let sp = RoutedMcf::shortest_path()
+        .solve(&mut ctx, &flows, &power)
+        .unwrap();
+    let sp_energy = sp.total_energy().unwrap();
     assert!(
         sp_energy > rs_energy,
         "concentrating all flows on one link ({sp_energy}) must cost more than spreading ({rs_energy})"
@@ -78,17 +79,18 @@ fn partition_gadget_deadlines_hold_even_at_capacity() {
     assert_eq!(values.iter().sum::<f64>(), b);
     let flows = hardness::partition_flows(topo.source(), topo.sink(), &values).unwrap();
 
-    let outcome = RandomSchedule::new(RandomScheduleConfig {
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let rs = Dcfsr::new(RandomScheduleConfig {
         max_rounding_attempts: 100,
         ..Default::default()
     })
-    .run(&topo.network, &flows, &power)
+    .solve(&mut ctx, &flows, &power)
     .unwrap();
-    let report = Simulator::new(power).run(&topo.network, &flows, &outcome.schedule);
+    let report = Simulator::new(power).run_ctx(&ctx, &flows, rs.schedule.as_ref().unwrap());
     assert_eq!(report.deadline_misses, 0);
     // At least two distinct parallel links must carry traffic.
     assert!(report.active_link_count() >= 2);
-    assert!(report.energy.total() >= outcome.lower_bound - 1e-6);
+    assert!(report.energy.total() >= rs.lower_bound.unwrap() - 1e-6);
 }
 
 #[test]
@@ -100,16 +102,14 @@ fn lower_bound_matches_perfect_split_on_the_gadget() {
     let values = [4.0, 4.0, 4.0, 4.0];
     let flows = hardness::partition_flows(topo.source(), topo.sink(), &values).unwrap();
 
-    let outcome = RandomSchedule::default()
-        .run(&topo.network, &flows, &power)
-        .unwrap();
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let rs = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+    let lb = rs.lower_bound.unwrap();
     let expected = 4.0 * (16.0_f64 / 4.0_f64).powf(2.0);
     assert!(
-        (outcome.lower_bound - expected).abs() < 0.05 * expected,
-        "LB {} should approach the even split cost {expected}",
-        outcome.lower_bound
+        (lb - expected).abs() < 0.05 * expected,
+        "LB {lb} should approach the even split cost {expected}"
     );
     // The perfect rounding assigns one flow per link and matches the bound.
-    let energy = outcome.schedule.energy(&power).total();
-    assert!(energy >= outcome.lower_bound - 1e-6);
+    assert!(rs.total_energy().unwrap() >= lb - 1e-6);
 }

@@ -1,8 +1,8 @@
 //! End-to-end integration tests: every topology builder x every workload
-//! generator, pushed through routing, both schedulers, verification and the
-//! simulator.
+//! generator, pushed through one `SolverContext` per topology, the
+//! registry's schedulers, verification and the simulator.
 
-use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::{PartitionAggregateWorkload, ShuffleWorkload, UniformWorkload};
 use deadline_dcn::flow::FlowSet;
 use deadline_dcn::power::PowerFunction;
@@ -32,33 +32,30 @@ fn uniform_workload_all_topologies() {
             .generate(topo.hosts())
             .unwrap();
 
-        let rs = RandomSchedule::default()
-            .run(&topo.network, &flows, &power)
+        let mut ctx = SolverContext::from_network(&topo.network)
             .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
-        let sp = baselines::sp_mcf(&topo.network, &flows, &power)
+        let rs = Dcfsr::default()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
+        let sp = RoutedMcf::shortest_path()
+            .solve(&mut ctx, &flows, &power)
             .unwrap_or_else(|e| panic!("{}: {e}", topo.name));
 
-        rs.schedule
-            .verify(&topo.network, &flows, &power)
+        let rs_schedule = rs.schedule.as_ref().unwrap();
+        let sp_schedule = sp.schedule.as_ref().unwrap();
+        ctx.verify(rs_schedule, &flows, &power)
             .unwrap_or_else(|e| panic!("{} RS: {e}", topo.name));
-        sp.verify(&topo.network, &flows, &power)
+        ctx.verify(sp_schedule, &flows, &power)
             .unwrap_or_else(|e| panic!("{} SP+MCF: {e}", topo.name));
 
         let simulator = Simulator::new(power);
-        let rs_report = simulator.run(&topo.network, &flows, &rs.schedule);
-        let sp_report = simulator.run(&topo.network, &flows, &sp);
+        let rs_report = simulator.run_ctx(&ctx, &flows, rs_schedule);
+        let sp_report = simulator.run_ctx(&ctx, &flows, sp_schedule);
         assert_eq!(rs_report.deadline_misses, 0, "{}", topo.name);
         assert_eq!(sp_report.deadline_misses, 0, "{}", topo.name);
-        assert!(
-            rs_report.energy.total() >= rs.lower_bound - 1e-6,
-            "{}",
-            topo.name
-        );
-        assert!(
-            sp_report.energy.total() >= rs.lower_bound - 1e-6,
-            "{}",
-            topo.name
-        );
+        let lb = rs.lower_bound.unwrap();
+        assert!(rs_report.energy.total() >= lb - 1e-6, "{}", topo.name);
+        assert!(sp_report.energy.total() >= lb - 1e-6, "{}", topo.name);
     }
 }
 
@@ -89,47 +86,42 @@ fn application_workloads_end_to_end() {
     .unwrap();
 
     for (topo, flows) in [(&leaf_spine, &search), (&fat_tree, &shuffle)] {
-        let rs = RandomSchedule::default()
-            .run(&topo.network, flows, &power)
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let rs = Dcfsr::default().solve(&mut ctx, flows, &power).unwrap();
+        ctx.verify(rs.schedule.as_ref().unwrap(), flows, &power)
             .unwrap();
-        rs.schedule.verify(&topo.network, flows, &power).unwrap();
-        let sp = baselines::sp_mcf(&topo.network, flows, &power).unwrap();
-        sp.verify(&topo.network, flows, &power).unwrap();
-        assert!(sp.energy(&power).total() >= rs.lower_bound - 1e-6);
+        let sp = RoutedMcf::shortest_path()
+            .solve(&mut ctx, flows, &power)
+            .unwrap();
+        ctx.verify(sp.schedule.as_ref().unwrap(), flows, &power)
+            .unwrap();
+        assert!(sp.total_energy().unwrap() >= rs.lower_bound.unwrap() - 1e-6);
     }
 }
 
-/// Routing strategies produce different trade-offs but all remain feasible;
-/// the analytic energy and the simulated energy always agree.
+/// Every DCFS-based scheduler of the registry produces a feasible schedule
+/// on the same context; the analytic energy and the simulated energy always
+/// agree.
 #[test]
-fn routing_strategies_feasible_and_energy_consistent() {
+fn registry_schedulers_feasible_and_energy_consistent() {
     let topo = builders::fat_tree(4);
     let power = x2(1e9);
     let flows = UniformWorkload::paper_defaults(30, 3)
         .generate(topo.hosts())
         .unwrap();
     let simulator = Simulator::new(power);
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let registry = AlgorithmRegistry::with_defaults();
 
-    let schedules = vec![
-        (
-            "sp",
-            baselines::sp_mcf(&topo.network, &flows, &power).unwrap(),
-        ),
-        (
-            "ecmp",
-            baselines::ecmp_mcf(&topo.network, &flows, &power, 5).unwrap(),
-        ),
-        (
-            "ksp",
-            baselines::least_loaded_mcf(&topo.network, &flows, &power, 4).unwrap(),
-        ),
-    ];
-    for (name, schedule) in schedules {
-        schedule
-            .verify(&topo.network, &flows, &power)
+    for name in ["sp-mcf", "ecmp", "least-loaded", "consolidate"] {
+        let mut algo = registry.create(name).unwrap();
+        algo.set_seed(5);
+        let solution = algo.solve(&mut ctx, &flows, &power).unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
+        ctx.verify(schedule, &flows, &power)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let report = simulator.run(&topo.network, &flows, &schedule);
-        let analytic = schedule.energy(&power).total();
+        let report = simulator.run_ctx(&ctx, &flows, schedule);
+        let analytic = solution.total_energy().unwrap();
         assert!(
             (report.energy.total() - analytic).abs() <= 1e-6 * analytic,
             "{name}: simulated {} vs analytic {analytic}",
@@ -149,17 +141,19 @@ fn idle_power_accounting_is_consistent() {
         .generate(topo.hosts())
         .unwrap();
 
-    let rs = RandomSchedule::default()
-        .run(&topo.network, &flows, &power)
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let rs = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+    let sp = RoutedMcf::shortest_path()
+        .solve(&mut ctx, &flows, &power)
         .unwrap();
-    let sp = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
 
-    let rs_energy = rs.schedule.energy(&power);
-    let sp_energy = sp.energy(&power);
+    let rs_energy = rs.energy.unwrap();
+    let sp_energy = sp.energy.unwrap();
+    let lb = rs.lower_bound.unwrap();
     assert!(rs_energy.idle > 0.0);
     assert!(sp_energy.idle > 0.0);
-    assert!(rs_energy.total() >= rs.lower_bound - 1e-6);
-    assert!(sp_energy.total() >= rs.lower_bound - 1e-6);
+    assert!(rs_energy.total() >= lb - 1e-6);
+    assert!(sp_energy.total() >= lb - 1e-6);
     // The idle share equals sigma * horizon * active links.
     let (t0, t1) = flows.horizon();
     assert!((rs_energy.idle - 2.0 * (t1 - t0) * rs_energy.active_links as f64).abs() < 1e-6);
@@ -173,12 +167,13 @@ fn degenerate_single_flow_instance() {
     let power = x2(1e9);
     let flows = FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[1], 0.0, 5.0, 10.0)]).unwrap();
 
-    let rs = RandomSchedule::default()
-        .run(&topo.network, &flows, &power)
+    let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+    let rs = Dcfsr::default().solve(&mut ctx, &flows, &power).unwrap();
+    let sp = RoutedMcf::shortest_path()
+        .solve(&mut ctx, &flows, &power)
         .unwrap();
-    let sp = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
     // Density 2 on one link for 5 time units: energy 2^2 * 5 = 20.
-    assert!((sp.energy(&power).total() - 20.0).abs() < 1e-6);
-    assert!((rs.schedule.energy(&power).total() - 20.0).abs() < 1e-6);
-    assert!((rs.lower_bound - 20.0).abs() < 1e-3);
+    assert!((sp.total_energy().unwrap() - 20.0).abs() < 1e-6);
+    assert!((rs.total_energy().unwrap() - 20.0).abs() < 1e-6);
+    assert!((rs.lower_bound.unwrap() - 20.0).abs() < 1e-3);
 }

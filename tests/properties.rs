@@ -8,7 +8,7 @@
 //! * The power model's closed-form optimum (Lemma 3) minimises the power
 //!   rate.
 
-use deadline_dcn::core::{baselines, prelude::*};
+use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::{Flow, FlowSet};
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
@@ -65,14 +65,17 @@ proptest! {
     fn random_schedule_feasible_and_above_lb(flows in arb_flows(14), seed in 0u64..1000) {
         let topo = builders::fat_tree_with_capacity(4, 1e9);
         let power = x2();
-        let outcome = RandomSchedule::new(RandomScheduleConfig { seed, ..Default::default() })
-            .run(&topo.network, &flows, &power)
-            .unwrap();
-        outcome.schedule.verify(&topo.network, &flows, &power).unwrap();
-        let energy = outcome.schedule.energy(&power).total();
-        prop_assert!(energy >= outcome.lower_bound - 1e-6 * (1.0 + outcome.lower_bound));
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut algo = Dcfsr::default();
+        algo.set_seed(seed);
+        let solution = algo.solve(&mut ctx, &flows, &power).unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
+        ctx.verify(schedule, &flows, &power).unwrap();
+        let energy = solution.total_energy().unwrap();
+        let lb = solution.lower_bound.unwrap();
+        prop_assert!(energy >= lb - 1e-6 * (1.0 + lb));
 
-        let report = Simulator::new(power).run(&topo.network, &flows, &outcome.schedule);
+        let report = Simulator::new(power).run_ctx(&ctx, &flows, schedule);
         prop_assert_eq!(report.deadline_misses, 0);
     }
 
@@ -83,19 +86,16 @@ proptest! {
     fn sp_mcf_feasible_consistent_and_above_lb(flows in arb_flows(14)) {
         let topo = builders::fat_tree_with_capacity(4, 1e9);
         let power = x2();
-        let schedule = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-        schedule.verify(&topo.network, &flows, &power).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = RoutedMcf::shortest_path().solve(&mut ctx, &flows, &power).unwrap();
+        let schedule = solution.schedule.as_ref().unwrap();
+        ctx.verify(schedule, &flows, &power).unwrap();
 
-        let relaxation = interval_relaxation(
-            &topo.network,
-            &flows,
-            &power,
-            &Default::default(),
-        );
-        let energy = schedule.energy(&power).total();
+        let relaxation = ctx.relax(&flows, &power, &Default::default()).unwrap();
+        let energy = solution.total_energy().unwrap();
         prop_assert!(energy >= relaxation.lower_bound - 1e-6 * (1.0 + relaxation.lower_bound));
 
-        let report = Simulator::new(power).run(&topo.network, &flows, &schedule);
+        let report = Simulator::new(power).run_ctx(&ctx, &flows, schedule);
         prop_assert_eq!(report.deadline_misses, 0);
         prop_assert!((report.energy.total() - energy).abs() <= 1e-6 * (1.0 + energy));
     }
@@ -106,13 +106,14 @@ proptest! {
     fn per_flow_isolation_bound_holds(flows in arb_flows(10)) {
         let topo = builders::fat_tree_with_capacity(4, 1e9);
         let power = x2();
-        let schedule = baselines::sp_mcf(&topo.network, &flows, &power).unwrap();
-        let paths = Routing::ShortestPath.compute(&topo.network, &flows).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let solution = RoutedMcf::shortest_path().solve(&mut ctx, &flows, &power).unwrap();
+        let paths = ctx.route(&Routing::ShortestPath, &flows).unwrap();
         let isolation_bound: f64 = flows
             .iter()
             .map(|f| paths[f.id].len() as f64 * power.dynamic_power(f.density()) * f.span_length())
             .sum();
-        prop_assert!(schedule.energy(&power).total() >= isolation_bound - 1e-6);
+        prop_assert!(solution.total_energy().unwrap() >= isolation_bound - 1e-6);
     }
 }
 
