@@ -1,0 +1,266 @@
+//! `online` — online rolling-horizon scheduling under Poisson arrivals.
+//!
+//! The paper's DCFSR evaluation is clairvoyant; this experiment measures
+//! what the same algorithm costs when flows are revealed at their release
+//! times. Each instance draws the paper's uniform workload, replaces its
+//! release times with a Poisson arrival process at a given **load factor**
+//! (expected number of flows concurrently in flight), and executes it
+//! through the `dcn_core::online::OnlineScheduler` — re-solving the
+//! residual instance at every arrival on one warm `SolverContext` — under
+//! both admission policies. The offline clairvoyant solve of the same
+//! instance is the reference, so the artifact tracks the **competitive
+//! ratio** of online versus offline DCFSR as a function of load.
+//!
+//! ```text
+//! cargo run --release -p dcn-bench --bin online                    # default sweep
+//! cargo run --release -p dcn-bench --bin online -- --quick         # CI smoke
+//! cargo run --release -p dcn-bench --bin online -- --load 0.5,2,8 --json-out
+//! cargo run --release -p dcn-bench --bin online -- --algorithms dcfsr,sp-mcf
+//! ```
+//!
+//! `--load` sets the swept load factors; `--flows` the workload size;
+//! `--runs` the seeds per sweep point; `--algorithms` selects the wrapped
+//! scheduler (first name; further names are ignored here — the reference
+//! is always the same algorithm with clairvoyant knowledge).
+//!
+//! **`BENCH_online.json` schema:** the standard artifact (schema version
+//! 1). Groups are `"<topology>|<policy>"` (e.g. `"fat-tree(k=4)|admit-all"`),
+//! `x` is the load factor; `rs_*` fields carry the **online** energies,
+//! `sp_*` the **offline clairvoyant** energies, `lower_bound` the
+//! fractional LB of the clairvoyant instance — so `rs_normalized /
+//! sp_normalized` is the competitive ratio's decomposition against the
+//! common LB. `deadline_misses` counts online misses over admitted flows.
+//! Each instance's `extra` records the `OnlineReport` counters:
+//! `[["load", L], ["policy", 0|1], ["events", E], ["resolves", R],
+//! ["solve_failures", F], ["admitted", A], ["rejected", J],
+//! ["missed", M], ["run", r]]` (policy 0 = admit-all, 1 =
+//! reject-infeasible). Same determinism contract as every artifact: fixed
+//! seed ⇒ byte-identical JSON for any `--threads`.
+
+use dcn_bench::report::{ExperimentReport, InstanceRecord};
+use dcn_bench::runner::{run_indexed, timed, ExperimentCli};
+use dcn_bench::{harness_fmcf_config, harness_registry, print_table, run_online_flow_set};
+use dcn_core::online::AdmissionPolicy;
+use dcn_flow::workload::{ArrivalProcess, UniformWorkload};
+use dcn_power::PowerFunction;
+use dcn_topology::builders::{self, BuiltTopology};
+
+/// One cell of the online sweep grid.
+struct Cell {
+    topology: usize,
+    policy: AdmissionPolicy,
+    load: f64,
+    /// Index of `load` in the swept list — the seed is derived from this
+    /// (not from the float value), so arbitrary `--load` values never
+    /// collide or overflow.
+    load_index: u64,
+    run: u64,
+}
+
+fn main() {
+    let cli = ExperimentCli::parse("online");
+    let runs: u64 = cli.runs.unwrap_or(if cli.quick { 1 } else { 2 }) as u64;
+    let flows: usize = cli.flows.unwrap_or(if cli.quick { 10 } else { 20 });
+    let algorithm = cli
+        .algorithms
+        .as_ref()
+        .map(|names| names[0].clone())
+        .unwrap_or_else(|| "dcfsr".to_string());
+    let loads: Vec<f64> = cli.load.clone().unwrap_or_else(|| {
+        if cli.quick {
+            vec![1.0, 3.0]
+        } else {
+            vec![0.5, 1.0, 2.0, 4.0]
+        }
+    });
+    let topologies: Vec<BuiltTopology> = if cli.quick {
+        vec![builders::fat_tree(4)]
+    } else if cli.full {
+        vec![
+            builders::fat_tree(4),
+            builders::leaf_spine(4, 2, 6),
+            builders::fat_tree(8),
+        ]
+    } else {
+        vec![builders::fat_tree(4), builders::leaf_spine(4, 2, 6)]
+    };
+    let policies = [
+        AdmissionPolicy::AdmitAll,
+        AdmissionPolicy::reject_infeasible(harness_fmcf_config()),
+    ];
+
+    println!(
+        "Online rolling-horizon sweep: {algorithm} under Poisson arrivals on {} \
+         ({} flows, {} run(s) per point)\n",
+        topologies
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        flows,
+        runs
+    );
+
+    let mut grid: Vec<Cell> = Vec::new();
+    for (ti, _) in topologies.iter().enumerate() {
+        for policy in &policies {
+            for (li, &load) in loads.iter().enumerate() {
+                for run in 0..runs {
+                    grid.push(Cell {
+                        topology: ti,
+                        policy: policy.clone(),
+                        load,
+                        load_index: li as u64,
+                        run,
+                    });
+                }
+            }
+        }
+    }
+
+    let power = PowerFunction::speed_scaling_only(1.0, 2.0, builders::DEFAULT_CAPACITY);
+    let registry = harness_registry();
+    registry
+        .create(&algorithm)
+        .unwrap_or_else(|e| panic!("[online] {e}"));
+
+    let (records, elapsed_seconds) = timed(|| {
+        run_indexed(grid.len(), cli.threads, |i| {
+            let cell = &grid[i];
+            let topo = &topologies[cell.topology];
+            // One seed per (load, run), shared across topologies/policies
+            // so policy columns compare like for like.
+            let seed = 10_000 * (cell.load_index + 1) + cell.run;
+            let base = UniformWorkload::paper_defaults(flows, seed)
+                .generate(topo.hosts())
+                .expect("workload generation succeeds on topologies with >= 2 hosts");
+            let instance = ArrivalProcess::with_load(cell.load, seed)
+                .apply(&base)
+                .expect("arrival rewrite preserves validity");
+            let result = run_online_flow_set(
+                topo,
+                &instance,
+                &power,
+                seed,
+                &algorithm,
+                cell.policy.clone(),
+                &registry,
+            );
+            let report = &result.outcome.report;
+            let policy_code = match cell.policy {
+                AdmissionPolicy::AdmitAll => 0.0,
+                _ => 1.0,
+            };
+            eprintln!(
+                "  [online] {}/{} {}|{} load={} seed={seed}",
+                i + 1,
+                grid.len(),
+                topo.name,
+                cell.policy.name(),
+                cell.load
+            );
+            InstanceRecord {
+                label: format!(
+                    "{}|{} load={} seed={seed}",
+                    topo.name,
+                    cell.policy.name(),
+                    cell.load
+                ),
+                flows: instance.len(),
+                seed,
+                alpha: power.alpha(),
+                lower_bound: result.lower_bound,
+                rs_energy: result.online_sim.energy,
+                sp_energy: result.offline_sim.energy,
+                rs_normalized: result.online_normalized(),
+                sp_normalized: result.offline_normalized(),
+                deadline_misses: report.missed(),
+                rs_capacity_excess: result.outcome.schedule.max_capacity_excess(&power),
+                rs_sim: Some(result.online_sim),
+                sp_sim: Some(result.offline_sim),
+                extra: vec![
+                    ("load".to_string(), cell.load),
+                    ("policy".to_string(), policy_code),
+                    ("events".to_string(), report.events as f64),
+                    ("resolves".to_string(), report.resolves as f64),
+                    ("solve_failures".to_string(), report.solve_failures as f64),
+                    ("admitted".to_string(), report.admitted() as f64),
+                    ("rejected".to_string(), report.rejected() as f64),
+                    ("missed".to_string(), report.missed() as f64),
+                    ("run".to_string(), cell.run as f64),
+                ],
+            }
+        })
+    });
+
+    let mut report = ExperimentReport::new(
+        "online",
+        topologies
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    report.workload = Some(UniformWorkload::paper_defaults(0, 0));
+    report.instances = records;
+    let coordinates: Vec<(String, f64)> = grid
+        .iter()
+        .map(|cell| {
+            (
+                format!("{}|{}", topologies[cell.topology].name, cell.policy.name()),
+                cell.load,
+            )
+        })
+        .collect();
+    report.aggregate_points(&coordinates);
+
+    for topo in &topologies {
+        for policy in &policies {
+            let group = format!("{}|{}", topo.name, policy.name());
+            let rows: Vec<Vec<String>> = report
+                .points
+                .iter()
+                .filter(|p| p.group == group)
+                .map(|p| {
+                    let members: Vec<&InstanceRecord> = report
+                        .instances
+                        .iter()
+                        .zip(&coordinates)
+                        .filter(|(_, (g, x))| *g == group && *x == p.x)
+                        .map(|(r, _)| r)
+                        .collect();
+                    let mean = |key: &str| {
+                        members.iter().filter_map(|r| r.extra(key)).sum::<f64>()
+                            / members.len() as f64
+                    };
+                    vec![
+                        format!("{}", p.x),
+                        format!("{:.3}", p.rs),
+                        format!("{:.3}", p.sp),
+                        format!("{:.3}", p.rs / p.sp),
+                        format!("{:.1}", mean("rejected")),
+                        format!("{:.1}", mean("missed")),
+                        format!("{:.1}", mean("resolves")),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("Online {algorithm}, {} ({})", topo.name, policy.name()),
+                &[
+                    "load",
+                    "online/LB",
+                    "offline/LB",
+                    "ratio",
+                    "rejected",
+                    "missed",
+                    "resolves",
+                ],
+                &rows,
+            );
+        }
+    }
+
+    println!("`ratio` is the competitive ratio: online energy / offline clairvoyant energy.");
+    println!("Sweep more load factors with --load a,b,... (see EXPERIMENTS.md).");
+    cli.emit(&report, elapsed_seconds);
+}

@@ -5,9 +5,10 @@
 //! The crate is an experiment-runner subsystem in three layers:
 //!
 //! * **this module** — the solving primitives ([`run_instance`],
-//!   [`run_flow_set`], [`run_flow_set_algorithms`]) and the declarative
-//!   [`Experiment`] descriptor (name, topologies, workload template,
-//!   **algorithm list**, instance grid);
+//!   [`run_flow_set`], [`run_flow_set_algorithms`], and
+//!   [`run_online_flow_set`] for the online rolling-horizon sweeps) and
+//!   the declarative [`Experiment`] descriptor (name, topologies, workload
+//!   template, **algorithm list**, instance grid);
 //! * **[`runner`]** — the scoped worker pool that fans independent
 //!   `(seed, flow-count)` instances out across cores, plus the
 //!   [`runner::ExperimentCli`] shared by every binary;
@@ -30,6 +31,7 @@
 pub mod report;
 pub mod runner;
 
+use dcn_core::online::{AdmissionPolicy, OnlineOutcome, OnlineScheduler};
 use dcn_core::{AlgorithmRegistry, Dcfsr, RandomScheduleConfig, RelaxationLb, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
@@ -256,6 +258,111 @@ pub fn run_flow_set_algorithms(
             .iter()
             .map(|r| (format!("{}_energy", r.name), r.energy))
             .collect(),
+    }
+}
+
+/// The result of one online rolling-horizon instance: the online outcome,
+/// the offline clairvoyant reference and the artifact-ready measurements.
+#[derive(Debug, Clone)]
+pub struct OnlineInstanceResult {
+    /// What the online loop decided and stitched together.
+    pub outcome: OnlineOutcome,
+    /// The fractional lower bound of the (clairvoyant) instance.
+    pub lower_bound: f64,
+    /// Simulator verification of the stitched online schedule
+    /// (deadline misses counted over admitted flows only).
+    pub online_sim: SimSummary,
+    /// Simulator verification of the offline clairvoyant schedule.
+    pub offline_sim: SimSummary,
+}
+
+impl OnlineInstanceResult {
+    /// Simulated online energy normalised by the lower bound.
+    pub fn online_normalized(&self) -> f64 {
+        self.online_sim.energy / self.lower_bound
+    }
+
+    /// Simulated offline energy normalised by the lower bound.
+    pub fn offline_normalized(&self) -> f64 {
+        self.offline_sim.energy / self.lower_bound
+    }
+}
+
+/// Runs one **online** instance: executes `flows` through an
+/// [`OnlineScheduler`] wrapping the named algorithm under `policy`, solves
+/// the same instance offline with clairvoyant knowledge as the reference,
+/// and verifies both schedules with the fluid simulator. One
+/// [`SolverContext`] is shared by every re-solve, the offline solve and
+/// both simulations.
+///
+/// The lower bound is taken from the offline solution when the algorithm
+/// computes one (`dcfsr`); otherwise the `lb` algorithm is run
+/// additionally.
+///
+/// # Panics
+///
+/// Panics when the algorithm name is not registered, when the online loop
+/// or the offline solve fails (connected benchmark instances must solve),
+/// or when the *offline* clairvoyant schedule misses a deadline — offline
+/// feasibility is an invariant of the experiments; online misses are data,
+/// not bugs.
+pub fn run_online_flow_set(
+    topo: &BuiltTopology,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    seed: u64,
+    algorithm: &str,
+    policy: AdmissionPolicy,
+    registry: &AlgorithmRegistry,
+) -> OnlineInstanceResult {
+    let mut ctx =
+        SolverContext::from_network(&topo.network).expect("builder topologies always validate");
+    let inner = registry
+        .create(algorithm)
+        .unwrap_or_else(|e| panic!("cannot select algorithm: {e}"));
+    let mut online = OnlineScheduler::new(inner, policy);
+    online.set_seed(seed);
+    let outcome = online
+        .run_vs_offline(&mut ctx, flows, power)
+        .unwrap_or_else(|e| panic!("{algorithm} must run connected online instances: {e}"));
+
+    let offline = outcome
+        .offline
+        .as_ref()
+        .expect("run_vs_offline computes the clairvoyant solution");
+    let lower_bound = offline.lower_bound.unwrap_or_else(|| {
+        registry
+            .create("lb")
+            .expect("lb is always registered")
+            .solve(&mut ctx, flows, power)
+            .expect("the relaxation solves on connected instances")
+            .lower_bound
+            .expect("lb reports a bound")
+    });
+
+    let simulator = Simulator::new(*power);
+    let online_sim = simulator
+        .run_admitted(
+            ctx.graph(),
+            flows,
+            &outcome.schedule,
+            &outcome.report.admitted_mask(),
+        )
+        .summary();
+    let offline_schedule = offline
+        .schedule
+        .as_ref()
+        .expect("the clairvoyant reference produces a schedule");
+    let offline_sim = simulator.run_ctx(&ctx, flows, offline_schedule);
+    assert_eq!(
+        offline_sim.deadline_misses, 0,
+        "{algorithm} must meet every deadline with clairvoyant knowledge"
+    );
+    OnlineInstanceResult {
+        outcome,
+        lower_bound,
+        online_sim,
+        offline_sim: offline_sim.summary(),
     }
 }
 
@@ -576,6 +683,70 @@ mod tests {
         let r = run_flow_set_algorithms(&topo, &flows, &power, 5, &names, &harness_registry());
         assert!(r.lower_bound > 0.0);
         assert!(r.rs_energy >= r.lower_bound - 1e-6);
+    }
+
+    #[test]
+    fn online_instance_produces_sane_numbers() {
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        let base = UniformWorkload::paper_defaults(12, 6)
+            .generate(topo.hosts())
+            .unwrap();
+        let flows = dcn_flow::workload::ArrivalProcess::with_load(2.0, 6)
+            .apply(&base)
+            .unwrap();
+        let r = run_online_flow_set(
+            &topo,
+            &flows,
+            &power,
+            6,
+            "dcfsr",
+            AdmissionPolicy::AdmitAll,
+            &harness_registry(),
+        );
+        assert!(r.lower_bound > 0.0);
+        assert_eq!(r.outcome.report.admitted(), 12);
+        assert!(r.outcome.report.resolves >= 1);
+        assert!(r.online_normalized() >= 1.0 - 1e-9);
+        assert!(r.offline_normalized() >= 1.0 - 1e-9);
+        assert_eq!(r.offline_sim.deadline_misses, 0);
+        // The report's competitive ratio is consistent with the simulated
+        // energies up to the analytic/simulated agreement.
+        let ratio = r.outcome.report.competitive_ratio().unwrap();
+        let simulated = r.online_sim.energy / r.offline_sim.energy;
+        assert!((ratio - simulated).abs() < 1e-6 * (1.0 + simulated));
+    }
+
+    #[test]
+    fn online_instance_with_full_knowledge_matches_offline_exactly() {
+        // All flows released together: the online run is the offline run.
+        let topo = builders::fat_tree(4);
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
+        let flows = UniformWorkload::paper_defaults(10, 3)
+            .generate(topo.hosts())
+            .unwrap();
+        let zeroed = FlowSet::from_flows(
+            flows
+                .iter()
+                .map(|f| {
+                    dcn_flow::Flow::new(f.id, f.src, f.dst, 1.0, f.deadline, f.volume).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let r = run_online_flow_set(
+            &topo,
+            &zeroed,
+            &power,
+            3,
+            "dcfsr",
+            AdmissionPolicy::AdmitAll,
+            &harness_registry(),
+        );
+        assert_eq!(r.outcome.report.events, 1);
+        assert_eq!(r.outcome.report.resolves, 1);
+        assert_eq!(r.outcome.report.competitive_ratio(), Some(1.0));
+        assert_eq!(r.online_sim.energy, r.offline_sim.energy);
     }
 
     #[test]

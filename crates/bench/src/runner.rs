@@ -86,6 +86,8 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 /// --algorithms L  comma-separated registry names to compare (primary,
 ///                 reference, extras), e.g. dcfsr,sp-mcf,ecmp,greedy;
 ///                 defaults to the experiment's own selection
+/// --load L        comma-separated load factors swept by the `online`
+///                 binary, e.g. 0.5,1,2,4
 /// --quick         CI smoke mode: smallest topology, one run per point
 /// --full          paper-scale mode (fig2: 10 runs, step 20)
 /// --small         swap the k=8 fat-tree for k=4 (fig2)
@@ -111,6 +113,9 @@ pub struct ExperimentCli {
     /// `--algorithms a,b,...`: registry names to compare (primary,
     /// reference, extras); `None` keeps the experiment's default.
     pub algorithms: Option<Vec<String>>,
+    /// `--load a,b,...`: load factors for the `online` sweep; `None` keeps
+    /// the binary's default grid.
+    pub load: Option<Vec<f64>>,
     /// `--quick`: CI smoke mode (smallest topology, one run per point).
     pub quick: bool,
     /// `--full`: paper-scale mode.
@@ -131,6 +136,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--step",
     "--threads",
     "--algorithms",
+    "--load",
 ];
 
 /// The boolean flags [`ExperimentCli::from_args`] accepts.
@@ -146,8 +152,8 @@ impl ExperimentCli {
                 eprintln!("{experiment}: {message}");
                 eprintln!(
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
-                     [--threads N] [--algorithms a,b,...] [--quick] [--full] [--small] \
-                     [--json-out [PATH]] [--timings]"
+                     [--threads N] [--algorithms a,b,...] [--load a,b,...] [--quick] \
+                     [--full] [--small] [--json-out [PATH]] [--timings]"
                 );
                 std::process::exit(2);
             }
@@ -168,6 +174,7 @@ impl ExperimentCli {
             step: None,
             threads: default_threads(),
             algorithms: None,
+            load: None,
             quick: false,
             full: false,
             small: false,
@@ -214,6 +221,25 @@ impl ExperimentCli {
                             ));
                         }
                         cli.algorithms = Some(names);
+                    }
+                    "--load" => {
+                        let loads = value
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|l| !l.is_empty())
+                            .map(|l| parse_value::<f64>(flag, l))
+                            .collect::<Result<Vec<f64>, String>>()?;
+                        if loads.is_empty() {
+                            return Err(format!(
+                                "--load expects comma-separated load factors, got {value:?}"
+                            ));
+                        }
+                        if let Some(bad) = loads.iter().find(|l| !l.is_finite() || **l <= 0.0) {
+                            return Err(format!(
+                                "--load factors must be positive and finite, got {bad}"
+                            ));
+                        }
+                        cli.load = Some(loads);
                     }
                     _ => unreachable!("flag is in VALUE_FLAGS"),
                 }
@@ -358,6 +384,18 @@ mod tests {
         // A single name cannot form a primary/reference pair.
         assert!(ExperimentCli::from_args("fig2", &args(&["--algorithms", "dcfsr"])).is_err());
         assert!(ExperimentCli::from_args("fig2", &args(&["--algorithms"])).is_err());
+    }
+
+    #[test]
+    fn cli_parses_the_load_sweep() {
+        let cli = ExperimentCli::from_args("online", &args(&["--load", "0.5,1,2,4"])).unwrap();
+        assert_eq!(cli.load, Some(vec![0.5, 1.0, 2.0, 4.0]));
+        // Non-positive, non-finite and empty lists are rejected.
+        assert!(ExperimentCli::from_args("online", &args(&["--load", "0"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--load", "-1"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--load", "nan"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--load", ","])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--load"])).is_err());
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub enum SolveError {
     },
     /// Exhaustive enumeration found no feasible path assignment.
     NoFeasibleAssignment,
+    /// A flow's deadline is not strictly later than the current time of the
+    /// online rolling-horizon loop, so no residual instance containing it
+    /// can be formed (its span would be empty). The online loop records the
+    /// flow as missed instead of re-solving with it.
+    DeadlinePassed {
+        /// The flow whose deadline has passed.
+        flow: FlowId,
+        /// The online clock at which the flow was considered.
+        time: f64,
+    },
     /// The requested algorithm name is not registered.
     UnknownAlgorithm {
         /// The name that failed to resolve.
@@ -108,6 +118,12 @@ impl fmt::Display for SolveError {
             ),
             SolveError::NoFeasibleAssignment => {
                 write!(f, "no path assignment admits a feasible schedule")
+            }
+            SolveError::DeadlinePassed { flow, time } => {
+                write!(
+                    f,
+                    "flow {flow}: deadline is not after the online clock {time}"
+                )
             }
             SolveError::UnknownAlgorithm { name } => {
                 write!(f, "no algorithm named {name:?} is registered")
@@ -217,6 +233,7 @@ mod tests {
                 "1024",
             ),
             (SolveError::NoFeasibleAssignment, "no path assignment"),
+            (SolveError::DeadlinePassed { flow: 6, time: 9.5 }, "flow 6"),
             (
                 SolveError::UnknownAlgorithm {
                     name: "dcfsr2".to_string(),

@@ -36,7 +36,11 @@
 //!
 //! Supporting modules: [`schedule`] (the schedule data model, feasibility
 //! verification and energy accounting), [`routing`] (path selection
-//! strategies for the DCFS input and the SP+MCF baseline).
+//! strategies for the DCFS input and the SP+MCF baseline), and [`online`]
+//! (the rolling-horizon loop that reveals flows at their release times,
+//! re-solves the residual instance at every arrival event through any
+//! wrapped [`Algorithm`], and records admit/miss outcomes against the
+//! offline clairvoyant bound).
 //!
 //! # Quick start
 //!
@@ -75,6 +79,7 @@ pub mod dcfs;
 pub mod dcfsr;
 pub mod error;
 pub mod exact;
+pub mod online;
 pub mod relaxation;
 pub mod routing;
 pub mod schedule;
@@ -89,6 +94,7 @@ pub use dcfs::{most_critical_first, DcfsError};
 pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
 pub use error::SolveError;
 pub use exact::{ExactError, ExactOutcome};
+pub use online::{AdmissionPolicy, FlowDecision, OnlineOutcome, OnlineReport, OnlineScheduler};
 pub use relaxation::{
     interval_relaxation_on, interval_relaxation_with, IntervalRelaxation, RelaxationSummary,
 };
@@ -112,6 +118,7 @@ pub mod prelude {
     pub use crate::dcfs::most_critical_first;
     pub use crate::dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
     pub use crate::error::SolveError;
+    pub use crate::online::{AdmissionPolicy, OnlineOutcome, OnlineReport, OnlineScheduler};
     pub use crate::routing::Routing;
     pub use crate::schedule::{FlowSchedule, Schedule};
     pub use crate::solution::{Diagnostics, Solution};

@@ -11,8 +11,10 @@
 //!   algorithm.
 //! * [`workload`] — seeded, reproducible workload generators: the uniform
 //!   random workload from the paper's Fig. 2 evaluation, application-shaped
-//!   workloads (partition–aggregate "search" and MapReduce shuffle), and the
-//!   adversarial parallel-link gadgets from the hardness proofs.
+//!   workloads (partition–aggregate "search" and MapReduce shuffle), the
+//!   adversarial parallel-link gadgets from the hardness proofs, and the
+//!   [`workload::ArrivalProcess`] overlay that turns any of them into an
+//!   online instance (Poisson arrivals at a configurable load factor).
 //! * [`trace`] — JSON (de)serialization of flow sets so experiments can be
 //!   replayed.
 //!

@@ -260,6 +260,109 @@ impl ShuffleWorkload {
     }
 }
 
+/// A Poisson arrival process layered over any existing workload: the flows
+/// of a base [`FlowSet`] keep their endpoints, volumes and span *lengths*,
+/// but their release times are replaced by the cumulative arrival instants
+/// of a Poisson process whose rate is set by a **load factor**.
+///
+/// The load factor is the expected number of flows simultaneously in
+/// flight (the M/G/∞ occupancy): with mean span length `s̄` over the base
+/// flows, arrivals are spaced by exponential gaps of mean `s̄ / load`, so
+/// `load` flows overlap on average. `load < 1` spreads the base workload
+/// out into a near-serial trickle; `load > 1` compresses it into heavy
+/// concurrency. This is the knob the `online` experiment binary sweeps.
+///
+/// The process is seeded and fully deterministic; flows are re-released in
+/// their id order.
+///
+/// # Example
+///
+/// ```
+/// use dcn_flow::workload::{ArrivalProcess, UniformWorkload};
+/// use dcn_topology::builders;
+///
+/// let topo = builders::fat_tree(4);
+/// let base = UniformWorkload::paper_defaults(30, 7).generate(topo.hosts()).unwrap();
+/// let online = ArrivalProcess::with_load(2.0, 7).apply(&base).unwrap();
+/// assert_eq!(online.len(), base.len());
+/// // Endpoints, volumes and span lengths are preserved.
+/// for (a, b) in base.iter().zip(online.iter()) {
+///     assert_eq!(a.volume, b.volume);
+///     assert!((a.span_length() - b.span_length()).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    /// Expected number of flows concurrently in flight (must be positive
+    /// and finite).
+    pub load: f64,
+    /// Arrival time of the process origin (the first gap starts here).
+    pub start: f64,
+    /// RNG seed; the same seed always yields the same arrival times.
+    pub seed: u64,
+}
+
+impl ArrivalProcess {
+    /// An arrival process starting at `t = 0` with the given load factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not positive and finite.
+    pub fn with_load(load: f64, seed: u64) -> Self {
+        assert!(
+            load.is_finite() && load > 0.0,
+            "load factor must be positive and finite, got {load}"
+        );
+        Self {
+            load,
+            start: 0.0,
+            seed,
+        }
+    }
+
+    /// Rewrites the release times of `base` with Poisson arrivals (keeping
+    /// each flow's endpoints, volume and span length) and returns the new
+    /// flow set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow-validation errors (unreachable for a valid base
+    /// set, since spans and volumes are carried over unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ArrivalProcess::load`] is not positive and finite.
+    pub fn apply(&self, base: &FlowSet) -> Result<FlowSet, FlowError> {
+        assert!(
+            self.load.is_finite() && self.load > 0.0,
+            "load factor must be positive and finite, got {}",
+            self.load
+        );
+        if base.is_empty() {
+            return FlowSet::from_flows(Vec::new());
+        }
+        let mean_span: f64 = base.iter().map(Flow::span_length).sum::<f64>() / base.len() as f64;
+        let mean_gap = mean_span / self.load;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut clock = self.start;
+        let mut flows = Vec::with_capacity(base.len());
+        for f in base.iter() {
+            // Exponential inter-arrival gap by inversion sampling.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            clock += -(1.0 - u).ln() * mean_gap;
+            flows.push(Flow::new(
+                f.id,
+                f.src,
+                f.dst,
+                clock,
+                clock + f.span_length(),
+                f.volume,
+            )?);
+        }
+        FlowSet::from_flows(flows)
+    }
+}
+
 /// Adversarial instances from the paper's hardness proofs (Theorems 2–3).
 pub mod hardness {
     use super::*;
@@ -420,6 +523,65 @@ mod tests {
             ..Default::default()
         };
         assert!(w.generate(topo.hosts()).is_err());
+    }
+
+    #[test]
+    fn arrival_process_is_deterministic_and_preserves_shape() {
+        let topo = builders::fat_tree(4);
+        let base = UniformWorkload::paper_defaults(25, 9)
+            .generate(topo.hosts())
+            .unwrap();
+        let a = ArrivalProcess::with_load(2.0, 3).apply(&base).unwrap();
+        let b = ArrivalProcess::with_load(2.0, 3).apply(&base).unwrap();
+        let c = ArrivalProcess::with_load(2.0, 4).apply(&base).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Releases are non-decreasing (cumulative arrivals) and strictly
+        // after the origin.
+        let mut last = 0.0;
+        for f in a.iter() {
+            assert!(f.release >= last);
+            assert!(f.release > 0.0);
+            last = f.release;
+        }
+        for (orig, online) in base.iter().zip(a.iter()) {
+            assert_eq!(orig.src, online.src);
+            assert_eq!(orig.dst, online.dst);
+            assert_eq!(orig.volume, online.volume);
+            assert!((orig.span_length() - online.span_length()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn arrival_process_load_controls_concurrency() {
+        let topo = builders::fat_tree(4);
+        let base = UniformWorkload::paper_defaults(60, 5)
+            .generate(topo.hosts())
+            .unwrap();
+        // The horizon stretch is inversely proportional to the load: a
+        // near-serial trickle takes much longer than a compressed burst.
+        let sparse = ArrivalProcess::with_load(0.25, 5).apply(&base).unwrap();
+        let dense = ArrivalProcess::with_load(8.0, 5).apply(&base).unwrap();
+        let span = |fs: &FlowSet| {
+            let (t0, t1) = fs.horizon();
+            t1 - t0
+        };
+        assert!(span(&sparse) > 4.0 * span(&dense));
+    }
+
+    #[test]
+    fn arrival_process_handles_the_empty_set() {
+        let empty = FlowSet::from_flows(vec![]).unwrap();
+        assert!(ArrivalProcess::with_load(1.0, 0)
+            .apply(&empty)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor must be positive")]
+    fn arrival_process_rejects_non_positive_load() {
+        let _ = ArrivalProcess::with_load(0.0, 1);
     }
 
     #[test]

@@ -204,6 +204,27 @@ impl RateProfile {
     pub fn merge(&mut self, other: &RateProfile) {
         self.pieces.extend_from_slice(&other.pieces);
     }
+
+    /// The profile restricted to the window `[from, to)`: identical rates
+    /// inside the window, zero outside. Segments straddling a window edge
+    /// are clipped to it; segments entirely inside keep their exact
+    /// breakpoints, so restricting a profile to a window that contains all
+    /// of its activity changes nothing.
+    ///
+    /// This is the commit primitive of the online rolling-horizon loop: at
+    /// each arrival event only the part of the freshly solved schedule up
+    /// to the next event is committed.
+    pub fn restricted(&self, from: f64, to: f64) -> RateProfile {
+        let mut out = RateProfile::new();
+        for (start, end, rate) in self.segments() {
+            let lo = start.max(from);
+            let hi = end.min(to);
+            if hi > lo {
+                out.add_rate(lo, hi, rate);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +233,23 @@ mod tests {
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn restricted_clips_to_the_window() {
+        let mut p = RateProfile::new();
+        p.add_rate(0.0, 4.0, 2.0);
+        p.add_rate(6.0, 8.0, 1.0);
+        let mid = p.restricted(1.0, 7.0);
+        assert!(close(mid.volume(), 2.0 * 3.0 + 1.0 * 1.0));
+        assert_eq!(mid.rate_at(0.5), 0.0);
+        assert_eq!(mid.rate_at(2.0), 2.0);
+        assert_eq!(mid.rate_at(6.5), 1.0);
+        assert_eq!(mid.rate_at(7.5), 0.0);
+        // A window containing all activity reproduces the profile exactly.
+        assert_eq!(p.restricted(-10.0, 10.0).segments(), p.segments());
+        // A window outside the activity is empty.
+        assert!(p.restricted(10.0, 20.0).is_empty());
     }
 
     #[test]

@@ -33,10 +33,19 @@ impl Simulator {
     /// Runs `schedule` for the given instance and reports what actually
     /// happened.
     ///
-    /// Builds a one-shot [`GraphCsr`] view on every call.
+    /// Deprecated because it rebuilds a one-shot [`GraphCsr`] read view of
+    /// the network on **every** call, defeating the warm-state reuse the
+    /// [`SolverContext`](dcn_core::SolverContext) session API provides —
+    /// in a loop (experiment sweeps, the online rolling-horizon
+    /// re-solves) that rebuild dominates the simulation itself. Use
+    /// [`Simulator::run_ctx`] with the context the schedule was solved on;
+    /// [`Simulator::run_on`] accepts a prebuilt CSR view directly, and
+    /// [`Simulator::run_admitted`] is the admission-aware variant for
+    /// online schedules.
     #[deprecated(
         since = "0.2.0",
-        note = "use `Simulator::run_ctx` with a SolverContext (or `Simulator::run_on`)"
+        note = "use `Simulator::run_ctx` with a SolverContext (or `Simulator::run_on` \
+                with a prebuilt CSR view); both avoid the per-call CSR rebuild"
     )]
     pub fn run(&self, network: &Network, flows: &FlowSet, schedule: &Schedule) -> SimReport {
         self.run_on(&GraphCsr::from_network(network), flows, schedule)
@@ -52,6 +61,41 @@ impl Simulator {
         schedule: &Schedule,
     ) -> SimReport {
         self.run_on(ctx.graph(), flows, schedule)
+    }
+
+    /// Runs an *online* schedule: like [`Simulator::run_on`], but flows the
+    /// admission policy rejected (`admitted[flow] == false`) are excluded
+    /// from the deadline-miss count — a rejected flow never transmits, so
+    /// counting it as a miss would conflate admission control with
+    /// scheduling failures. Rejected flows still appear in
+    /// [`SimReport::flows`] (with zero delivery) for inspection.
+    ///
+    /// This is the measurement half of the online rolling-horizon loop:
+    /// pass the stitched schedule of an `OnlineOutcome` together with its
+    /// report's admission mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `admitted` does not have one entry per flow.
+    pub fn run_admitted(
+        &self,
+        graph: &GraphCsr,
+        flows: &FlowSet,
+        schedule: &Schedule,
+        admitted: &[bool],
+    ) -> SimReport {
+        assert_eq!(
+            admitted.len(),
+            flows.len(),
+            "one admission decision per flow"
+        );
+        let mut report = self.run_on(graph, flows, schedule);
+        report.deadline_misses = report
+            .flows
+            .iter()
+            .filter(|f| admitted[f.flow] && !f.deadline_met())
+            .count();
+        report
     }
 
     /// Runs `schedule` against a prebuilt CSR view of the network; link
@@ -310,6 +354,54 @@ mod tests {
         let on_ctx = simulator.run_ctx(&ctx, &flows, schedule);
         assert_eq!(classic, on_csr);
         assert_eq!(classic, on_ctx);
+    }
+
+    #[test]
+    fn run_admitted_excludes_rejected_flows_from_the_miss_count() {
+        // Two flows, but only flow 0 is scheduled (flow 1 was "rejected").
+        let topo = builders::line(3);
+        let power = x2(10.0);
+        let flows = dcn_flow::FlowSet::from_tuples([
+            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
+            (topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0),
+        ])
+        .unwrap();
+        let path = topo
+            .network
+            .shortest_path(topo.hosts()[0], topo.hosts()[2])
+            .unwrap();
+        let schedule = Schedule::new(
+            vec![FlowSchedule::uniform(
+                0,
+                path,
+                dcn_power::RateProfile::constant(0.0, 4.0, 2.0),
+            )],
+            (0.0, 4.0),
+        );
+        let simulator = Simulator::new(power);
+        let graph = topo.csr();
+        // The plain run counts the unscheduled flow as a miss ...
+        let plain = simulator.run_on(&graph, &flows, &schedule);
+        assert_eq!(plain.deadline_misses, 1);
+        // ... the admission-aware run does not, but still reports it.
+        let online = simulator.run_admitted(&graph, &flows, &schedule, &[true, false]);
+        assert_eq!(online.deadline_misses, 0);
+        assert_eq!(online.flows.len(), 2);
+        assert_eq!(online.flow(1).unwrap().delivered, 0.0);
+        // An admitted flow that misses still counts.
+        let both = simulator.run_admitted(&graph, &flows, &schedule, &[true, true]);
+        assert_eq!(both.deadline_misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one admission decision per flow")]
+    fn run_admitted_rejects_a_short_mask() {
+        let topo = builders::line(3);
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)])
+                .unwrap();
+        let schedule = Schedule::new(vec![], (0.0, 4.0));
+        Simulator::new(x2(10.0)).run_admitted(&topo.csr(), &flows, &schedule, &[]);
     }
 
     #[test]

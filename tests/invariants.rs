@@ -1,0 +1,256 @@
+//! Cross-cutting invariant suite: the physics every scheduler must obey,
+//! pinned for **every registry algorithm** on three data-center fabrics
+//! (fat-tree, leaf–spine, BCube) over seeded uniform workloads, via the
+//! proptest stand-in with fixed seeds.
+//!
+//! For every schedule an algorithm claims is feasible:
+//!
+//! * (a) no link exceeds its capacity at any rate breakpoint;
+//! * (b) every flow's delivered volume equals its demand;
+//! * (c) no flow transmits outside its `[release, deadline]` span;
+//! * (d) the reported (analytic) energy equals the simulator's re-measured
+//!   energy to 1e-9 relative — the two accountings are independent
+//!   implementations, so agreement pins both.
+//!
+//! The bound-only `lb` algorithm is held to its own invariant (it lower
+//! bounds every scheduler), and the `exact` enumerator to its optimality
+//! on instances small enough to enumerate. The same four physics
+//! invariants are also asserted for the **online rolling-horizon** loop,
+//! whose stitched schedules are not produced by any single offline solve.
+
+use deadline_dcn::core::online::{AdmissionPolicy, OnlineScheduler};
+use deadline_dcn::core::prelude::*;
+use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
+use deadline_dcn::flow::FlowSet;
+use deadline_dcn::power::PowerFunction;
+use deadline_dcn::sim::Simulator;
+use deadline_dcn::topology::builders::{self, BuiltTopology};
+use proptest::prelude::*;
+
+/// Generous capacity so MCF's virtual-circuit model and dcfsr's rounding
+/// stay feasible on every draw: the invariants are about what a schedule
+/// *claims*, not about contention-induced infeasibility. Kept at 1e4 (three
+/// orders above any workload density) rather than 1e9 because `greedy`
+/// transmits at the full line rate, and `rate * dt` at rate 1e9 quantizes
+/// delivered volume more coarsely than the simulator's completion
+/// tolerance — a float artifact, not scheduling physics.
+const CAPACITY: f64 = 1e4;
+
+/// The scheduling algorithms of the registry (every name that produces a
+/// schedule on instances of this size; `lb` is bound-only and `exact` gets
+/// its own small-instance test below).
+const SCHEDULERS: &[&str] = &[
+    "dcfsr",
+    "sp-mcf",
+    "ecmp",
+    "least-loaded",
+    "consolidate",
+    "greedy",
+];
+
+fn topologies() -> Vec<BuiltTopology> {
+    vec![
+        builders::fat_tree_with_capacity(4, CAPACITY),
+        builders::leaf_spine_with_capacity(4, 2, 4, CAPACITY),
+        builders::bcube_with_capacity(3, 1, CAPACITY),
+    ]
+}
+
+fn power() -> PowerFunction {
+    PowerFunction::speed_scaling_only(1.0, 2.0, CAPACITY)
+}
+
+/// Asserts the four physics invariants of one claimed-feasible schedule.
+fn assert_schedule_invariants(
+    context: &str,
+    ctx: &SolverContext<'_>,
+    flows: &FlowSet,
+    schedule: &Schedule,
+    reported_energy: f64,
+    power: &PowerFunction,
+) {
+    // (a) No link exceeds its capacity at any breakpoint: the aggregate
+    // profiles are piecewise constant, so checking every segment checks
+    // every breakpoint.
+    for (link, profile) in schedule.link_profiles() {
+        let capacity = ctx.graph().capacity(link).min(power.capacity());
+        for (start, end, rate) in profile.segments() {
+            assert!(
+                rate <= capacity * (1.0 + 1e-9) + 1e-9,
+                "{context}: link {link} carries rate {rate} > capacity {capacity} \
+                 on [{start}, {end})"
+            );
+        }
+    }
+    for flow in flows.iter() {
+        let fs = schedule
+            .flow_schedule(flow.id)
+            .unwrap_or_else(|| panic!("{context}: flow {} has no schedule", flow.id));
+        // (b) Delivered volume equals the demand.
+        let delivered = fs.delivered_volume();
+        assert!(
+            (delivered - flow.volume).abs() <= 1e-6 * flow.volume.max(1.0),
+            "{context}: flow {} delivers {delivered} of {}",
+            flow.id,
+            flow.volume
+        );
+        // (c) All transmission stays inside [release, deadline], on every
+        // link of the path.
+        if let Some((start, end)) = fs.activity_span() {
+            assert!(
+                start >= flow.release - 1e-9 && end <= flow.deadline + 1e-9,
+                "{context}: flow {} transmits in [{start}, {end}] outside \
+                 its span [{}, {}]",
+                flow.id,
+                flow.release,
+                flow.deadline
+            );
+        }
+    }
+    // (d) Reported energy == simulator re-measured energy (1e-9 relative).
+    let report = Simulator::new(*power).run_ctx(ctx, flows, schedule);
+    assert_eq!(report.deadline_misses, 0, "{context}: simulator saw misses");
+    assert!(
+        (report.energy.total() - reported_energy).abs() <= 1e-9 * (1.0 + reported_energy.abs()),
+        "{context}: simulator measures {} but the algorithm reported {reported_energy}",
+        report.energy.total()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Invariants (a)–(d) for every scheduling algorithm of the registry,
+    /// on all three fabrics, for seeded uniform workloads.
+    #[test]
+    fn every_registry_scheduler_obeys_the_physics(seed in 0u64..10_000, n in 4usize..14) {
+        let registry = AlgorithmRegistry::with_defaults();
+        let power = power();
+        for topo in topologies() {
+            let flows = UniformWorkload::paper_defaults(n, seed)
+                .generate(topo.hosts())
+                .expect("builder fabrics have >= 2 hosts");
+            let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+            for name in SCHEDULERS {
+                let mut algo = registry.create(name).unwrap();
+                algo.set_seed(seed);
+                let solution = algo
+                    .solve(&mut ctx, &flows, &power)
+                    .unwrap_or_else(|e| panic!("{name} on {}: {e}", topo.name));
+                let schedule = solution.schedule.as_ref().expect("schedulers schedule");
+                assert_schedule_invariants(
+                    &format!("{name} on {} (seed {seed}, n {n})", topo.name),
+                    &ctx,
+                    &flows,
+                    schedule,
+                    solution.total_energy().unwrap(),
+                    &power,
+                );
+            }
+        }
+    }
+
+    /// The `lb` algorithm is a true lower bound for every scheduler, on
+    /// every fabric.
+    #[test]
+    fn lb_bounds_every_scheduler(seed in 0u64..10_000) {
+        let registry = AlgorithmRegistry::with_defaults();
+        let power = power();
+        for topo in topologies() {
+            let flows = UniformWorkload::paper_defaults(10, seed)
+                .generate(topo.hosts())
+                .unwrap();
+            let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+            let lb = registry
+                .create("lb")
+                .unwrap()
+                .solve(&mut ctx, &flows, &power)
+                .unwrap()
+                .lower_bound
+                .expect("lb reports a bound");
+            prop_assert!(lb > 0.0);
+            for name in SCHEDULERS {
+                let mut algo = registry.create(name).unwrap();
+                algo.set_seed(seed);
+                let energy = algo
+                    .solve(&mut ctx, &flows, &power)
+                    .unwrap()
+                    .total_energy()
+                    .unwrap();
+                prop_assert!(
+                    energy >= lb - 1e-6 * (1.0 + lb),
+                    "{} on {}: energy {} beats LB {}", name, topo.name, energy, lb
+                );
+            }
+        }
+    }
+
+    /// The `exact` enumerator obeys the same physics and never loses to
+    /// dcfsr, on instances small enough to enumerate.
+    #[test]
+    fn exact_obeys_the_physics_and_is_optimal(seed in 0u64..10_000) {
+        let topo = builders::parallel(3, CAPACITY);
+        let flows = FlowSet::from_tuples(
+            (0..3).map(|i| (topo.source(), topo.sink(), i as f64, 4.0 + i as f64, 3.0)),
+        )
+        .unwrap();
+        let power = power();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let registry = AlgorithmRegistry::with_defaults();
+        let exact = registry
+            .create("exact")
+            .unwrap()
+            .solve(&mut ctx, &flows, &power)
+            .unwrap();
+        assert_schedule_invariants(
+            "exact on parallel(3)",
+            &ctx,
+            &flows,
+            exact.schedule.as_ref().unwrap(),
+            exact.total_energy().unwrap(),
+            &power,
+        );
+        let mut dcfsr = registry.create("dcfsr").unwrap();
+        dcfsr.set_seed(seed);
+        let approx = dcfsr.solve(&mut ctx, &flows, &power).unwrap();
+        prop_assert!(
+            exact.total_energy().unwrap()
+                <= approx.total_energy().unwrap() + 1e-6
+        );
+    }
+
+    /// The online rolling-horizon loop obeys the same physics: its
+    /// stitched schedules respect capacities, spans and full delivery, and
+    /// its reported energy matches the simulator to 1e-9 relative.
+    #[test]
+    fn online_schedules_obey_the_physics(seed in 0u64..10_000, load in 1u32..8) {
+        let registry = AlgorithmRegistry::with_defaults();
+        let power = power();
+        for topo in topologies() {
+            let base = UniformWorkload::paper_defaults(10, seed)
+                .generate(topo.hosts())
+                .unwrap();
+            let flows = ArrivalProcess::with_load(load as f64, seed).apply(&base).unwrap();
+            let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+            let mut online = OnlineScheduler::new(
+                registry.create("dcfsr").unwrap(),
+                AdmissionPolicy::AdmitAll,
+            );
+            online.set_seed(seed);
+            let outcome = online.run(&mut ctx, &flows, &power).unwrap();
+            prop_assert_eq!(outcome.report.solve_failures, 0);
+            prop_assert_eq!(outcome.report.missed(), 0);
+            assert_schedule_invariants(
+                &format!("online dcfsr on {} (seed {seed}, load {load})", topo.name),
+                &ctx,
+                &flows,
+                &outcome.schedule,
+                outcome.report.online_energy,
+                &power,
+            );
+        }
+    }
+}
