@@ -1,46 +1,53 @@
-//! `online` — online rolling-horizon scheduling under Poisson arrivals.
+//! `online` — event-driven online scheduling under Poisson arrivals.
 //!
 //! The paper's DCFSR evaluation is clairvoyant; this experiment measures
-//! what the same algorithm costs when flows are revealed at their release
+//! what the same instances cost when flows are revealed at their release
 //! times. Each instance draws the paper's uniform workload, replaces its
 //! release times with a Poisson arrival process at a given **load factor**
 //! (expected number of flows concurrently in flight), and executes it
-//! through the `dcn_core::online::OnlineScheduler` — re-solving the
-//! residual instance at every arrival on one warm `SolverContext` — under
-//! both admission policies. The offline clairvoyant solve of the same
-//! instance is the reference, so the artifact tracks the **competitive
-//! ratio** of online versus offline DCFSR as a function of load.
+//! through the `dcn_core::online::OnlineEngine` — one warm
+//! `SolverContext`, one `OnlinePolicy` selected by name from the
+//! `PolicyRegistry` — under both admission rules. The offline clairvoyant
+//! solve of the same instance is the reference, so the artifact tracks the
+//! **competitive ratio** of each online policy versus offline DCFSR as a
+//! function of load, alongside its re-solve count (how often the policy
+//! fell back to a full Frank–Wolfe pass).
 //!
 //! ```text
 //! cargo run --release -p dcn-bench --bin online                    # default sweep
 //! cargo run --release -p dcn-bench --bin online -- --quick         # CI smoke
 //! cargo run --release -p dcn-bench --bin online -- --load 0.5,2,8 --json-out
-//! cargo run --release -p dcn-bench --bin online -- --algorithms dcfsr,sp-mcf
+//! cargo run --release -p dcn-bench --bin online -- --policies resolve,hybrid
 //! ```
 //!
 //! `--load` sets the swept load factors; `--flows` the workload size;
-//! `--runs` the seeds per sweep point; `--algorithms` selects the wrapped
-//! scheduler (first name; further names are ignored here — the reference
-//! is always the same algorithm with clairvoyant knowledge).
+//! `--runs` the seeds per sweep point; `--policies` the compared online
+//! policies (default: every registered policy); `--algorithms` selects the
+//! wrapped re-solve scheduler (first name; further names are ignored here
+//! — the reference is always the same algorithm with clairvoyant
+//! knowledge).
 //!
 //! **`BENCH_online.json` schema:** the standard artifact (schema version
-//! 1). Groups are `"<topology>|<policy>"` (e.g. `"fat-tree(k=4)|admit-all"`),
-//! `x` is the load factor; `rs_*` fields carry the **online** energies,
-//! `sp_*` the **offline clairvoyant** energies, `lower_bound` the
-//! fractional LB of the clairvoyant instance — so `rs_normalized /
-//! sp_normalized` is the competitive ratio's decomposition against the
-//! common LB. `deadline_misses` counts online misses over admitted flows.
-//! Each instance's `extra` records the `OnlineReport` counters:
-//! `[["load", L], ["policy", 0|1], ["events", E], ["resolves", R],
-//! ["solve_failures", F], ["admitted", A], ["rejected", J],
-//! ["missed", M], ["run", r]]` (policy 0 = admit-all, 1 =
-//! reject-infeasible). Same determinism contract as every artifact: fixed
-//! seed ⇒ byte-identical JSON for any `--threads`.
+//! 1). Groups are `"<topology>|<policy>|<admission>"` (e.g.
+//! `"fat-tree(k=4)|hybrid|admit-all"`), `x` is the load factor; `rs_*`
+//! fields carry the **online** energies, `sp_*` the **offline
+//! clairvoyant** energies, `lower_bound` the fractional LB of the
+//! clairvoyant instance — so `rs_normalized / sp_normalized` is the
+//! competitive ratio's decomposition against the common LB.
+//! `deadline_misses` counts online misses over admitted flows. Each
+//! instance's `extra` records the `OnlineReport` counters: `[["load", L],
+//! ["admission", 0|1], ["events", E], ["resolves", R],
+//! ["solve_failures", F], ["admitted", A], ["rejected", J], ["missed", M],
+//! ["run", r]]` (admission 0 = admit-all, 1 = reject-infeasible), and —
+//! only under `--timings`, because wall clock varies run to run — an
+//! `events_per_second` throughput column. Same determinism contract as
+//! every artifact: without `--timings`, fixed seed ⇒ byte-identical JSON
+//! for any `--threads`.
 
 use dcn_bench::report::{ExperimentReport, InstanceRecord};
 use dcn_bench::runner::{run_indexed, timed, ExperimentCli};
 use dcn_bench::{harness_fmcf_config, harness_registry, print_table, run_online_flow_set};
-use dcn_core::online::AdmissionPolicy;
+use dcn_core::online::{AdmissionRule, PolicyRegistry};
 use dcn_flow::workload::{ArrivalProcess, UniformWorkload};
 use dcn_power::PowerFunction;
 use dcn_topology::builders::{self, BuiltTopology};
@@ -48,13 +55,25 @@ use dcn_topology::builders::{self, BuiltTopology};
 /// One cell of the online sweep grid.
 struct Cell {
     topology: usize,
-    policy: AdmissionPolicy,
+    policy: String,
+    admission: AdmissionRule,
     load: f64,
     /// Index of `load` in the swept list — the seed is derived from this
     /// (not from the float value), so arbitrary `--load` values never
     /// collide or overflow.
     load_index: u64,
     run: u64,
+}
+
+impl Cell {
+    fn group(&self, topologies: &[BuiltTopology]) -> String {
+        format!(
+            "{}|{}|{}",
+            topologies[self.topology].name,
+            self.policy,
+            self.admission.name()
+        )
+    }
 }
 
 fn main() {
@@ -66,6 +85,19 @@ fn main() {
         .as_ref()
         .map(|names| names[0].clone())
         .unwrap_or_else(|| "dcfsr".to_string());
+    let policy_registry = PolicyRegistry::with_defaults();
+    let policy_names: Vec<String> = cli.policies.clone().unwrap_or_else(|| {
+        policy_registry
+            .names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect()
+    });
+    for name in &policy_names {
+        policy_registry
+            .create(name)
+            .unwrap_or_else(|e| panic!("[online] {e}"));
+    }
     let loads: Vec<f64> = cli.load.clone().unwrap_or_else(|| {
         if cli.quick {
             vec![1.0, 3.0]
@@ -84,14 +116,15 @@ fn main() {
     } else {
         vec![builders::fat_tree(4), builders::leaf_spine(4, 2, 6)]
     };
-    let policies = [
-        AdmissionPolicy::AdmitAll,
-        AdmissionPolicy::reject_infeasible(harness_fmcf_config()),
+    let admissions = [
+        AdmissionRule::AdmitAll,
+        AdmissionRule::reject_infeasible(harness_fmcf_config()),
     ];
 
     println!(
-        "Online rolling-horizon sweep: {algorithm} under Poisson arrivals on {} \
-         ({} flows, {} run(s) per point)\n",
+        "Online event-driven sweep: {algorithm} re-solves behind policies [{}] under Poisson \
+         arrivals on {} ({} flows, {} run(s) per point)\n",
+        policy_names.join(", "),
         topologies
             .iter()
             .map(|t| t.name.as_str())
@@ -103,16 +136,19 @@ fn main() {
 
     let mut grid: Vec<Cell> = Vec::new();
     for (ti, _) in topologies.iter().enumerate() {
-        for policy in &policies {
-            for (li, &load) in loads.iter().enumerate() {
-                for run in 0..runs {
-                    grid.push(Cell {
-                        topology: ti,
-                        policy: policy.clone(),
-                        load,
-                        load_index: li as u64,
-                        run,
-                    });
+        for policy in &policy_names {
+            for admission in &admissions {
+                for (li, &load) in loads.iter().enumerate() {
+                    for run in 0..runs {
+                        grid.push(Cell {
+                            topology: ti,
+                            policy: policy.clone(),
+                            admission: admission.clone(),
+                            load,
+                            load_index: li as u64,
+                            run,
+                        });
+                    }
                 }
             }
         }
@@ -128,8 +164,8 @@ fn main() {
         run_indexed(grid.len(), cli.threads, |i| {
             let cell = &grid[i];
             let topo = &topologies[cell.topology];
-            // One seed per (load, run), shared across topologies/policies
-            // so policy columns compare like for like.
+            // One seed per (load, run), shared across topologies, policies
+            // and admissions so the comparison columns are like for like.
             let seed = 10_000 * (cell.load_index + 1) + cell.run;
             let base = UniformWorkload::paper_defaults(flows, seed)
                 .generate(topo.hosts())
@@ -137,33 +173,59 @@ fn main() {
             let instance = ArrivalProcess::with_load(cell.load, seed)
                 .apply(&base)
                 .expect("arrival rewrite preserves validity");
-            let result = run_online_flow_set(
-                topo,
-                &instance,
-                &power,
-                seed,
-                &algorithm,
-                cell.policy.clone(),
-                &registry,
-            );
+            let (result, instance_seconds) = timed(|| {
+                run_online_flow_set(
+                    topo,
+                    &instance,
+                    &power,
+                    seed,
+                    &algorithm,
+                    &cell.policy,
+                    cell.admission.clone(),
+                    &registry,
+                    &policy_registry,
+                )
+            });
             let report = &result.outcome.report;
-            let policy_code = match cell.policy {
-                AdmissionPolicy::AdmitAll => 0.0,
+            let admission_code = match cell.admission {
+                AdmissionRule::AdmitAll => 0.0,
                 _ => 1.0,
             };
             eprintln!(
-                "  [online] {}/{} {}|{} load={} seed={seed}",
+                "  [online] {}/{} {}|{}|{} load={} seed={seed}",
                 i + 1,
                 grid.len(),
                 topo.name,
-                cell.policy.name(),
+                cell.policy,
+                cell.admission.name(),
                 cell.load
             );
+            let mut extra = vec![
+                ("load".to_string(), cell.load),
+                ("admission".to_string(), admission_code),
+                ("events".to_string(), report.events as f64),
+                ("resolves".to_string(), report.resolves as f64),
+                ("solve_failures".to_string(), report.solve_failures as f64),
+                ("admitted".to_string(), report.admitted() as f64),
+                ("rejected".to_string(), report.rejected() as f64),
+                ("missed".to_string(), report.missed() as f64),
+                ("run".to_string(), cell.run as f64),
+            ];
+            if cli.timings {
+                // Wall clock varies run to run, so this column is opt-in —
+                // it intentionally breaks the byte-determinism contract,
+                // exactly like the top-level wall_clock field.
+                extra.push((
+                    "events_per_second".to_string(),
+                    report.events as f64 / instance_seconds.max(f64::MIN_POSITIVE),
+                ));
+            }
             InstanceRecord {
                 label: format!(
-                    "{}|{} load={} seed={seed}",
+                    "{}|{}|{} load={} seed={seed}",
                     topo.name,
-                    cell.policy.name(),
+                    cell.policy,
+                    cell.admission.name(),
                     cell.load
                 ),
                 flows: instance.len(),
@@ -178,17 +240,7 @@ fn main() {
                 rs_capacity_excess: result.outcome.schedule.max_capacity_excess(&power),
                 rs_sim: Some(result.online_sim),
                 sp_sim: Some(result.offline_sim),
-                extra: vec![
-                    ("load".to_string(), cell.load),
-                    ("policy".to_string(), policy_code),
-                    ("events".to_string(), report.events as f64),
-                    ("resolves".to_string(), report.resolves as f64),
-                    ("solve_failures".to_string(), report.solve_failures as f64),
-                    ("admitted".to_string(), report.admitted() as f64),
-                    ("rejected".to_string(), report.rejected() as f64),
-                    ("missed".to_string(), report.missed() as f64),
-                    ("run".to_string(), cell.run as f64),
-                ],
+                extra,
             }
         })
     });
@@ -205,62 +257,69 @@ fn main() {
     report.instances = records;
     let coordinates: Vec<(String, f64)> = grid
         .iter()
-        .map(|cell| {
-            (
-                format!("{}|{}", topologies[cell.topology].name, cell.policy.name()),
-                cell.load,
-            )
-        })
+        .map(|cell| (cell.group(&topologies), cell.load))
         .collect();
     report.aggregate_points(&coordinates);
 
     for topo in &topologies {
-        for policy in &policies {
-            let group = format!("{}|{}", topo.name, policy.name());
-            let rows: Vec<Vec<String>> = report
-                .points
-                .iter()
-                .filter(|p| p.group == group)
-                .map(|p| {
-                    let members: Vec<&InstanceRecord> = report
-                        .instances
-                        .iter()
-                        .zip(&coordinates)
-                        .filter(|(_, (g, x))| *g == group && *x == p.x)
-                        .map(|(r, _)| r)
-                        .collect();
-                    let mean = |key: &str| {
-                        members.iter().filter_map(|r| r.extra(key)).sum::<f64>()
-                            / members.len() as f64
-                    };
-                    vec![
-                        format!("{}", p.x),
-                        format!("{:.3}", p.rs),
-                        format!("{:.3}", p.sp),
-                        format!("{:.3}", p.rs / p.sp),
-                        format!("{:.1}", mean("rejected")),
-                        format!("{:.1}", mean("missed")),
-                        format!("{:.1}", mean("resolves")),
-                    ]
-                })
-                .collect();
-            print_table(
-                &format!("Online {algorithm}, {} ({})", topo.name, policy.name()),
-                &[
-                    "load",
-                    "online/LB",
-                    "offline/LB",
-                    "ratio",
-                    "rejected",
-                    "missed",
-                    "resolves",
-                ],
-                &rows,
-            );
+        for policy in &policy_names {
+            for admission in &admissions {
+                let group = format!("{}|{}|{}", topo.name, policy, admission.name());
+                let rows: Vec<Vec<String>> = report
+                    .points
+                    .iter()
+                    .filter(|p| p.group == group)
+                    .map(|p| {
+                        let members: Vec<&InstanceRecord> = report
+                            .instances
+                            .iter()
+                            .zip(&coordinates)
+                            .filter(|(_, (g, x))| *g == group && *x == p.x)
+                            .map(|(r, _)| r)
+                            .collect();
+                        let mean = |key: &str| {
+                            members.iter().filter_map(|r| r.extra(key)).sum::<f64>()
+                                / members.len() as f64
+                        };
+                        vec![
+                            format!("{}", p.x),
+                            format!("{:.3}", p.rs),
+                            format!("{:.3}", p.sp),
+                            format!("{:.3}", p.rs / p.sp),
+                            format!("{:.1}", mean("rejected")),
+                            format!("{:.1}", mean("missed")),
+                            format!("{:.1}", mean("events")),
+                            format!("{:.1}", mean("resolves")),
+                        ]
+                    })
+                    .collect();
+                print_table(
+                    &format!(
+                        "Online {algorithm}, {} ({} / {})",
+                        topo.name,
+                        policy,
+                        admission.name()
+                    ),
+                    &[
+                        "load",
+                        "online/LB",
+                        "offline/LB",
+                        "ratio",
+                        "rejected",
+                        "missed",
+                        "events",
+                        "resolves",
+                    ],
+                    &rows,
+                );
+            }
         }
     }
 
     println!("`ratio` is the competitive ratio: online energy / offline clairvoyant energy.");
-    println!("Sweep more load factors with --load a,b,... (see EXPERIMENTS.md).");
+    println!(
+        "Sweep more load factors with --load a,b,... and other policies with \
+         --policies a,b,... (see EXPERIMENTS.md)."
+    );
     cli.emit(&report, elapsed_seconds);
 }

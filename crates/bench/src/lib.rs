@@ -6,7 +6,9 @@
 //!
 //! * **this module** — the solving primitives ([`run_instance`],
 //!   [`run_flow_set`], [`run_flow_set_algorithms`], and
-//!   [`run_online_flow_set`] for the online rolling-horizon sweeps) and
+//!   [`run_online_flow_set`] for the event-driven online sweeps, with the
+//!   policy selected by name through the
+//!   [`dcn_core::online::PolicyRegistry`]) and
 //!   the declarative [`Experiment`] descriptor (name, topologies, workload
 //!   template, **algorithm list**, instance grid);
 //! * **[`runner`]** — the scoped worker pool that fans independent
@@ -31,7 +33,7 @@
 pub mod report;
 pub mod runner;
 
-use dcn_core::online::{AdmissionPolicy, OnlineOutcome, OnlineScheduler};
+use dcn_core::online::{AdmissionRule, OnlineEngine, OnlineOutcome, PolicyRegistry};
 use dcn_core::{AlgorithmRegistry, Dcfsr, RandomScheduleConfig, RelaxationLb, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
@@ -289,11 +291,11 @@ impl OnlineInstanceResult {
 }
 
 /// Runs one **online** instance: executes `flows` through an
-/// [`OnlineScheduler`] wrapping the named algorithm under `policy`, solves
-/// the same instance offline with clairvoyant knowledge as the reference,
-/// and verifies both schedules with the fluid simulator. One
-/// [`SolverContext`] is shared by every re-solve, the offline solve and
-/// both simulations.
+/// [`OnlineEngine`] wrapping the named algorithm, driven by the named
+/// [`dcn_core::OnlinePolicy`] under `admission`, solves the same instance
+/// offline with clairvoyant knowledge as the reference, and verifies both
+/// schedules with the fluid simulator. One [`SolverContext`] is shared by
+/// every re-solve, the offline solve and both simulations.
 ///
 /// The lower bound is taken from the offline solution when the algorithm
 /// computes one (`dcfsr`); otherwise the `lb` algorithm is run
@@ -301,26 +303,32 @@ impl OnlineInstanceResult {
 ///
 /// # Panics
 ///
-/// Panics when the algorithm name is not registered, when the online loop
-/// or the offline solve fails (connected benchmark instances must solve),
-/// or when the *offline* clairvoyant schedule misses a deadline — offline
-/// feasibility is an invariant of the experiments; online misses are data,
-/// not bugs.
+/// Panics when the algorithm or policy name is not registered, when the
+/// online loop or the offline solve fails (connected benchmark instances
+/// must solve), or when the *offline* clairvoyant schedule misses a
+/// deadline — offline feasibility is an invariant of the experiments;
+/// online misses and rejections are data, not bugs.
+#[allow(clippy::too_many_arguments)]
 pub fn run_online_flow_set(
     topo: &BuiltTopology,
     flows: &FlowSet,
     power: &PowerFunction,
     seed: u64,
     algorithm: &str,
-    policy: AdmissionPolicy,
+    policy: &str,
+    admission: AdmissionRule,
     registry: &AlgorithmRegistry,
+    policies: &PolicyRegistry,
 ) -> OnlineInstanceResult {
     let mut ctx =
         SolverContext::from_network(&topo.network).expect("builder topologies always validate");
     let inner = registry
         .create(algorithm)
         .unwrap_or_else(|e| panic!("cannot select algorithm: {e}"));
-    let mut online = OnlineScheduler::new(inner, policy);
+    let rule = policies
+        .create(policy)
+        .unwrap_or_else(|e| panic!("cannot select policy: {e}"));
+    let mut online = OnlineEngine::new(inner, rule, admission);
     online.set_seed(seed);
     let outcome = online
         .run_vs_offline(&mut ctx, flows, power)
@@ -701,8 +709,10 @@ mod tests {
             &power,
             6,
             "dcfsr",
-            AdmissionPolicy::AdmitAll,
+            "resolve",
+            AdmissionRule::AdmitAll,
             &harness_registry(),
+            &PolicyRegistry::with_defaults(),
         );
         assert!(r.lower_bound > 0.0);
         assert_eq!(r.outcome.report.admitted(), 12);
@@ -740,8 +750,10 @@ mod tests {
             &power,
             3,
             "dcfsr",
-            AdmissionPolicy::AdmitAll,
+            "resolve",
+            AdmissionRule::AdmitAll,
             &harness_registry(),
+            &PolicyRegistry::with_defaults(),
         );
         assert_eq!(r.outcome.report.events, 1);
         assert_eq!(r.outcome.report.resolves, 1);

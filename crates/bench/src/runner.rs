@@ -88,6 +88,9 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 ///                 defaults to the experiment's own selection
 /// --load L        comma-separated load factors swept by the `online`
 ///                 binary, e.g. 0.5,1,2,4
+/// --policies L    comma-separated online-policy registry names compared
+///                 by the `online` binary, e.g. resolve,edf,hybrid;
+///                 defaults to the binary's own selection
 /// --quick         CI smoke mode: smallest topology, one run per point
 /// --full          paper-scale mode (fig2: 10 runs, step 20)
 /// --small         swap the k=8 fat-tree for k=4 (fig2)
@@ -116,6 +119,11 @@ pub struct ExperimentCli {
     /// `--load a,b,...`: load factors for the `online` sweep; `None` keeps
     /// the binary's default grid.
     pub load: Option<Vec<f64>>,
+    /// `--policies a,b,...`: online-policy registry names compared by the
+    /// `online` binary (a single name is fine — unlike `--algorithms`,
+    /// there is no primary/reference pairing); `None` keeps the binary's
+    /// default selection.
+    pub policies: Option<Vec<String>>,
     /// `--quick`: CI smoke mode (smallest topology, one run per point).
     pub quick: bool,
     /// `--full`: paper-scale mode.
@@ -137,6 +145,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--threads",
     "--algorithms",
     "--load",
+    "--policies",
 ];
 
 /// The boolean flags [`ExperimentCli::from_args`] accepts.
@@ -152,8 +161,9 @@ impl ExperimentCli {
                 eprintln!("{experiment}: {message}");
                 eprintln!(
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
-                     [--threads N] [--algorithms a,b,...] [--load a,b,...] [--quick] \
-                     [--full] [--small] [--json-out [PATH]] [--timings]"
+                     [--threads N] [--algorithms a,b,...] [--load a,b,...] \
+                     [--policies a,b,...] [--quick] [--full] [--small] \
+                     [--json-out [PATH]] [--timings]"
                 );
                 std::process::exit(2);
             }
@@ -175,6 +185,7 @@ impl ExperimentCli {
             threads: default_threads(),
             algorithms: None,
             load: None,
+            policies: None,
             quick: false,
             full: false,
             small: false,
@@ -240,6 +251,20 @@ impl ExperimentCli {
                             ));
                         }
                         cli.load = Some(loads);
+                    }
+                    "--policies" => {
+                        let names: Vec<String> = value
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|n| !n.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        if names.is_empty() {
+                            return Err(format!(
+                                "--policies expects comma-separated policy names, got {value:?}"
+                            ));
+                        }
+                        cli.policies = Some(names);
                     }
                     _ => unreachable!("flag is in VALUE_FLAGS"),
                 }
@@ -396,6 +421,25 @@ mod tests {
         assert!(ExperimentCli::from_args("online", &args(&["--load", "nan"])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--load", ","])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--load"])).is_err());
+    }
+
+    #[test]
+    fn cli_parses_the_policies_selector() {
+        let cli = ExperimentCli::from_args("online", &args(&["--policies", "resolve,edf,hybrid"]))
+            .unwrap();
+        assert_eq!(
+            cli.policies,
+            Some(vec![
+                "resolve".to_string(),
+                "edf".to_string(),
+                "hybrid".to_string()
+            ])
+        );
+        // A single policy is a valid selection (no primary/reference pair).
+        let cli = ExperimentCli::from_args("online", &args(&["--policies", "hybrid"])).unwrap();
+        assert_eq!(cli.policies, Some(vec!["hybrid".to_string()]));
+        assert!(ExperimentCli::from_args("online", &args(&["--policies", ","])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--policies"])).is_err());
     }
 
     #[test]

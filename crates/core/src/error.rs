@@ -87,6 +87,12 @@ pub enum SolveError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The requested online-policy name is not registered in the
+    /// [`crate::online::PolicyRegistry`].
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+    },
     /// A produced schedule failed verification against its instance.
     Verification(ScheduleError),
 }
@@ -127,6 +133,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::UnknownAlgorithm { name } => {
                 write!(f, "no algorithm named {name:?} is registered")
+            }
+            SolveError::UnknownPolicy { name } => {
+                write!(f, "no online policy named {name:?} is registered")
             }
             SolveError::Verification(e) => write!(f, "schedule verification failed: {e}"),
         }
@@ -239,6 +248,12 @@ mod tests {
                     name: "dcfsr2".to_string(),
                 },
                 "dcfsr2",
+            ),
+            (
+                SolveError::UnknownPolicy {
+                    name: "edf2".to_string(),
+                },
+                "edf2",
             ),
             (
                 SolveError::Verification(ScheduleError {

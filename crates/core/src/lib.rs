@@ -37,10 +37,12 @@
 //! Supporting modules: [`schedule`] (the schedule data model, feasibility
 //! verification and energy accounting), [`routing`] (path selection
 //! strategies for the DCFS input and the SP+MCF baseline), and [`online`]
-//! (the rolling-horizon loop that reveals flows at their release times,
-//! re-solves the residual instance at every arrival event through any
-//! wrapped [`Algorithm`], and records admit/miss outcomes against the
-//! offline clairvoyant bound).
+//! (the event-driven engine that reveals flows at their release times and
+//! re-plans their rates per event through a pluggable [`OnlinePolicy`] —
+//! from full residual re-solves with any wrapped [`Algorithm`] down to
+//! solver-free EDF/SRPT/rapid-close-to-deadline priority rules, resolved
+//! by name through the [`PolicyRegistry`] — recording admit/miss outcomes
+//! against the offline clairvoyant bound).
 //!
 //! # Quick start
 //!
@@ -94,7 +96,10 @@ pub use dcfs::{most_critical_first, DcfsError};
 pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
 pub use error::SolveError;
 pub use exact::{ExactError, ExactOutcome};
-pub use online::{AdmissionPolicy, FlowDecision, OnlineOutcome, OnlineReport, OnlineScheduler};
+pub use online::{
+    AdmissionRule, FlowDecision, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport,
+    PolicyRegistry,
+};
 pub use relaxation::{
     interval_relaxation_on, interval_relaxation_with, IntervalRelaxation, RelaxationSummary,
 };
@@ -104,6 +109,8 @@ pub use solution::{Diagnostics, Solution};
 
 #[allow(deprecated)]
 pub use exact::exact_dcfsr;
+#[allow(deprecated)]
+pub use online::{AdmissionPolicy, OnlineScheduler};
 #[allow(deprecated)]
 pub use relaxation::interval_relaxation;
 
@@ -118,7 +125,9 @@ pub mod prelude {
     pub use crate::dcfs::most_critical_first;
     pub use crate::dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
     pub use crate::error::SolveError;
-    pub use crate::online::{AdmissionPolicy, OnlineOutcome, OnlineReport, OnlineScheduler};
+    pub use crate::online::{
+        AdmissionRule, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport, PolicyRegistry,
+    };
     pub use crate::routing::Routing;
     pub use crate::schedule::{FlowSchedule, Schedule};
     pub use crate::solution::{Diagnostics, Solution};

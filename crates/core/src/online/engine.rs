@@ -1,0 +1,1150 @@
+//! The event-driven core of the online subsystem.
+//!
+//! [`OnlineEngine`] executes a flow set under online arrivals by draining a
+//! typed event queue: **arrival** events (groups of equal release times,
+//! fixed up front), plus the **completion** and **deadline-slack timer**
+//! events that rate-assigning policies predict. At every event batch the
+//! engine retires served and expired flows, admits new arrivals through the
+//! [`AdmissionRule`], asks the [`OnlinePolicy`] what to do, and commits the
+//! resulting rates — either a policy-computed
+//! [`RatePlan`](super::policy::RatePlan) or the slice of
+//! a full residual re-solve — up to the next queued event.
+//!
+//! Every decision invalidates all previously predicted completions and
+//! timers (a lazy generation counter — stale events are skipped on pop, not
+//! searched for), so the queue always reflects only the *current* rate
+//! plan. With a policy that always resolves ([`super::ResolvePolicy`]) the
+//! queue holds arrival events only and the engine replays the pre-split
+//! `OnlineScheduler` loop exactly, which is what keeps the `resolve` policy
+//! bit-identical to it.
+
+use super::policy::{OnlinePolicy, PolicyAction};
+use super::{fractionally_feasible, residual_flow};
+use crate::algorithm::Algorithm;
+use crate::context::SolverContext;
+use crate::error::SolveError;
+use crate::schedule::{FlowSchedule, Schedule};
+use crate::solution::Solution;
+use dcn_flow::{FlowId, FlowSet};
+use dcn_power::{PowerFunction, RateProfile};
+use dcn_solver::fmcf::FmcfSolverConfig;
+use dcn_topology::LinkId;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Relative volume tolerance under which an in-flight flow counts as fully
+/// served (matches the verification tolerance of [`Schedule`]).
+const VOLUME_TOL: f64 = 1e-9;
+
+/// How the online loop decides whether a newly arrived flow is accepted.
+#[derive(Debug, Clone, Default)]
+pub enum AdmissionRule {
+    /// Every arrival is admitted. Under overload the re-solves may fail or
+    /// flows may run out of time; the [`OnlineReport`] records the misses.
+    #[default]
+    AdmitAll,
+    /// An arrival is admitted only if the fractional relaxation of the
+    /// candidate residual instance (in-flight residuals + the candidate)
+    /// fits under every link capacity — the LP-relaxation feasibility
+    /// check of [`fractionally_feasible`].
+    RejectInfeasible {
+        /// Frank–Wolfe configuration of the feasibility relaxation.
+        config: FmcfSolverConfig,
+        /// Relative capacity slack tolerated in the fractional loads (the
+        /// relaxation enforces capacities through a penalty, so converged
+        /// solutions may overshoot by a hair).
+        slack: f64,
+    },
+}
+
+impl AdmissionRule {
+    /// The [`AdmissionRule::RejectInfeasible`] rule with the given
+    /// Frank–Wolfe configuration and the default `1e-3` capacity slack.
+    pub fn reject_infeasible(config: FmcfSolverConfig) -> Self {
+        AdmissionRule::RejectInfeasible {
+            config,
+            slack: 1e-3,
+        }
+    }
+
+    /// A short stable name for artifacts and tables (`admit-all` /
+    /// `reject-infeasible`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionRule::AdmitAll => "admit-all",
+            AdmissionRule::RejectInfeasible { .. } => "reject-infeasible",
+        }
+    }
+
+    /// Evaluates the rule for one candidate arrival: `AdmitAll` accepts
+    /// unconditionally, `RejectInfeasible` probes the fractional
+    /// feasibility of the candidate residual instance. This is the default
+    /// behaviour of [`OnlinePolicy::admission`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`fractionally_feasible`] errors.
+    pub fn evaluate(
+        &self,
+        ctx: &mut SolverContext<'_>,
+        power: &PowerFunction,
+        world: &WorldView<'_>,
+        candidate: FlowId,
+    ) -> Result<bool, SolveError> {
+        match self {
+            AdmissionRule::AdmitAll => Ok(true),
+            AdmissionRule::RejectInfeasible { config, slack } => {
+                let (candidate_set, _) = world.residual(Some(candidate))?;
+                fractionally_feasible(ctx, &candidate_set, power, config, *slack)
+            }
+        }
+    }
+}
+
+/// The admit/deliver outcome of one flow under the online loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowDecision {
+    /// The flow.
+    pub flow: FlowId,
+    /// Whether the admission rule accepted the flow.
+    pub admitted: bool,
+    /// Volume committed for the flow over the whole run.
+    pub delivered: f64,
+    /// Whether an *admitted* flow failed to receive its full volume by its
+    /// deadline (rejected flows are never counted as misses).
+    pub missed: bool,
+}
+
+/// What the online loop did: per-flow decisions, event/re-solve counters
+/// and the energy of the stitched schedule, with the offline clairvoyant
+/// energy alongside when [`OnlineEngine::run_vs_offline`] computed it.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// One decision per flow of the instance, in flow-id order.
+    pub decisions: Vec<FlowDecision>,
+    /// Number of event batches processed (arrival groups, plus the
+    /// completion/timer batches a rate-assigning policy generates).
+    pub events: usize,
+    /// Number of residual re-solves performed (for the `resolve` policy:
+    /// one per event with a non-empty residual instance).
+    pub resolves: usize,
+    /// Number of re-solves that returned an error (the loop then keeps the
+    /// previous commitments and the affected flows may miss).
+    pub solve_failures: usize,
+    /// Energy of the stitched online schedule (the paper's objective).
+    pub online_energy: f64,
+    /// Energy of the wrapped algorithm solving the full instance with
+    /// clairvoyant knowledge, when computed.
+    pub offline_energy: Option<f64>,
+}
+
+impl OnlineReport {
+    /// Number of admitted flows.
+    pub fn admitted(&self) -> usize {
+        self.decisions.iter().filter(|d| d.admitted).count()
+    }
+
+    /// Number of rejected flows.
+    pub fn rejected(&self) -> usize {
+        self.decisions.iter().filter(|d| !d.admitted).count()
+    }
+
+    /// Number of admitted flows that missed their deadline.
+    pub fn missed(&self) -> usize {
+        self.decisions.iter().filter(|d| d.missed).count()
+    }
+
+    /// Per-flow admission mask, indexed by flow id (the shape
+    /// `Simulator::run_admitted` consumes).
+    pub fn admitted_mask(&self) -> Vec<bool> {
+        self.decisions.iter().map(|d| d.admitted).collect()
+    }
+
+    /// `online_energy / offline_energy`, when the offline bound was
+    /// computed and is positive.
+    pub fn competitive_ratio(&self) -> Option<f64> {
+        match self.offline_energy {
+            Some(offline) if offline > 0.0 => Some(self.online_energy / offline),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one online run: the stitched executable schedule, the
+/// report, and (after [`OnlineEngine::run_vs_offline`]) the offline
+/// clairvoyant solution for comparison.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// The committed slices of every event, stitched into one schedule
+    /// over the instance horizon.
+    pub schedule: Schedule,
+    /// What the loop decided and measured.
+    pub report: OnlineReport,
+    /// The clairvoyant solution of the wrapped algorithm on the full
+    /// instance, when computed.
+    pub offline: Option<Solution>,
+}
+
+/// Per-flow bookkeeping of the event loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowState {
+    admitted: bool,
+    /// Admitted, not yet fully served, deadline not yet passed.
+    in_flight: bool,
+    missed: bool,
+    delivered: f64,
+}
+
+/// A read-only snapshot of the engine's per-flow state, handed to
+/// [`OnlinePolicy`] callbacks: which flows are in flight, how much each has
+/// received, and the residual-instance constructor the `resolve` path and
+/// the admission probe share.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldView<'a> {
+    flows: &'a FlowSet,
+    states: &'a [FlowState],
+    now: f64,
+}
+
+impl WorldView<'_> {
+    /// The full instance (ids, endpoints, spans, volumes).
+    pub fn flows(&self) -> &FlowSet {
+        self.flows
+    }
+
+    /// The engine clock: the time of the event batch being processed.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Whether `flow` is admitted, not fully served, and not expired.
+    pub fn is_in_flight(&self, flow: FlowId) -> bool {
+        self.states[flow].in_flight
+    }
+
+    /// The in-flight flows, in ascending id order.
+    pub fn in_flight(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.in_flight)
+            .map(|(id, _)| id)
+    }
+
+    /// Volume committed for `flow` so far.
+    pub fn delivered(&self, flow: FlowId) -> f64 {
+        self.states[flow].delivered
+    }
+
+    /// Volume `flow` still has to receive (never negative).
+    pub fn remaining(&self, flow: FlowId) -> f64 {
+        (self.flows.flow(flow).volume - self.states[flow].delivered).max(0.0)
+    }
+
+    /// Builds the residual instance at the current clock from every
+    /// in-flight flow (plus `extra`, a not-yet-admitted candidate), in
+    /// original-id order, and the residual-id → original-id map.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::EmptyFlowSet`] when nothing is in flight.
+    /// * [`residual_flow`] errors for an expired or fully served flow.
+    pub fn residual(&self, extra: Option<FlowId>) -> Result<(FlowSet, Vec<FlowId>), SolveError> {
+        let mut map: Vec<FlowId> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|&(id, s)| s.in_flight || extra == Some(id))
+            .map(|(id, _)| id)
+            .collect();
+        map.sort_unstable();
+        if map.is_empty() {
+            return Err(SolveError::EmptyFlowSet);
+        }
+        let mut residual = Vec::with_capacity(map.len());
+        for (rid, &orig) in map.iter().enumerate() {
+            let flow = self.flows.flow(orig);
+            residual.push(residual_flow(
+                flow,
+                self.now,
+                flow.volume - self.states[orig].delivered,
+                rid,
+            )?);
+        }
+        let set = FlowSet::from_flows(residual).map_err(SolveError::from)?;
+        Ok((set, map))
+    }
+}
+
+/// One event batch handed to [`OnlinePolicy::on_event`]: everything that
+/// fired at the same instant, split by kind.
+#[derive(Debug, Clone)]
+pub struct OnlineEvent {
+    /// The engine clock of the batch.
+    pub time: f64,
+    /// Zero-based index of the batch (drives the re-solve seed schedule:
+    /// batch `k` re-seeds the wrapped algorithm with `seed + k`).
+    pub index: usize,
+    /// Flows released at this instant, ids ascending.
+    pub arrivals: Vec<FlowId>,
+    /// Flows whose predicted completion fired, ids ascending.
+    pub completions: Vec<FlowId>,
+    /// Flows whose deadline-slack timer fired, ids ascending.
+    pub timers: Vec<FlowId>,
+}
+
+/// What is sitting in the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueuedKind {
+    /// Index into the precomputed arrival groups.
+    Arrival { group: usize },
+    /// A rate assignment predicts this flow finishes now.
+    Completion { flow: FlowId },
+    /// A policy-requested wake-up (latest-start or deadline watchdog).
+    SlackTimer { flow: FlowId },
+}
+
+impl QueuedKind {
+    /// Ordering rank within one instant: arrivals, then completions, then
+    /// timers.
+    fn rank(self) -> u8 {
+        match self {
+            QueuedKind::Arrival { .. } => 0,
+            QueuedKind::Completion { .. } => 1,
+            QueuedKind::SlackTimer { .. } => 2,
+        }
+    }
+
+    /// Deterministic tie-break key within one rank.
+    fn key(self) -> usize {
+        match self {
+            QueuedKind::Arrival { group } => group,
+            QueuedKind::Completion { flow } | QueuedKind::SlackTimer { flow } => flow,
+        }
+    }
+}
+
+/// One queued event. Dynamic events (completions, timers) carry the
+/// generation they were predicted under; bumping the queue's generation
+/// lazily invalidates them.
+#[derive(Debug, Clone, Copy)]
+struct QueuedEvent {
+    time: f64,
+    generation: u64,
+    kind: QueuedKind,
+}
+
+impl QueuedEvent {
+    fn tie_break(&self) -> (u8, usize, u64) {
+        (self.kind.rank(), self.kind.key(), self.generation)
+    }
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.tie_break().cmp(&other.tie_break()))
+    }
+}
+
+/// The typed event queue: a min-heap with lazy generation invalidation of
+/// dynamic events. Arrival events are never invalidated.
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    generation: u64,
+}
+
+impl EventQueue {
+    fn push_arrival(&mut self, time: f64, group: usize) {
+        self.heap.push(Reverse(QueuedEvent {
+            time,
+            generation: 0,
+            kind: QueuedKind::Arrival { group },
+        }));
+    }
+
+    fn push_completion(&mut self, time: f64, flow: FlowId) {
+        self.heap.push(Reverse(QueuedEvent {
+            time,
+            generation: self.generation,
+            kind: QueuedKind::Completion { flow },
+        }));
+    }
+
+    fn push_timer(&mut self, time: f64, flow: FlowId) {
+        self.heap.push(Reverse(QueuedEvent {
+            time,
+            generation: self.generation,
+            kind: QueuedKind::SlackTimer { flow },
+        }));
+    }
+
+    /// Marks every queued completion and timer stale. Called once per
+    /// processed batch, *before* the new plan's events are pushed.
+    fn invalidate_dynamic(&mut self) {
+        self.generation += 1;
+    }
+
+    fn is_live(&self, event: &QueuedEvent) -> bool {
+        matches!(event.kind, QueuedKind::Arrival { .. }) || event.generation == self.generation
+    }
+
+    /// The time of the next live event, discarding stale ones on the way.
+    fn peek_valid_time(&mut self) -> Option<f64> {
+        loop {
+            let (live, time) = match self.heap.peek() {
+                Some(Reverse(event)) => (self.is_live(event), event.time),
+                None => return None,
+            };
+            if live {
+                return Some(time);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Pops every live event at the earliest live time, in deterministic
+    /// (rank, key) order.
+    fn pop_batch(&mut self) -> Option<(f64, Vec<QueuedEvent>)> {
+        let time = self.peek_valid_time()?;
+        let mut batch = Vec::new();
+        loop {
+            let live = match self.heap.peek() {
+                Some(Reverse(event)) if event.time == time => self.is_live(event),
+                _ => break,
+            };
+            let Reverse(event) = self.heap.pop().expect("peeked event pops");
+            if live {
+                batch.push(event);
+            }
+        }
+        Some((time, batch))
+    }
+}
+
+/// The event-driven online driver: one wrapped [`Algorithm`] (the re-solve
+/// backend), one [`OnlinePolicy`] (the per-event decision rule) and one
+/// [`AdmissionRule`], executing a flow set under online arrivals (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct OnlineEngine {
+    algorithm: Box<dyn Algorithm>,
+    policy: Box<dyn OnlinePolicy>,
+    admission: AdmissionRule,
+    seed: u64,
+}
+
+impl OnlineEngine {
+    /// Creates the engine around a (registry-created) algorithm and policy.
+    pub fn new(
+        algorithm: Box<dyn Algorithm>,
+        policy: Box<dyn OnlinePolicy>,
+        admission: AdmissionRule,
+    ) -> Self {
+        Self {
+            algorithm,
+            policy,
+            admission,
+            seed: 0,
+        }
+    }
+
+    /// Re-seeds the engine and its policy. Event batch `k` re-seeds the
+    /// wrapped algorithm with `seed + k`, so the first batch — and
+    /// therefore the full-knowledge run with a single arrival event — uses
+    /// exactly `seed`, matching an offline solve seeded the same way.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.policy.set_seed(seed);
+    }
+
+    /// The wrapped re-solve algorithm.
+    pub fn algorithm(&self) -> &dyn Algorithm {
+        self.algorithm.as_ref()
+    }
+
+    /// The policy driving per-event decisions.
+    pub fn policy(&self) -> &dyn OnlinePolicy {
+        self.policy.as_ref()
+    }
+
+    /// The admission rule in use.
+    pub fn admission(&self) -> &AdmissionRule {
+        &self.admission
+    }
+
+    /// Executes the instance online: reveals flows at their release times,
+    /// drains the event queue, applies the policy's decision at every
+    /// batch and stitches the committed slices into one schedule.
+    ///
+    /// A re-solve *error* (e.g. an infeasible residual under `AdmitAll`
+    /// overload) is not fatal: the loop counts it in
+    /// [`OnlineReport::solve_failures`], keeps the commitments made so far
+    /// and carries on — the affected flows are recorded as missed.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::EmptyFlowSet`] for an empty instance (there is no
+    ///   event to run).
+    /// * [`SolveError::InvalidInput`] for endpoints outside the network,
+    ///   when the wrapped algorithm is bound-only (`lb`) and produces no
+    ///   schedule to commit, or when the policy floods the queue without
+    ///   converging.
+    /// * Errors of [`OnlinePolicy::on_event`] / [`OnlinePolicy::admission`].
+    pub fn run(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<OnlineOutcome, SolveError> {
+        ctx.validate_flow_shape(flows)?;
+        let groups = arrival_events(flows);
+        // A policy that keeps requesting timers without progress would spin
+        // forever; built-in policies need at most a handful of batches per
+        // flow (one completion, one deadline watchdog, one deferral wake).
+        let max_batches = groups.len() + 16 * flows.len() + 16;
+        let mut queue = EventQueue::default();
+        for (group, (time, _)) in groups.iter().enumerate() {
+            queue.push_arrival(*time, group);
+        }
+        let mut state = vec![FlowState::default(); flows.len()];
+        // Committed slices per flow, in first-commitment order so a
+        // single-event run reproduces the inner schedule's layout exactly.
+        let mut commits: Vec<(FlowId, Vec<FlowSchedule>)> = Vec::new();
+        let mut commit_index: BTreeMap<FlowId, usize> = BTreeMap::new();
+        let mut batches = 0usize;
+        let mut resolves = 0usize;
+        let mut solve_failures = 0usize;
+
+        while let Some((now, entries)) = queue.pop_batch() {
+            let k = batches;
+            batches += 1;
+            if batches > max_batches {
+                return Err(SolveError::InvalidInput {
+                    reason: format!(
+                        "online policy {:?} did not converge: over {max_batches} event \
+                         batches for {} flows",
+                        self.policy.name(),
+                        flows.len()
+                    ),
+                });
+            }
+
+            let mut event = OnlineEvent {
+                time: now,
+                index: k,
+                arrivals: Vec::new(),
+                completions: Vec::new(),
+                timers: Vec::new(),
+            };
+            for entry in entries {
+                match entry.kind {
+                    QueuedKind::Arrival { group } => {
+                        event.arrivals.extend(groups[group].1.iter().copied());
+                    }
+                    QueuedKind::Completion { flow } => event.completions.push(flow),
+                    QueuedKind::SlackTimer { flow } => event.timers.push(flow),
+                }
+            }
+            event.arrivals.sort_unstable();
+
+            // Retire in-flight flows: fully served, or out of time.
+            for (id, s) in state.iter_mut().enumerate() {
+                if !s.in_flight {
+                    continue;
+                }
+                let flow = flows.flow(id);
+                if s.delivered >= flow.volume * (1.0 - VOLUME_TOL) {
+                    s.in_flight = false;
+                } else if flow.deadline <= now {
+                    s.in_flight = false;
+                    s.missed = true;
+                }
+            }
+
+            // Admission of the new arrivals, in flow-id order.
+            for &id in &event.arrivals {
+                let admit = {
+                    let world = WorldView {
+                        flows,
+                        states: &state,
+                        now,
+                    };
+                    self.policy
+                        .admission(ctx, power, &world, id, &self.admission)?
+                };
+                if admit {
+                    state[id].admitted = true;
+                    state[id].in_flight = true;
+                }
+            }
+
+            let action = {
+                let world = WorldView {
+                    flows,
+                    states: &state,
+                    now,
+                };
+                self.policy.on_event(ctx, power, &event, &world)?
+            };
+
+            // Whatever the policy decided supersedes every previously
+            // predicted completion and timer.
+            queue.invalidate_dynamic();
+
+            match action {
+                PolicyAction::Resolve => {
+                    let residual = {
+                        let world = WorldView {
+                            flows,
+                            states: &state,
+                            now,
+                        };
+                        world.residual(None)
+                    };
+                    let (residual, map) = match residual {
+                        Ok(pair) => pair,
+                        Err(SolveError::EmptyFlowSet) => continue, // nothing to re-solve
+                        Err(e) => return Err(e),
+                    };
+                    self.algorithm.set_seed(self.seed.wrapping_add(k as u64));
+                    resolves += 1;
+                    let solution = match self.algorithm.solve(ctx, &residual, power) {
+                        Ok(solution) => solution,
+                        Err(_) => {
+                            solve_failures += 1;
+                            continue;
+                        }
+                    };
+                    let Some(schedule) = solution.schedule else {
+                        return Err(SolveError::InvalidInput {
+                            reason: format!(
+                                "online engine wraps {:?}, which produces no schedule to commit",
+                                self.algorithm.name()
+                            ),
+                        });
+                    };
+
+                    // Commit the slice of the fresh schedule up to the next
+                    // event (or all of it after the last event). The
+                    // last-window commit clones the inner flow schedules
+                    // verbatim, which is what makes a single-event run
+                    // bit-identical to the offline solve.
+                    let next = queue.peek_valid_time();
+                    for fs in schedule.flow_schedules() {
+                        let orig = map[fs.flow];
+                        let committed = match next {
+                            None => {
+                                let mut clone = fs.clone();
+                                clone.flow = orig;
+                                clone
+                            }
+                            Some(until) => clip_flow_schedule(fs, orig, now, until),
+                        };
+                        push_commit(committed, &mut state, &mut commits, &mut commit_index);
+                    }
+                }
+                PolicyAction::Assign(plan) => {
+                    // First pass: predict the decision points the plan
+                    // implies (per-flow completion, or a deadline watchdog
+                    // when the rate cannot finish in time), so the commit
+                    // window below can end at the earliest of them.
+                    let mut planned = vec![false; flows.len()];
+                    for a in &plan.rates {
+                        if !a.rate.is_finite() || a.rate <= 0.0 {
+                            continue;
+                        }
+                        if a.flow >= flows.len() || !state[a.flow].in_flight || planned[a.flow] {
+                            continue;
+                        }
+                        planned[a.flow] = true;
+                        let flow = flows.flow(a.flow);
+                        let remaining = (flow.volume - state[a.flow].delivered).max(0.0);
+                        if remaining <= 0.0 {
+                            continue;
+                        }
+                        let completion = now + remaining / a.rate;
+                        if completion <= flow.deadline {
+                            queue.push_completion(completion, a.flow);
+                        } else {
+                            queue.push_timer(flow.deadline, a.flow);
+                        }
+                    }
+                    for &(time, flow) in &plan.timers {
+                        if time.is_finite() && time > now && flow < flows.len() {
+                            queue.push_timer(time, flow);
+                        }
+                    }
+
+                    // Second pass: commit each assigned rate from now until
+                    // the next queued event, clamped to the flow's deadline.
+                    let next = queue.peek_valid_time();
+                    let mut committed_flows = vec![false; flows.len()];
+                    for a in plan.rates {
+                        if !a.rate.is_finite() || a.rate <= 0.0 {
+                            continue;
+                        }
+                        if a.flow >= flows.len()
+                            || !state[a.flow].in_flight
+                            || committed_flows[a.flow]
+                        {
+                            continue;
+                        }
+                        committed_flows[a.flow] = true;
+                        let flow = flows.flow(a.flow);
+                        let until = next.unwrap_or(flow.deadline).min(flow.deadline);
+                        if until <= now {
+                            continue;
+                        }
+                        let profile = RateProfile::constant(now, until, a.rate);
+                        let committed = FlowSchedule::uniform(a.flow, a.path, profile);
+                        push_commit(committed, &mut state, &mut commits, &mut commit_index);
+                    }
+                }
+            }
+        }
+
+        // Final accounting: an admitted flow that never received its full
+        // volume missed its deadline.
+        for (id, s) in state.iter_mut().enumerate() {
+            if s.admitted && s.delivered < flows.flow(id).volume * (1.0 - 1e-6) {
+                s.missed = true;
+            }
+        }
+
+        let schedule = stitch(commits, flows.horizon());
+        let online_energy = schedule.energy(power).total();
+        let decisions = state
+            .iter()
+            .enumerate()
+            .map(|(id, s)| FlowDecision {
+                flow: id,
+                admitted: s.admitted,
+                delivered: s.delivered,
+                missed: s.missed,
+            })
+            .collect();
+        Ok(OnlineOutcome {
+            schedule,
+            report: OnlineReport {
+                decisions,
+                events: batches,
+                resolves,
+                solve_failures,
+                online_energy,
+                offline_energy: None,
+            },
+            offline: None,
+        })
+    }
+
+    /// [`OnlineEngine::run`], then solves the full instance with the same
+    /// (re-seeded) algorithm and clairvoyant knowledge on the same warm
+    /// context, recording the offline energy in the report — the
+    /// denominator of [`OnlineReport::competitive_ratio`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the online run and of the offline solve.
+    pub fn run_vs_offline(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+    ) -> Result<OnlineOutcome, SolveError> {
+        let mut outcome = self.run(ctx, flows, power)?;
+        self.algorithm.set_seed(self.seed);
+        let offline = self.algorithm.solve(ctx, flows, power)?;
+        outcome.report.offline_energy = offline.total_energy();
+        outcome.offline = Some(offline);
+        Ok(outcome)
+    }
+}
+
+/// Appends one committed slice to the per-flow commit lists, keeping the
+/// delivered-volume accounting and the first-commitment ordering.
+fn push_commit(
+    committed: FlowSchedule,
+    state: &mut [FlowState],
+    commits: &mut Vec<(FlowId, Vec<FlowSchedule>)>,
+    commit_index: &mut BTreeMap<FlowId, usize>,
+) {
+    if committed.profile.is_empty() && committed.link_profiles.is_empty() {
+        return;
+    }
+    let orig = committed.flow;
+    state[orig].delivered += committed.profile.volume();
+    match commit_index.get(&orig) {
+        Some(&slot) => commits[slot].1.push(committed),
+        None => {
+            commit_index.insert(orig, commits.len());
+            commits.push((orig, vec![committed]));
+        }
+    }
+}
+
+/// Groups the flows of the instance by release time: one `(time, flow
+/// ids)` event per distinct release, in time order (ids ascending within
+/// an event).
+fn arrival_events(flows: &FlowSet) -> Vec<(f64, Vec<FlowId>)> {
+    let mut order: Vec<FlowId> = (0..flows.len()).collect();
+    order.sort_by(|&a, &b| {
+        flows
+            .flow(a)
+            .release
+            .partial_cmp(&flows.flow(b).release)
+            .expect("flow times are finite")
+            .then(a.cmp(&b))
+    });
+    let mut events: Vec<(f64, Vec<FlowId>)> = Vec::new();
+    for id in order {
+        let release = flows.flow(id).release;
+        match events.last_mut() {
+            Some((t, ids)) if *t == release => ids.push(id),
+            _ => events.push((release, vec![id])),
+        }
+    }
+    events
+}
+
+/// Restricts one inner flow schedule to the commit window `[from, to)`,
+/// relabelling it with the original flow id. Links whose restricted
+/// profile is empty are dropped.
+fn clip_flow_schedule(fs: &FlowSchedule, orig: FlowId, from: f64, to: f64) -> FlowSchedule {
+    let link_profiles: BTreeMap<LinkId, RateProfile> = fs
+        .link_profiles
+        .iter()
+        .map(|(&link, profile)| (link, profile.restricted(from, to)))
+        .filter(|(_, profile)| profile.is_active())
+        .collect();
+    FlowSchedule::per_link(
+        orig,
+        fs.path.clone(),
+        fs.profile.restricted(from, to),
+        link_profiles,
+    )
+}
+
+/// Merges each flow's committed slices into one [`FlowSchedule`] and
+/// assembles the final schedule over `horizon`. A flow served by a single
+/// commit keeps that commit verbatim; a multi-commit flow keeps the path
+/// of its *last* decision (the profiles carry the links actually used in
+/// every window, so energy and simulation see the true loads even when the
+/// routing changed between decisions).
+fn stitch(commits: Vec<(FlowId, Vec<FlowSchedule>)>, horizon: (f64, f64)) -> Schedule {
+    let mut flow_schedules = Vec::with_capacity(commits.len());
+    for (flow, mut parts) in commits {
+        if parts.len() == 1 {
+            flow_schedules.push(parts.pop().expect("one part"));
+            continue;
+        }
+        let path = parts.last().expect("non-empty parts").path.clone();
+        let mut profile = RateProfile::new();
+        let mut link_profiles: BTreeMap<LinkId, RateProfile> = BTreeMap::new();
+        for part in &parts {
+            profile.merge(&part.profile);
+            for (&link, slice) in &part.link_profiles {
+                link_profiles.entry(link).or_default().merge(slice);
+            }
+        }
+        flow_schedules.push(FlowSchedule::per_link(flow, path, profile, link_profiles));
+    }
+    Schedule::new(flow_schedules, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{AlgorithmRegistry, Dcfsr};
+    use crate::online::policies::ResolvePolicy;
+    use dcn_flow::Flow;
+    use dcn_topology::builders;
+
+    fn x2(capacity: f64) -> PowerFunction {
+        PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
+    }
+
+    fn resolve_engine(algorithm: &str, admission: AdmissionRule) -> OnlineEngine {
+        let registry = AlgorithmRegistry::with_defaults();
+        OnlineEngine::new(
+            registry.create(algorithm).unwrap(),
+            Box::new(ResolvePolicy),
+            admission,
+        )
+    }
+
+    #[test]
+    fn arrival_events_group_equal_releases() {
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([
+            (a, c, 2.0, 6.0, 1.0),
+            (a, c, 0.0, 4.0, 1.0),
+            (a, c, 2.0, 8.0, 1.0),
+        ])
+        .unwrap();
+        let events = arrival_events(&flows);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], (0.0, vec![1]));
+        assert_eq!(events[1], (2.0, vec![0, 2]));
+    }
+
+    #[test]
+    fn queue_batches_are_deterministic_and_generation_scoped() {
+        let mut queue = EventQueue::default();
+        queue.push_arrival(0.0, 0);
+        queue.push_arrival(4.0, 1);
+        queue.push_completion(2.0, 5);
+        queue.push_timer(2.0, 3);
+        queue.push_completion(2.0, 1);
+
+        let (t0, batch) = queue.pop_batch().unwrap();
+        assert_eq!(t0, 0.0);
+        assert_eq!(batch.len(), 1);
+        // Same instant: completions (ids ascending) before timers.
+        let (t1, batch) = queue.pop_batch().unwrap();
+        assert_eq!(t1, 2.0);
+        let kinds: Vec<QueuedKind> = batch.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                QueuedKind::Completion { flow: 1 },
+                QueuedKind::Completion { flow: 5 },
+                QueuedKind::SlackTimer { flow: 3 },
+            ]
+        );
+
+        // Invalidation makes queued dynamic events vanish, arrivals stay.
+        queue.push_completion(3.0, 2);
+        queue.invalidate_dynamic();
+        queue.push_timer(3.5, 7);
+        assert_eq!(queue.peek_valid_time(), Some(3.5));
+        let (t2, batch) = queue.pop_batch().unwrap();
+        assert_eq!(t2, 3.5);
+        assert_eq!(batch.len(), 1);
+        let (t3, _) = queue.pop_batch().unwrap();
+        assert_eq!(t3, 4.0);
+        assert!(queue.pop_batch().is_none());
+    }
+
+    #[test]
+    fn empty_instance_is_a_typed_error_not_a_panic() {
+        let topo = builders::line(3);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let empty = FlowSet::from_flows(vec![]).unwrap();
+        let err = resolve_engine("dcfsr", AdmissionRule::AdmitAll)
+            .run(&mut ctx, &empty, &x2(10.0))
+            .unwrap_err();
+        assert_eq!(err, SolveError::EmptyFlowSet);
+        // The feasibility primitive reports the same typed error on an
+        // empty residual set.
+        assert_eq!(
+            fractionally_feasible(&mut ctx, &empty, &x2(10.0), &Default::default(), 1e-3)
+                .unwrap_err(),
+            SolveError::EmptyFlowSet
+        );
+    }
+
+    #[test]
+    fn bound_only_algorithms_are_rejected_with_a_typed_error() {
+        let topo = builders::line(3);
+        let flows =
+            FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 8.0)]).unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let err = resolve_engine("lb", AdmissionRule::AdmitAll)
+            .run(&mut ctx, &flows, &x2(10.0))
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidInput { .. }));
+        assert!(err.to_string().contains("lb"));
+    }
+
+    #[test]
+    fn single_event_run_commits_the_offline_schedule_verbatim() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = dcn_flow::workload::UniformWorkload::paper_defaults(10, 11)
+            .generate(topo.hosts())
+            .unwrap();
+        // Re-release everything at t = 0: one arrival event.
+        let zeroed = FlowSet::from_flows(
+            flows
+                .iter()
+                .map(|f| Flow::new(f.id, f.src, f.dst, 0.0, f.deadline, f.volume).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine("dcfsr", AdmissionRule::AdmitAll);
+        engine.set_seed(11);
+        let outcome = engine.run_vs_offline(&mut ctx, &zeroed, &power).unwrap();
+        assert_eq!(outcome.report.events, 1);
+        assert_eq!(outcome.report.resolves, 1);
+        assert_eq!(outcome.report.solve_failures, 0);
+
+        let mut offline = Dcfsr::default();
+        offline.set_seed(11);
+        let clairvoyant = offline.solve(&mut ctx, &zeroed, &power).unwrap();
+        assert_eq!(&outcome.schedule, clairvoyant.schedule.as_ref().unwrap());
+        assert_eq!(
+            outcome.report.online_energy,
+            clairvoyant.total_energy().unwrap()
+        );
+        assert_eq!(outcome.report.competitive_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn staggered_arrivals_deliver_every_admitted_flow() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = dcn_flow::workload::UniformWorkload::paper_defaults(14, 4)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine("dcfsr", AdmissionRule::AdmitAll);
+        engine.set_seed(4);
+        let outcome = engine.run(&mut ctx, &flows, &power).unwrap();
+        assert_eq!(outcome.report.events, 14);
+        assert_eq!(outcome.report.admitted(), 14);
+        assert_eq!(outcome.report.solve_failures, 0);
+        assert_eq!(outcome.report.missed(), 0);
+        for d in &outcome.report.decisions {
+            let flow = flows.flow(d.flow);
+            assert!(
+                (d.delivered - flow.volume).abs() <= 1e-6 * flow.volume,
+                "flow {}: delivered {} of {}",
+                d.flow,
+                d.delivered,
+                flow.volume
+            );
+        }
+        // All activity stays inside each flow's span, whatever window it
+        // was committed in.
+        for fs in outcome.schedule.flow_schedules() {
+            let flow = flows.flow(fs.flow);
+            let (start, end) = fs.activity_span().expect("admitted flows transmit");
+            assert!(start >= flow.release - 1e-9 && end <= flow.deadline + 1e-9);
+        }
+        // The reported energy is the stitched schedule's energy.
+        assert_eq!(
+            outcome.report.online_energy,
+            outcome.schedule.energy(&power).total()
+        );
+    }
+
+    #[test]
+    fn reject_infeasible_rejects_only_the_impossible_flow() {
+        // Capacity 10: a volume-100 flow over a unit span needs rate 100.
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([
+            (a, c, 0.0, 10.0, 8.0),  // easy
+            (a, c, 1.0, 2.0, 100.0), // impossible even alone
+            (a, c, 2.0, 12.0, 8.0),  // easy again
+        ])
+        .unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine(
+            "sp-mcf",
+            AdmissionRule::reject_infeasible(Default::default()),
+        );
+        engine.set_seed(1);
+        let outcome = engine.run(&mut ctx, &flows, &power).unwrap();
+        assert_eq!(outcome.report.admitted(), 2);
+        assert_eq!(outcome.report.rejected(), 1);
+        assert!(!outcome.report.decisions[1].admitted);
+        assert_eq!(outcome.report.missed(), 0);
+        assert_eq!(outcome.report.solve_failures, 0);
+        // Rejected flows never transmit.
+        assert!(outcome.schedule.flow_schedule(1).is_none());
+    }
+
+    #[test]
+    fn admit_all_solve_failures_are_counted_and_surface_as_misses() {
+        /// An algorithm whose every solve fails — the deterministic stand-in
+        /// for an infeasible residual under `AdmitAll` overload.
+        #[derive(Debug)]
+        struct NeverSolves;
+        impl Algorithm for NeverSolves {
+            fn name(&self) -> &str {
+                "never"
+            }
+            fn solve(
+                &mut self,
+                _ctx: &mut SolverContext<'_>,
+                _flows: &FlowSet,
+                _power: &PowerFunction,
+            ) -> Result<Solution, SolveError> {
+                Err(SolveError::Infeasible { link: LinkId(0) })
+            }
+        }
+
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([(a, c, 0.0, 4.0, 8.0), (a, c, 1.0, 5.0, 8.0)]).unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let outcome = OnlineEngine::new(
+            Box::new(NeverSolves),
+            Box::new(ResolvePolicy),
+            AdmissionRule::AdmitAll,
+        )
+        .run(&mut ctx, &flows, &power)
+        .unwrap();
+        // Every re-solve failed; the loop carried on without panicking and
+        // every admitted flow is recorded as missed with zero delivery.
+        assert_eq!(outcome.report.events, 2);
+        assert_eq!(outcome.report.resolves, 2);
+        assert_eq!(outcome.report.solve_failures, 2);
+        assert_eq!(outcome.report.admitted(), 2);
+        assert_eq!(outcome.report.missed(), 2);
+        assert!(outcome.schedule.is_empty());
+        assert_eq!(outcome.report.online_energy, 0.0);
+    }
+
+    #[test]
+    fn multi_window_commits_stitch_into_the_full_delivery() {
+        // Two staggered flows on a line force a clipped first window.
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([(a, c, 0.0, 8.0, 8.0), (a, c, 4.0, 12.0, 8.0)]).unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let outcome = resolve_engine("sp-mcf", AdmissionRule::AdmitAll)
+            .run(&mut ctx, &flows, &power)
+            .unwrap();
+        assert_eq!(outcome.report.events, 2);
+        assert_eq!(outcome.report.resolves, 2);
+        assert_eq!(outcome.report.missed(), 0);
+        // Flow 0 is committed across both windows and still delivers fully
+        // within its span; the stitched schedule verifies end to end
+        // (sp-mcf keeps the single line path, so the per-link volume check
+        // applies even across re-solves).
+        ctx.verify(&outcome.schedule, &flows, &power).unwrap();
+    }
+
+    #[test]
+    fn admission_rule_names_are_stable() {
+        assert_eq!(AdmissionRule::AdmitAll.name(), "admit-all");
+        assert_eq!(
+            AdmissionRule::reject_infeasible(Default::default()).name(),
+            "reject-infeasible"
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! The policy abstraction of the online engine: the [`OnlinePolicy`]
+//! trait, the [`PolicyAction`] / [`RatePlan`] vocabulary policies answer
+//! with, the string-keyed [`PolicyRegistry`] mirroring
+//! [`crate::AlgorithmRegistry`], and two small shared helpers
+//! ([`PathCache`], [`CapacityLedger`]) the rate-assigning policies build
+//! their plans with.
+
+use super::engine::{AdmissionRule, OnlineEvent, WorldView};
+use super::policies::{EdfPolicy, HybridPolicy, RcdPolicy, ResolvePolicy, SrptPolicy};
+use crate::context::SolverContext;
+use crate::error::SolveError;
+use dcn_flow::FlowId;
+use dcn_power::PowerFunction;
+use dcn_topology::{NodeId, Path};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One constant-rate assignment of a [`RatePlan`]: serve `flow` along
+/// `path` at `rate` until the next event.
+#[derive(Debug, Clone)]
+pub struct RateAssignment {
+    /// The flow to serve (original instance id).
+    pub flow: FlowId,
+    /// The routing of the assignment.
+    pub path: Path,
+    /// The constant rate, in volume per unit time. Assignments with a
+    /// non-positive or non-finite rate are ignored by the engine.
+    pub rate: f64,
+}
+
+/// A policy-computed set of rates, valid from the current event until the
+/// next one. The engine derives the follow-up events itself: a completion
+/// event where a rate finishes its flow in time, a deadline watchdog where
+/// it cannot, plus any explicitly requested timers.
+#[derive(Debug, Clone, Default)]
+pub struct RatePlan {
+    /// The rate assignments, at most one per flow (the engine keeps the
+    /// first and ignores duplicates). In-flight flows without an
+    /// assignment simply idle until the next event.
+    pub rates: Vec<RateAssignment>,
+    /// Extra wake-up times `(time, flow)` — e.g. the latest-start instant
+    /// of a deferred flow. Times at or before the current event are
+    /// ignored.
+    pub timers: Vec<(f64, FlowId)>,
+}
+
+impl RatePlan {
+    /// Adds one assignment.
+    pub fn assign(&mut self, flow: FlowId, path: Path, rate: f64) {
+        self.rates.push(RateAssignment { flow, path, rate });
+    }
+
+    /// Requests a wake-up at `time` attributed to `flow`.
+    pub fn wake_at(&mut self, time: f64, flow: FlowId) {
+        self.timers.push((time, flow));
+    }
+}
+
+/// What an [`OnlinePolicy`] decided at an event.
+#[derive(Debug, Clone)]
+pub enum PolicyAction {
+    /// Re-solve the full residual instance with the engine's wrapped
+    /// [`crate::Algorithm`] and commit its schedule up to the next event —
+    /// the expensive, clairvoyant-quality decision.
+    Resolve,
+    /// Commit the given rates up to the next event — the cheap,
+    /// priority-rule decision.
+    Assign(RatePlan),
+}
+
+/// A pluggable per-event decision rule of the
+/// [`OnlineEngine`](super::OnlineEngine).
+///
+/// The engine calls [`OnlinePolicy::admission`] once per arrival (in
+/// flow-id order) and [`OnlinePolicy::on_event`] once per event batch; the
+/// returned [`PolicyAction`] is committed until the next event. Policies
+/// are stateful (`&mut self`) — e.g. the hybrid policy remembers whether a
+/// re-solve was already triggered — and are re-seeded together with the
+/// engine through [`OnlinePolicy::set_seed`].
+pub trait OnlinePolicy: fmt::Debug + Send {
+    /// The registry key of the policy (round-trip invariant of
+    /// [`PolicyRegistry::register`]).
+    fn name(&self) -> &str;
+
+    /// Re-seeds any internal randomness. The built-in policies are
+    /// deterministic; the default implementation does nothing.
+    fn set_seed(&mut self, _seed: u64) {}
+
+    /// Decides what to do at one event batch.
+    ///
+    /// # Errors
+    ///
+    /// Policies propagate [`SolveError`]s of the solver primitives they
+    /// consult; the engine aborts the run on them.
+    fn on_event(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        power: &PowerFunction,
+        event: &OnlineEvent,
+        world: &WorldView<'_>,
+    ) -> Result<PolicyAction, SolveError>;
+
+    /// Decides whether to admit `candidate`, which arrived at
+    /// `world.now()`. The default implementation applies the engine's
+    /// [`AdmissionRule`] unchanged; policies may override it to veto or
+    /// loosen admissions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AdmissionRule::evaluate`] errors.
+    fn admission(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        power: &PowerFunction,
+        world: &WorldView<'_>,
+        candidate: FlowId,
+        rule: &AdmissionRule,
+    ) -> Result<bool, SolveError> {
+        rule.evaluate(ctx, power, world, candidate)
+    }
+}
+
+/// A factory producing fresh policy instances.
+type Factory = Box<dyn Fn() -> Box<dyn OnlinePolicy> + Send + Sync>;
+
+/// A string-keyed registry of [`OnlinePolicy`] factories, mirroring
+/// [`crate::AlgorithmRegistry`]: harnesses select policies by name from
+/// CLI flags or experiment descriptors, and can register their own
+/// factories (or re-register a default name with different configuration).
+pub struct PolicyRegistry {
+    entries: Vec<(String, Factory)>,
+}
+
+impl PolicyRegistry {
+    /// Creates an empty registry.
+    pub fn empty() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a registry with every built-in policy registered, in the
+    /// documented order: `resolve`, `edf`, `srpt`, `rcd`, `hybrid`.
+    pub fn with_defaults() -> Self {
+        let mut registry = Self::empty();
+        registry.register("resolve", || Box::new(ResolvePolicy));
+        registry.register("edf", || Box::new(EdfPolicy::default()));
+        registry.register("srpt", || Box::new(SrptPolicy::default()));
+        registry.register("rcd", || Box::new(RcdPolicy::default()));
+        registry.register("hybrid", || Box::new(HybridPolicy::default()));
+        registry
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory produces a policy whose [`OnlinePolicy::name`]
+    /// differs from `name` — the registry's round-trip invariant
+    /// (`create(name).name() == name`).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn OnlinePolicy> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        assert_eq!(
+            factory().name(),
+            name,
+            "registry name must match OnlinePolicy::name()"
+        );
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, f)) => *f = Box::new(factory),
+            None => self.entries.push((name, Box::new(factory))),
+        }
+    }
+
+    /// Instantiates the policy registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::UnknownPolicy`] for unregistered names.
+    pub fn create(&self, name: &str) -> Result<Box<dyn OnlinePolicy>, SolveError> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, factory)| factory())
+            .ok_or_else(|| SolveError::UnknownPolicy {
+                name: name.to_string(),
+            })
+    }
+
+    /// Returns `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl fmt::Debug for PolicyRegistry {
+    /// The factories are opaque closures, so print the registered names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// A memo of fewest-hop paths per endpoint pair. The rate-assigning
+/// policies route every flow on its BFS shortest path (the same
+/// tie-breaking as [`dcn_topology::GraphCsr::shortest_path`]); the cache
+/// makes that a one-time cost per endpoint pair per run.
+#[derive(Debug, Default)]
+pub struct PathCache {
+    paths: HashMap<(NodeId, NodeId), Option<Path>>,
+}
+
+impl PathCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fewest-hop path from `src` to `dst`, computed on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Unroutable`] (attributed to `flow`) when the
+    /// endpoints are disconnected.
+    pub fn shortest(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Path, SolveError> {
+        self.paths
+            .entry((src, dst))
+            .or_insert_with(|| ctx.graph().shortest_path(src, dst))
+            .clone()
+            .ok_or(SolveError::Unroutable { flow })
+    }
+}
+
+/// A per-link residual-capacity ledger for greedy rate packing: start from
+/// `min(link capacity, power-function capacity)` on every link, then
+/// [`CapacityLedger::reserve`] each granted assignment so later (lower
+/// priority) flows only see what is left.
+#[derive(Debug, Default)]
+pub struct CapacityLedger {
+    available: Vec<f64>,
+}
+
+impl CapacityLedger {
+    /// Creates an empty ledger; call [`CapacityLedger::reset`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-initialises every link to its usable capacity.
+    pub fn reset(&mut self, ctx: &SolverContext<'_>, power: &PowerFunction) {
+        let graph = ctx.graph();
+        let cap = power.capacity();
+        self.available.clear();
+        self.available.extend(
+            (0..graph.link_count())
+                .map(|index| graph.capacity(dcn_topology::LinkId(index)).min(cap)),
+        );
+    }
+
+    /// The largest rate `path` can still carry: the minimum residual
+    /// capacity over its links (infinite for an empty path).
+    pub fn available(&self, path: &Path) -> f64 {
+        path.links()
+            .iter()
+            .map(|link| self.available[link.index()])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Subtracts `rate` from every link of `path` (clamped at zero against
+    /// float drift).
+    pub fn reserve(&mut self, path: &Path, rate: f64) {
+        for link in path.links() {
+            let slot = &mut self.available[link.index()];
+            *slot = (*slot - rate).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+
+    #[test]
+    fn registry_round_trips_every_default_policy() {
+        let registry = PolicyRegistry::with_defaults();
+        assert_eq!(
+            registry.names(),
+            vec!["resolve", "edf", "srpt", "rcd", "hybrid"]
+        );
+        for name in registry.names() {
+            assert!(registry.contains(name));
+            assert_eq!(registry.create(name).unwrap().name(), name);
+        }
+        assert!(!registry.contains("nope"));
+        assert_eq!(
+            registry.create("nope").unwrap_err(),
+            SolveError::UnknownPolicy {
+                name: "nope".to_string()
+            }
+        );
+        let debug = format!("{registry:?}");
+        assert!(debug.contains("resolve") && debug.contains("hybrid"));
+    }
+
+    #[test]
+    fn registering_replaces_and_rejects_mismatched_names() {
+        let mut registry = PolicyRegistry::empty();
+        registry.register("edf", || Box::new(EdfPolicy::default()));
+        assert_eq!(registry.names(), vec!["edf"]);
+        // Re-registering the same name replaces instead of duplicating.
+        registry.register("edf", || Box::new(EdfPolicy::default()));
+        assert_eq!(registry.names(), vec!["edf"]);
+        let mismatched = std::panic::catch_unwind(|| {
+            let mut r = PolicyRegistry::empty();
+            r.register("not-edf", || Box::new(EdfPolicy::default()));
+        });
+        assert!(mismatched.is_err(), "mismatched name must panic");
+    }
+
+    #[test]
+    fn path_cache_memoises_and_reports_unroutable() {
+        let topo = builders::line(3);
+        let ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut cache = PathCache::new();
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let first = cache.shortest(&ctx, 0, a, c).unwrap();
+        let second = cache.shortest(&ctx, 1, a, c).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, ctx.graph().shortest_path(a, c).unwrap());
+        assert_eq!(cache.paths.len(), 1);
+    }
+
+    #[test]
+    fn capacity_ledger_tracks_reservations_along_paths() {
+        let topo = builders::line(3);
+        let ctx = SolverContext::from_network(&topo.network).unwrap();
+        // Power capacity below the link capacity is the binding limit.
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 4.0);
+        let mut ledger = CapacityLedger::new();
+        ledger.reset(&ctx, &power);
+        let path = ctx
+            .graph()
+            .shortest_path(topo.hosts()[0], topo.hosts()[2])
+            .unwrap();
+        assert_eq!(ledger.available(&path), 4.0);
+        ledger.reserve(&path, 2.5);
+        assert_eq!(ledger.available(&path), 1.5);
+        ledger.reserve(&path, 5.0);
+        assert_eq!(ledger.available(&path), 0.0, "clamped at zero");
+    }
+}

@@ -133,6 +133,38 @@ impl Flow {
     pub fn spans_interval(&self, start: f64, end: f64) -> bool {
         self.release <= start + 1e-12 && self.deadline >= end - 1e-12
     }
+
+    /// Time left until the deadline at clock `now` (negative once the
+    /// deadline has passed).
+    pub fn time_to_deadline(&self, now: f64) -> f64 {
+        self.deadline - now
+    }
+
+    /// The minimum constant rate that delivers `remaining` volume by the
+    /// deadline when transmission runs from `now` on — the priority key of
+    /// preemptive earliest-deadline-first scheduling.
+    ///
+    /// Only meaningful while `now` is strictly before the deadline; at or
+    /// past the deadline the required rate diverges (the caller is expected
+    /// to have retired the flow as missed).
+    pub fn required_rate(&self, now: f64, remaining: f64) -> f64 {
+        remaining / (self.deadline - now)
+    }
+
+    /// The slack at clock `now`: the spare time left after transmitting
+    /// `remaining` volume at constant `rate`. Zero means the flow must
+    /// start immediately and never fall below `rate`; negative means the
+    /// deadline cannot be met at that rate.
+    pub fn slack(&self, now: f64, remaining: f64, rate: f64) -> f64 {
+        (self.deadline - now) - remaining / rate
+    }
+
+    /// The latest time transmission of `remaining` volume at constant
+    /// `rate` may start and still finish exactly at the deadline — the
+    /// deferral point of rapid-close-to-deadline scheduling.
+    pub fn latest_start(&self, remaining: f64, rate: f64) -> f64 {
+        self.deadline - remaining / rate
+    }
 }
 
 impl fmt::Display for Flow {
@@ -188,6 +220,26 @@ mod tests {
             Flow::new(0, NodeId(1), NodeId(2), f64::NAN, 3.0, 1.0),
             Err(FlowError::NotFinite)
         ));
+    }
+
+    #[test]
+    fn online_accessors_agree_with_each_other() {
+        let fl = Flow::new(0, NodeId(1), NodeId(2), 2.0, 10.0, 8.0).unwrap();
+        assert_eq!(fl.time_to_deadline(4.0), 6.0);
+        assert_eq!(fl.time_to_deadline(12.0), -2.0);
+        // Full volume over the full span is exactly the density.
+        assert_eq!(fl.required_rate(fl.release, fl.volume), fl.density());
+        // Half the volume in half the remaining time: rate unchanged.
+        assert_eq!(fl.required_rate(6.0, 4.0), 1.0);
+        // Transmitting at the required rate leaves zero slack.
+        let rate = fl.required_rate(4.0, 6.0);
+        assert!(fl.slack(4.0, 6.0, rate).abs() < 1e-12);
+        // Twice the required rate frees half the remaining time.
+        assert_eq!(fl.slack(4.0, 6.0, 2.0 * rate), 3.0);
+        assert!(fl.slack(9.0, 8.0, 1.0) < 0.0, "unmeetable deadline");
+        // Starting at latest_start finishes exactly at the deadline.
+        let start = fl.latest_start(8.0, 4.0);
+        assert_eq!(start + 8.0 / 4.0, fl.deadline);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! accuracy; the test suites use that agreement as a cross-check of both
 //! implementations.
 //!
-//! Schedules produced by the online rolling-horizon loop
-//! ([`dcn_core::online`]) are executed the same way — the stitched commit
-//! slices are just rate profiles — with one admission-aware entry point:
-//! [`Simulator::run_admitted`] excludes flows the admission policy
-//! rejected from the deadline-miss count, so online reports measure
-//! scheduling quality rather than admission strictness.
+//! Schedules produced by the event-driven online engine
+//! ([`dcn_core::online`]) are executed the same way — the slices a policy
+//! commits between events, whether solver re-solves or direct rate
+//! assignments, stitch into ordinary rate profiles — with one
+//! admission-aware entry point: [`Simulator::run_admitted`] excludes
+//! flows the admission rule rejected from the deadline-miss count, so
+//! online reports measure scheduling quality rather than admission
+//! strictness.
 //!
 //! # Example
 //!

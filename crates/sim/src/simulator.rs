@@ -64,15 +64,18 @@ impl Simulator {
     }
 
     /// Runs an *online* schedule: like [`Simulator::run_on`], but flows the
-    /// admission policy rejected (`admitted[flow] == false`) are excluded
+    /// admission rule rejected (`admitted[flow] == false`) are excluded
     /// from the deadline-miss count — a rejected flow never transmits, so
     /// counting it as a miss would conflate admission control with
     /// scheduling failures. Rejected flows still appear in
     /// [`SimReport::flows`] (with zero delivery) for inspection.
     ///
-    /// This is the measurement half of the online rolling-horizon loop:
-    /// pass the stitched schedule of an `OnlineOutcome` together with its
-    /// report's admission mask.
+    /// This is the measurement half of the event-driven online engine:
+    /// pass the stitched policy-committed schedule of an `OnlineOutcome`
+    /// together with its report's admission mask. It applies to every
+    /// registered `OnlinePolicy` alike — solver re-solves (`resolve`,
+    /// `hybrid`) and direct rate assignments (`edf`, `srpt`, `rcd`)
+    /// commit the same piecewise-constant profiles.
     ///
     /// # Panics
     ///

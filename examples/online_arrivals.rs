@@ -4,10 +4,11 @@
 //! flow set; real partition–aggregate and shuffle traffic arrives online.
 //! This example draws the paper's uniform workload, replaces its release
 //! times with a Poisson arrival process at two load factors, executes each
-//! instance through the online rolling-horizon loop (re-solving the
-//! residual instance at every arrival on one warm solver context), and
-//! compares the stitched online schedule against the offline clairvoyant
-//! solve of the same instance.
+//! instance through the event-driven `OnlineEngine` under the `resolve`
+//! policy (re-solving the residual instance at every arrival on one warm
+//! solver context), and compares the stitched online schedule against the
+//! offline clairvoyant solve of the same instance. See
+//! `policy_arrivals.rs` for the other registered policies.
 //!
 //! Run with:
 //!
@@ -15,7 +16,7 @@
 //! cargo run --release --example online_arrivals
 //! ```
 
-use deadline_dcn::core::online::{AdmissionPolicy, OnlineScheduler};
+use deadline_dcn::core::online::{AdmissionRule, OnlineEngine, PolicyRegistry};
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
 use deadline_dcn::power::PowerFunction;
@@ -27,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
     let base = UniformWorkload::paper_defaults(24, 7).generate(topo.hosts())?;
     let registry = AlgorithmRegistry::with_defaults();
+    let policies = PolicyRegistry::with_defaults();
 
     println!("topology : {}", topo.name);
     println!(
@@ -42,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for load in [0.5, 4.0] {
         let flows = ArrivalProcess::with_load(load, 7).apply(&base)?;
         let mut ctx = SolverContext::from_network(&topo.network)?;
-        let mut online = OnlineScheduler::new(registry.create("dcfsr")?, AdmissionPolicy::AdmitAll);
+        let mut online = OnlineEngine::new(
+            registry.create("dcfsr")?,
+            policies.create("resolve")?,
+            AdmissionRule::AdmitAll,
+        );
         online.set_seed(7);
         let outcome = online.run_vs_offline(&mut ctx, &flows, &power)?;
         let report = &outcome.report;

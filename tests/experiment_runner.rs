@@ -90,11 +90,60 @@ fn golden_report() -> ExperimentReport {
         sp_sim: None,
         extra: vec![("run".to_string(), 0.0)],
     });
+    // An online-style exemplar: the event-driven sweep uses three-part
+    // `"<topology>|<policy>|<admission>"` group labels and records the
+    // OnlineReport counters in `extra`. Pinned here so a change to that
+    // layout shows up as schema drift, not as a silent consumer break.
+    report.instances.push(InstanceRecord {
+        label: "fat-tree(k=4)|hybrid|admit-all load=2 seed=20000".to_string(),
+        flows: 10,
+        seed: 20000,
+        alpha: 2.0,
+        lower_bound: 80.0,
+        rs_energy: 92.5,
+        sp_energy: 88.0,
+        rs_normalized: 1.15625,
+        sp_normalized: 1.1,
+        deadline_misses: 0,
+        rs_capacity_excess: 0.0,
+        rs_sim: Some(SimSummary {
+            deadline_misses: 0,
+            capacity_violations: 0,
+            max_utilization: 0.5,
+            active_links: 10,
+            energy: 92.5,
+        }),
+        sp_sim: Some(SimSummary {
+            deadline_misses: 0,
+            capacity_violations: 0,
+            max_utilization: 0.5,
+            active_links: 10,
+            energy: 88.0,
+        }),
+        extra: vec![
+            ("load".to_string(), 2.0),
+            ("admission".to_string(), 0.0),
+            ("events".to_string(), 14.0),
+            ("resolves".to_string(), 2.0),
+            ("solve_failures".to_string(), 0.0),
+            ("admitted".to_string(), 10.0),
+            ("rejected".to_string(), 0.0),
+            ("missed".to_string(), 0.0),
+            ("run".to_string(), 0.0),
+        ],
+    });
     report.points.push(SweepPoint {
         group: "x^2".to_string(),
         x: 8.0,
         rs: 1.055,
         sp: 1.2025,
+        runs: 1,
+    });
+    report.points.push(SweepPoint {
+        group: "fat-tree(k=4)|hybrid|admit-all".to_string(),
+        x: 2.0,
+        rs: 1.15625,
+        sp: 1.1,
         runs: 1,
     });
     report

@@ -1,11 +1,12 @@
 //! Migration guard for the online rolling-horizon path — the same role
 //! `api_equivalence.rs` played for the context API and `csr_equivalence.rs`
 //! for the CSR refactor: with **full knowledge** (every flow released at
-//! `t = 0`) and `AdmitAll`, the online scheduler must reproduce the
+//! `t = 0`) and `AdmitAll`, the online engine under the `resolve` policy
+//! must reproduce the
 //! offline `Algorithm::solve` result **bit for bit** — same schedule
-//! struct, same energy, same lower bound path. The online loop moves the
-//! solve inside an event loop and a commit step; with a single arrival
-//! event neither may change a single number.
+//! struct, same energy, same lower bound path. The engine moves the solve
+//! inside an event queue and a commit step; with a single arrival event
+//! neither may change a single number.
 //!
 //! Also pins the two typed-error paths the online loop must never turn
 //! into panics: a flow considered after its deadline
@@ -13,7 +14,7 @@
 //! set ([`SolveError::EmptyFlowSet`]).
 
 use deadline_dcn::core::online::{
-    fractionally_feasible, residual_flow, AdmissionPolicy, OnlineScheduler,
+    fractionally_feasible, residual_flow, AdmissionRule, OnlineEngine, PolicyRegistry,
 };
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::UniformWorkload;
@@ -48,6 +49,7 @@ fn released_at_zero(flows: &FlowSet) -> FlowSet {
 fn online_full_knowledge_is_bit_identical_to_offline_dcfsr() {
     let power = x2(10.0);
     let registry = AlgorithmRegistry::with_defaults();
+    let policies = PolicyRegistry::with_defaults();
     for topo in topologies() {
         let mut ctx = SolverContext::from_network(&topo.network).unwrap();
         for seed in [7u64, 21, 1000] {
@@ -57,8 +59,11 @@ fn online_full_knowledge_is_bit_identical_to_offline_dcfsr() {
                     .unwrap(),
             );
 
-            let mut online =
-                OnlineScheduler::new(registry.create("dcfsr").unwrap(), AdmissionPolicy::AdmitAll);
+            let mut online = OnlineEngine::new(
+                registry.create("dcfsr").unwrap(),
+                policies.create("resolve").unwrap(),
+                AdmissionRule::AdmitAll,
+            );
             online.set_seed(seed);
             let outcome = online.run(&mut ctx, &flows, &power).unwrap();
             assert_eq!(outcome.report.events, 1, "{} seed {seed}", topo.name);
@@ -107,6 +112,7 @@ fn online_full_knowledge_is_bit_identical_to_offline_dcfsr() {
 fn online_full_knowledge_is_bit_identical_to_offline_sp_mcf() {
     let power = x2(1e9);
     let registry = AlgorithmRegistry::with_defaults();
+    let policies = PolicyRegistry::with_defaults();
     for topo in topologies() {
         let mut ctx = SolverContext::from_network(&topo.network).unwrap();
         for seed in [3u64, 11, 42] {
@@ -115,11 +121,15 @@ fn online_full_knowledge_is_bit_identical_to_offline_sp_mcf() {
                     .generate(topo.hosts())
                     .unwrap(),
             );
-            for policy in [
-                AdmissionPolicy::AdmitAll,
-                AdmissionPolicy::reject_infeasible(Default::default()),
+            for admission in [
+                AdmissionRule::AdmitAll,
+                AdmissionRule::reject_infeasible(Default::default()),
             ] {
-                let mut online = OnlineScheduler::new(registry.create("sp-mcf").unwrap(), policy);
+                let mut online = OnlineEngine::new(
+                    registry.create("sp-mcf").unwrap(),
+                    policies.create("resolve").unwrap(),
+                    admission,
+                );
                 online.set_seed(seed);
                 let outcome = online.run(&mut ctx, &flows, &power).unwrap();
                 assert_eq!(outcome.report.admitted(), flows.len());
@@ -155,8 +165,11 @@ fn full_knowledge_competitive_ratio_is_exactly_one() {
             .generate(topo.hosts())
             .unwrap(),
     );
-    let mut online =
-        OnlineScheduler::new(registry.create("dcfsr").unwrap(), AdmissionPolicy::AdmitAll);
+    let mut online = OnlineEngine::new(
+        registry.create("dcfsr").unwrap(),
+        PolicyRegistry::with_defaults().create("resolve").unwrap(),
+        AdmissionRule::AdmitAll,
+    );
     online.set_seed(5);
     let outcome = online.run_vs_offline(&mut ctx, &flows, &power).unwrap();
     assert_eq!(outcome.report.competitive_ratio(), Some(1.0));
@@ -185,8 +198,11 @@ fn online_error_paths_are_typed_not_panics() {
     // A re-solve (and the feasibility probe) on an empty residual set.
     let empty = FlowSet::from_flows(vec![]).unwrap();
     let registry = AlgorithmRegistry::with_defaults();
-    let mut online =
-        OnlineScheduler::new(registry.create("dcfsr").unwrap(), AdmissionPolicy::AdmitAll);
+    let mut online = OnlineEngine::new(
+        registry.create("dcfsr").unwrap(),
+        PolicyRegistry::with_defaults().create("resolve").unwrap(),
+        AdmissionRule::AdmitAll,
+    );
     assert_eq!(
         online.run(&mut ctx, &empty, &power).unwrap_err(),
         SolveError::EmptyFlowSet
