@@ -25,7 +25,13 @@
 //! policies (default: every registered policy); `--algorithms` selects the
 //! wrapped re-solve scheduler (first name; further names are ignored here
 //! — the reference is always the same algorithm with clairvoyant
-//! knowledge).
+//! knowledge). `--epoch W` batches arrivals into epoch windows of width
+//! `W` and `--shards N` solves residuals pod-sharded on `N` worker
+//! threads; supplying either also warm-starts consecutive Frank–Wolfe
+//! re-solves from the previous event's flow matrix. The artifact is
+//! byte-identical at any `--shards` width (sharding only changes the
+//! worker-thread count, never the partition), which the CI pins by
+//! `cmp`-ing runs at widths 1, 2 and 4.
 //!
 //! **`BENCH_online.json` schema:** the standard artifact (schema version
 //! 1). Groups are `"<topology>|<policy>|<admission>"` (e.g.
@@ -39,15 +45,25 @@
 //! ["admission", 0|1], ["events", E], ["resolves", R],
 //! ["solve_failures", F], ["admitted", A], ["rejected", J], ["missed", M],
 //! ["run", r]]` (admission 0 = admit-all, 1 = reject-infeasible), and —
-//! only under `--timings`, because wall clock varies run to run — an
-//! `events_per_second` throughput column. Same determinism contract as
-//! every artifact: without `--timings`, fixed seed ⇒ byte-identical JSON
-//! for any `--threads`.
+//! only under `--timings`, because wall clock varies run to run —
+//! `events_per_second` and `arrivals_per_second` throughput columns.
+//! Same determinism contract as every artifact: without `--timings`,
+//! fixed seed ⇒ byte-identical JSON for any `--threads` (and any
+//! `--shards`).
+//!
+//! Under `--quick` the sweep is followed by a throughput smoke: 100 000
+//! arrivals on a fat-tree(k=16) pushed through the epoch-batched event
+//! loop (solver-free `edf` policy, so the runtime measures the engine,
+//! not Frank–Wolfe). It prints its arrivals-per-second rate and is kept
+//! out of the JSON artifact — wall clock is not deterministic.
 
 use dcn_bench::report::{ExperimentReport, InstanceRecord};
 use dcn_bench::runner::{run_indexed, timed, ExperimentCli};
-use dcn_bench::{harness_fmcf_config, harness_registry, print_table, run_online_flow_set};
-use dcn_core::online::{AdmissionRule, PolicyRegistry};
+use dcn_bench::{
+    harness_fmcf_config, harness_registry, print_table, run_online_flow_set, OnlineKnobs,
+};
+use dcn_core::online::{AdmissionRule, OnlineEngine, PolicyRegistry, ShardMode};
+use dcn_core::SolverContext;
 use dcn_flow::workload::{ArrivalProcess, UniformWorkload};
 use dcn_power::PowerFunction;
 use dcn_topology::builders::{self, BuiltTopology};
@@ -120,6 +136,7 @@ fn main() {
         AdmissionRule::AdmitAll,
         AdmissionRule::reject_infeasible(harness_fmcf_config()),
     ];
+    let knobs = OnlineKnobs::from_cli(cli.epoch, cli.shards);
 
     println!(
         "Online event-driven sweep: {algorithm} re-solves behind policies [{}] under Poisson \
@@ -182,6 +199,7 @@ fn main() {
                     &algorithm,
                     &cell.policy,
                     cell.admission.clone(),
+                    knobs,
                     &registry,
                     &policy_registry,
                 )
@@ -218,6 +236,10 @@ fn main() {
                 extra.push((
                     "events_per_second".to_string(),
                     report.events as f64 / instance_seconds.max(f64::MIN_POSITIVE),
+                ));
+                extra.push((
+                    "arrivals_per_second".to_string(),
+                    instance.len() as f64 / instance_seconds.max(f64::MIN_POSITIVE),
                 ));
             }
             InstanceRecord {
@@ -322,4 +344,52 @@ fn main() {
          --policies a,b,... (see EXPERIMENTS.md)."
     );
     cli.emit(&report, elapsed_seconds);
+
+    if cli.quick {
+        throughput_smoke();
+    }
+}
+
+/// The `--quick` throughput smoke: 100 000 Poisson arrivals on a
+/// fat-tree(k=16) through the epoch-batched event loop. The solver-free
+/// `edf` policy bounds the runtime by the engine itself rather than by
+/// Frank–Wolfe; warm starts and shard workers are enabled so the full
+/// incremental pipeline is on the measured path. Results go to stdout
+/// only — wall clock varies run to run, so the smoke never touches the
+/// JSON artifact.
+fn throughput_smoke() {
+    const ARRIVALS: usize = 100_000;
+    let topo = builders::fat_tree(16);
+    let power = PowerFunction::speed_scaling_only(1.0, 2.0, builders::DEFAULT_CAPACITY);
+    let base = UniformWorkload::paper_defaults(ARRIVALS, 42)
+        .generate(topo.hosts())
+        .expect("workload generation succeeds on topologies with >= 2 hosts");
+    let instance = ArrivalProcess::with_load(4.0, 42)
+        .apply(&base)
+        .expect("arrival rewrite preserves validity");
+    let mut ctx =
+        SolverContext::from_network(&topo.network).expect("builder topologies always validate");
+    let mut engine = OnlineEngine::builder()
+        .policy("edf")
+        .warm_start(true)
+        .epoch(0.05)
+        .shards(ShardMode::Auto)
+        .seed(42)
+        .build()
+        .expect("the smoke configuration is valid");
+    let (outcome, seconds) = timed(|| {
+        engine
+            .run(&mut ctx, &instance, &power)
+            .expect("the smoke instance runs to completion")
+    });
+    println!(
+        "[online] quick smoke: {} on {} arrivals — {} events, {} missed, {:.2}s \
+         ({:.0} arrivals/s)",
+        topo.name,
+        instance.len(),
+        outcome.report.events,
+        outcome.report.missed(),
+        seconds,
+        instance.len() as f64 / seconds.max(f64::MIN_POSITIVE)
+    );
 }

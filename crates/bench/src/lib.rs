@@ -33,7 +33,7 @@
 pub mod report;
 pub mod runner;
 
-use dcn_core::online::{AdmissionRule, OnlineEngine, OnlineOutcome, PolicyRegistry};
+use dcn_core::online::{AdmissionRule, OnlineEngine, OnlineOutcome, PolicyRegistry, ShardMode};
 use dcn_core::{AlgorithmRegistry, Dcfsr, RandomScheduleConfig, RelaxationLb, SolverContext};
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
@@ -290,12 +290,45 @@ impl OnlineInstanceResult {
     }
 }
 
+/// The engine knobs the `online` binary threads from its CLI into
+/// [`run_online_flow_set`]: incremental warm starts, epoch batching of
+/// arrivals, and pod-sharded residual solving. The default is the plain
+/// event loop (cold solves, no batching, no shards) — the configuration
+/// every pre-existing sweep ran under.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineKnobs {
+    /// Warm-start consecutive Frank–Wolfe re-solves from the previous
+    /// event's flow matrix ([`dcn_core::online::EngineConfig::warm_start`]).
+    pub warm_start: bool,
+    /// Epoch window for batching arrivals; `0.0` disables batching
+    /// ([`dcn_core::online::EngineConfig::epoch`]).
+    pub epoch: f64,
+    /// Pod-sharded residual solving ([`ShardMode`]). The artifact is
+    /// byte-identical at any shard width — `Fixed(n)` only sets the
+    /// worker-thread count.
+    pub shards: ShardMode,
+}
+
+impl OnlineKnobs {
+    /// Builds the knob set from the CLI's optional `--epoch`/`--shards`
+    /// values: supplying either flag also enables warm starts (the
+    /// incremental pipeline is one feature from the harness's viewpoint).
+    pub fn from_cli(epoch: Option<f64>, shards: Option<usize>) -> Self {
+        Self {
+            warm_start: epoch.is_some() || shards.is_some(),
+            epoch: epoch.unwrap_or(0.0),
+            shards: shards.map_or(ShardMode::Off, ShardMode::Fixed),
+        }
+    }
+}
+
 /// Runs one **online** instance: executes `flows` through an
 /// [`OnlineEngine`] wrapping the named algorithm, driven by the named
-/// [`dcn_core::OnlinePolicy`] under `admission`, solves the same instance
-/// offline with clairvoyant knowledge as the reference, and verifies both
-/// schedules with the fluid simulator. One [`SolverContext`] is shared by
-/// every re-solve, the offline solve and both simulations.
+/// [`dcn_core::OnlinePolicy`] under `admission` with the warm-start /
+/// epoch / shard `knobs`, solves the same instance offline with
+/// clairvoyant knowledge as the reference, and verifies both schedules
+/// with the fluid simulator. One [`SolverContext`] is shared by every
+/// re-solve, the offline solve and both simulations.
 ///
 /// The lower bound is taken from the offline solution when the algorithm
 /// computes one (`dcfsr`); otherwise the `lb` algorithm is run
@@ -317,19 +350,24 @@ pub fn run_online_flow_set(
     algorithm: &str,
     policy: &str,
     admission: AdmissionRule,
+    knobs: OnlineKnobs,
     registry: &AlgorithmRegistry,
     policies: &PolicyRegistry,
 ) -> OnlineInstanceResult {
     let mut ctx =
         SolverContext::from_network(&topo.network).expect("builder topologies always validate");
-    let inner = registry
-        .create(algorithm)
-        .unwrap_or_else(|e| panic!("cannot select algorithm: {e}"));
-    let rule = policies
-        .create(policy)
-        .unwrap_or_else(|e| panic!("cannot select policy: {e}"));
-    let mut online = OnlineEngine::new(inner, rule, admission);
-    online.set_seed(seed);
+    let mut online = OnlineEngine::builder()
+        .algorithm(algorithm)
+        .algorithms(registry.clone())
+        .policy(policy)
+        .policies(policies.clone())
+        .admission(admission)
+        .warm_start(knobs.warm_start)
+        .epoch(knobs.epoch)
+        .shards(knobs.shards)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("cannot configure the online engine: {e}"));
     let outcome = online
         .run_vs_offline(&mut ctx, flows, power)
         .unwrap_or_else(|e| panic!("{algorithm} must run connected online instances: {e}"));
@@ -711,6 +749,7 @@ mod tests {
             "dcfsr",
             "resolve",
             AdmissionRule::AdmitAll,
+            OnlineKnobs::default(),
             &harness_registry(),
             &PolicyRegistry::with_defaults(),
         );
@@ -752,6 +791,7 @@ mod tests {
             "dcfsr",
             "resolve",
             AdmissionRule::AdmitAll,
+            OnlineKnobs::default(),
             &harness_registry(),
             &PolicyRegistry::with_defaults(),
         );

@@ -91,6 +91,12 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 /// --policies L    comma-separated online-policy registry names compared
 ///                 by the `online` binary, e.g. resolve,edf,hybrid;
 ///                 defaults to the binary's own selection
+/// --epoch W       arrival-batching window of the `online` binary in
+///                 release-time units (0 disables batching); supplying
+///                 the flag also turns warm starts on
+/// --shards N      pod-shard worker threads of the `online` binary; the
+///                 artifact is byte-identical at any N (supplying the
+///                 flag also turns warm starts on)
 /// --quick         CI smoke mode: smallest topology, one run per point
 /// --full          paper-scale mode (fig2: 10 runs, step 20)
 /// --small         swap the k=8 fat-tree for k=4 (fig2)
@@ -124,6 +130,12 @@ pub struct ExperimentCli {
     /// there is no primary/reference pairing); `None` keeps the binary's
     /// default selection.
     pub policies: Option<Vec<String>>,
+    /// `--epoch W`: arrival-batching window of the `online` binary; `None`
+    /// keeps batching (and warm starts) off.
+    pub epoch: Option<f64>,
+    /// `--shards N`: pod-shard worker threads of the `online` binary;
+    /// `None` keeps sharding (and warm starts) off.
+    pub shards: Option<usize>,
     /// `--quick`: CI smoke mode (smallest topology, one run per point).
     pub quick: bool,
     /// `--full`: paper-scale mode.
@@ -146,6 +158,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--algorithms",
     "--load",
     "--policies",
+    "--epoch",
+    "--shards",
 ];
 
 /// The boolean flags [`ExperimentCli::from_args`] accepts.
@@ -162,8 +176,8 @@ impl ExperimentCli {
                 eprintln!(
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
                      [--threads N] [--algorithms a,b,...] [--load a,b,...] \
-                     [--policies a,b,...] [--quick] [--full] [--small] \
-                     [--json-out [PATH]] [--timings]"
+                     [--policies a,b,...] [--epoch W] [--shards N] [--quick] [--full] \
+                     [--small] [--json-out [PATH]] [--timings]"
                 );
                 std::process::exit(2);
             }
@@ -186,6 +200,8 @@ impl ExperimentCli {
             algorithms: None,
             load: None,
             policies: None,
+            epoch: None,
+            shards: None,
             quick: false,
             full: false,
             small: false,
@@ -252,6 +268,16 @@ impl ExperimentCli {
                         }
                         cli.load = Some(loads);
                     }
+                    "--epoch" => {
+                        let window: f64 = parse_value(flag, value)?;
+                        if !window.is_finite() || window < 0.0 {
+                            return Err(format!(
+                                "--epoch expects a finite non-negative window, got {value:?}"
+                            ));
+                        }
+                        cli.epoch = Some(window);
+                    }
+                    "--shards" => cli.shards = Some(parse_value(flag, value)?),
                     "--policies" => {
                         let names: Vec<String> = value
                             .split(',')
@@ -298,6 +324,9 @@ impl ExperimentCli {
         }
         if cli.seeds == Some(0) {
             return Err("--seeds must be at least 1".to_string());
+        }
+        if cli.shards == Some(0) {
+            return Err("--shards must be at least 1".to_string());
         }
         Ok(cli)
     }
@@ -440,6 +469,27 @@ mod tests {
         assert_eq!(cli.policies, Some(vec!["hybrid".to_string()]));
         assert!(ExperimentCli::from_args("online", &args(&["--policies", ","])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--policies"])).is_err());
+    }
+
+    #[test]
+    fn cli_parses_the_online_engine_knobs() {
+        let cli = ExperimentCli::from_args("online", &args(&["--epoch", "0.05", "--shards", "4"]))
+            .unwrap();
+        assert_eq!(cli.epoch, Some(0.05));
+        assert_eq!(cli.shards, Some(4));
+        // Defaults keep both knobs off.
+        let cli = ExperimentCli::from_args("online", &args(&[])).unwrap();
+        assert_eq!(cli.epoch, None);
+        assert_eq!(cli.shards, None);
+        // An epoch of zero is valid (explicitly "no batching, warm only").
+        let cli = ExperimentCli::from_args("online", &args(&["--epoch", "0"])).unwrap();
+        assert_eq!(cli.epoch, Some(0.0));
+        // Malformed values are rejected.
+        assert!(ExperimentCli::from_args("online", &args(&["--epoch", "-1"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--epoch", "nan"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--epoch"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--shards", "0"])).is_err());
+        assert!(ExperimentCli::from_args("online", &args(&["--shards", "two"])).is_err());
     }
 
     #[test]

@@ -37,8 +37,9 @@ use std::fmt;
 /// Implementations are cheap, reusable objects: construct (or
 /// [`AlgorithmRegistry::create`]) once, call [`Algorithm::solve`] many
 /// times. The context carries all warm per-network state; the algorithm
-/// object only carries configuration.
-pub trait Algorithm {
+/// object only carries configuration. The `Send` bound lets the online
+/// engine dispatch registry-created instances to pod-shard worker threads.
+pub trait Algorithm: Send {
     /// The registry name of the algorithm (stable, lowercase, kebab-case).
     fn name(&self) -> &str;
 
@@ -426,25 +427,24 @@ impl Algorithm for ExactBrute {
     }
 }
 
-/// A factory producing fresh algorithm instances.
-type Factory = Box<dyn Fn() -> Box<dyn Algorithm> + Send + Sync>;
-
-/// A string-keyed registry of [`Algorithm`] factories.
+/// A string-keyed registry of [`Algorithm`] factories, backed by the
+/// shared [`Registry`](crate::registry::Registry).
 ///
 /// [`AlgorithmRegistry::with_defaults`] registers every scheme shipped by
 /// this crate (see the [module docs](self) for the name table); harnesses
 /// can [`AlgorithmRegistry::register`] their own factories — or re-register
 /// a default name with different configuration — and select algorithms by
 /// name from CLI flags or experiment descriptors.
+#[derive(Clone)]
 pub struct AlgorithmRegistry {
-    entries: Vec<(String, Factory)>,
+    inner: crate::registry::Registry<dyn Algorithm>,
 }
 
 impl AlgorithmRegistry {
     /// Creates an empty registry.
     pub fn empty() -> Self {
         Self {
-            entries: Vec::new(),
+            inner: crate::registry::Registry::new("Algorithm::name()", |a| a.name()),
         }
     }
 
@@ -476,16 +476,7 @@ impl AlgorithmRegistry {
         name: impl Into<String>,
         factory: impl Fn() -> Box<dyn Algorithm> + Send + Sync + 'static,
     ) {
-        let name = name.into();
-        assert_eq!(
-            factory().name(),
-            name,
-            "registry name must match Algorithm::name()"
-        );
-        match self.entries.iter_mut().find(|(n, _)| *n == name) {
-            Some((_, f)) => *f = Box::new(factory),
-            None => self.entries.push((name, Box::new(factory))),
-        }
+        self.inner.register(name, factory);
     }
 
     /// Instantiates the algorithm registered under `name`.
@@ -494,10 +485,8 @@ impl AlgorithmRegistry {
     ///
     /// Returns [`SolveError::UnknownAlgorithm`] for unregistered names.
     pub fn create(&self, name: &str) -> Result<Box<dyn Algorithm>, SolveError> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, factory)| factory())
+        self.inner
+            .create(name)
             .ok_or_else(|| SolveError::UnknownAlgorithm {
                 name: name.to_string(),
             })
@@ -505,12 +494,12 @@ impl AlgorithmRegistry {
 
     /// Returns `true` if `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.iter().any(|(n, _)| n == name)
+        self.inner.contains(name)
     }
 
     /// The registered names, in registration order.
     pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+        self.inner.names()
     }
 }
 

@@ -10,13 +10,23 @@
 //! Every baseline is also available behind the [`crate::Algorithm`]
 //! interface (`sp-mcf`, `ecmp`, `least-loaded`, `consolidate`, `greedy` in
 //! the [`crate::AlgorithmRegistry`]); the free functions here are the
-//! deprecated one-shot delegates kept for the transition.
+//! deprecated one-shot delegates kept for the transition, gated behind the
+//! on-by-default `legacy-api` cargo feature ([`BaselineError`] stays
+//! available either way — it is part of [`crate::SolveError`]'s surface).
 
-use crate::dcfs::{most_critical_first, DcfsError};
-use crate::routing::{Routing, RoutingError};
+#[cfg(feature = "legacy-api")]
+use crate::dcfs::most_critical_first;
+use crate::dcfs::DcfsError;
+#[cfg(feature = "legacy-api")]
+use crate::routing::Routing;
+use crate::routing::RoutingError;
+#[cfg(feature = "legacy-api")]
 use crate::schedule::{FlowSchedule, Schedule};
+#[cfg(feature = "legacy-api")]
 use dcn_flow::FlowSet;
+#[cfg(feature = "legacy-api")]
 use dcn_power::{PowerFunction, RateProfile};
+#[cfg(feature = "legacy-api")]
 use dcn_topology::Network;
 use std::fmt;
 
@@ -58,6 +68,7 @@ impl From<DcfsError> for BaselineError {
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "run the `sp-mcf` algorithm (`RoutedMcf::shortest_path`) on a SolverContext"
@@ -79,6 +90,7 @@ pub fn sp_mcf(
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "run the `ecmp` algorithm (`RoutedMcf::ecmp`) on a SolverContext"
@@ -100,6 +112,7 @@ pub fn ecmp_mcf(
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "run the `least-loaded` algorithm (`RoutedMcf::least_loaded`) on a SolverContext"
@@ -128,6 +141,7 @@ pub fn least_loaded_mcf(
 /// # Errors
 ///
 /// Propagates routing and scheduling failures.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "run the `consolidate` algorithm (`ConsolidatingMcf`) on a SolverContext"
@@ -211,6 +225,7 @@ pub fn consolidating_mcf(
 /// # Errors
 ///
 /// Propagates routing failures.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "run the `greedy` algorithm (`FullRateGreedy`) on a SolverContext"
@@ -252,6 +267,7 @@ mod tests {
     use crate::algorithm::{ConsolidatingMcf, Dcfsr, FullRateGreedy, RoutedMcf};
     use crate::{Algorithm, SolverContext};
     use dcn_flow::workload::UniformWorkload;
+    use dcn_power::PowerFunction;
     use dcn_topology::builders;
 
     fn x2(capacity: f64) -> PowerFunction {
@@ -384,6 +400,7 @@ mod tests {
         assert_eq!(err, crate::SolveError::Unroutable { flow: 0 });
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     fn deprecated_delegates_match_the_algorithm_api() {
         // The legacy free functions stay as thin delegates until they are

@@ -107,6 +107,27 @@ impl<'net> SolverContext<'net> {
         (&self.graph, &mut self.engine, &mut self.fmcf)
     }
 
+    /// Enables or disables warm-started Frank–Wolfe solves on the context's
+    /// scratch (see [`FmcfScratch::set_warm_start`]): every relaxation run
+    /// through [`SolverContext::relax`] then caches its last converged
+    /// solution and seeds re-solves from it. Off by default — the cold path
+    /// is bit-for-bit identical to a fresh scratch.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.fmcf.set_warm_start(enabled);
+    }
+
+    /// Whether warm-started Frank–Wolfe solves are enabled.
+    pub fn warm_start(&self) -> bool {
+        self.fmcf.warm_start()
+    }
+
+    /// Marks links whose residual conditions changed since the last solve,
+    /// so a warm-started re-solve re-routes the commodities crossing them
+    /// (delegates to [`FmcfScratch::mark_dirty_links`]).
+    pub fn mark_dirty_links(&mut self, links: impl IntoIterator<Item = dcn_topology::LinkId>) {
+        self.fmcf.mark_dirty_links(links);
+    }
+
     /// Validates a flow set against this network: the set must be
     /// non-empty, every endpoint must be a node of the network, and every
     /// destination must be reachable from its source. (Source ≠ destination

@@ -82,6 +82,7 @@ pub mod dcfsr;
 pub mod error;
 pub mod exact;
 pub mod online;
+pub mod registry;
 pub mod relaxation;
 pub mod routing;
 pub mod schedule;
@@ -97,8 +98,8 @@ pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
 pub use error::SolveError;
 pub use exact::{ExactError, ExactOutcome};
 pub use online::{
-    AdmissionRule, FlowDecision, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport,
-    PolicyRegistry,
+    AdmissionRule, EngineConfig, FlowDecision, OnlineEngine, OnlineOutcome, OnlinePolicy,
+    OnlineReport, PolicyRegistry, ShardMode,
 };
 pub use relaxation::{
     interval_relaxation_on, interval_relaxation_with, IntervalRelaxation, RelaxationSummary,
@@ -109,6 +110,7 @@ pub use solution::{Diagnostics, Solution};
 
 #[allow(deprecated)]
 pub use exact::exact_dcfsr;
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use online::{AdmissionPolicy, OnlineScheduler};
 #[allow(deprecated)]
@@ -126,7 +128,8 @@ pub mod prelude {
     pub use crate::dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
     pub use crate::error::SolveError;
     pub use crate::online::{
-        AdmissionRule, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport, PolicyRegistry,
+        AdmissionRule, EngineConfig, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport,
+        PolicyRegistry, ShardMode,
     };
     pub use crate::routing::Routing;
     pub use crate::schedule::{FlowSchedule, Schedule};

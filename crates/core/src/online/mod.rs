@@ -35,8 +35,8 @@
 //! event loop on staggered arrivals.
 //!
 //! ```
-//! use dcn_core::online::{AdmissionRule, OnlineEngine, PolicyRegistry};
-//! use dcn_core::{AlgorithmRegistry, SolverContext};
+//! use dcn_core::online::{OnlineEngine, ShardMode};
+//! use dcn_core::SolverContext;
 //! use dcn_flow::workload::{ArrivalProcess, UniformWorkload};
 //! use dcn_power::PowerFunction;
 //! use dcn_topology::builders;
@@ -48,14 +48,13 @@
 //! let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
 //!
 //! let mut ctx = SolverContext::from_network(&topo.network)?;
-//! let algorithms = AlgorithmRegistry::with_defaults();
-//! let policies = PolicyRegistry::with_defaults();
-//! let mut online = OnlineEngine::new(
-//!     algorithms.create("dcfsr")?,
-//!     policies.create("hybrid")?,
-//!     AdmissionRule::AdmitAll,
-//! );
-//! online.set_seed(7);
+//! let mut online = OnlineEngine::builder()
+//!     .algorithm("dcfsr")
+//!     .policy("hybrid")
+//!     .warm_start(true)
+//!     .shards(ShardMode::Auto)
+//!     .seed(7)
+//!     .build()?;
 //! let outcome = online.run_vs_offline(&mut ctx, &flows, &power)?;
 //! assert_eq!(outcome.report.decisions.len(), flows.len());
 //! assert!(outcome.report.events >= 1);
@@ -64,6 +63,7 @@
 //! # }
 //! ```
 
+#[cfg(feature = "legacy-api")]
 use crate::algorithm::Algorithm;
 use crate::context::SolverContext;
 use crate::error::SolveError;
@@ -77,7 +77,8 @@ pub mod policies;
 pub mod policy;
 
 pub use engine::{
-    AdmissionRule, FlowDecision, OnlineEngine, OnlineEvent, OnlineOutcome, OnlineReport, WorldView,
+    AdmissionRule, EngineConfig, FlowDecision, OnlineEngine, OnlineEvent, OnlineOutcome,
+    OnlineReport, ShardMode, WorldView,
 };
 pub use policies::{EdfPolicy, HybridPolicy, RcdPolicy, ResolvePolicy, SrptPolicy};
 pub use policy::{
@@ -87,16 +88,19 @@ pub use policy::{
 /// The pre-split online loop, kept as a thin delegate over
 /// [`OnlineEngine`] with the [`ResolvePolicy`]: re-solves the full
 /// residual instance at every arrival event. Byte-for-byte equivalent to
-/// the engine (pinned by `tests/policy_equivalence.rs`).
+/// the engine (pinned by `tests/policy_equivalence.rs`). Gated behind the
+/// on-by-default `legacy-api` cargo feature.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.1.0",
-    note = "use `OnlineEngine` with the \"resolve\" policy from `PolicyRegistry` instead"
+    note = "use `OnlineEngine::builder()` with the default \"resolve\" policy instead"
 )]
 #[derive(Debug)]
 pub struct OnlineScheduler {
     engine: OnlineEngine,
 }
 
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 impl OnlineScheduler {
     /// Creates the online loop around a (registry-created) algorithm.
@@ -154,7 +158,8 @@ impl OnlineScheduler {
 /// The pre-split name of [`AdmissionRule`]. The variants, constructors and
 /// names are unchanged — only the type was renamed when admission became
 /// one input of the policy-pluggable engine rather than the only policy
-/// axis of the loop.
+/// axis of the loop. Gated behind the on-by-default `legacy-api` feature.
+#[cfg(feature = "legacy-api")]
 #[deprecated(since = "0.1.0", note = "renamed to `AdmissionRule`")]
 pub type AdmissionPolicy = AdmissionRule;
 
@@ -227,7 +232,9 @@ pub fn fractionally_feasible(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "legacy-api")]
     use crate::algorithm::AlgorithmRegistry;
+    #[cfg(feature = "legacy-api")]
     use dcn_topology::builders;
 
     #[test]
@@ -261,6 +268,7 @@ mod tests {
         ));
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     #[allow(deprecated)]
     fn deprecated_delegate_matches_the_engine_bit_for_bit() {
@@ -277,12 +285,11 @@ mod tests {
         legacy.set_seed(9);
         let old = legacy.run(&mut ctx, &flows, &power).unwrap();
 
-        let mut engine = OnlineEngine::new(
-            registry.create("dcfsr").unwrap(),
-            Box::new(ResolvePolicy),
-            AdmissionRule::AdmitAll,
-        );
-        engine.set_seed(9);
+        let mut engine = engine::OnlineEngine::builder()
+            .algorithm("dcfsr")
+            .seed(9)
+            .build()
+            .unwrap();
         let new = engine.run(&mut ctx, &flows, &power).unwrap();
 
         assert_eq!(old.schedule, new.schedule);

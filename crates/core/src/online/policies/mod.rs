@@ -28,9 +28,8 @@ pub use srpt::SrptPolicy;
 
 #[cfg(test)]
 mod tests {
-    use crate::algorithm::AlgorithmRegistry;
     use crate::context::SolverContext;
-    use crate::online::{AdmissionRule, OnlineEngine, OnlineOutcome, PolicyRegistry};
+    use crate::online::{OnlineEngine, OnlineOutcome};
     use dcn_flow::FlowSet;
     use dcn_power::PowerFunction;
     use dcn_topology::builders;
@@ -39,12 +38,11 @@ mod tests {
         let topo = builders::line(3);
         let power = PowerFunction::speed_scaling_only(1.0, 2.0, capacity);
         let mut ctx = SolverContext::from_network(&topo.network).unwrap();
-        let mut engine = OnlineEngine::new(
-            AlgorithmRegistry::with_defaults().create("dcfsr").unwrap(),
-            PolicyRegistry::with_defaults().create(policy).unwrap(),
-            AdmissionRule::AdmitAll,
-        );
-        engine.set_seed(5);
+        let mut engine = OnlineEngine::builder()
+            .policy(policy)
+            .seed(5)
+            .build()
+            .unwrap();
         engine.run(&mut ctx, flows, &power).unwrap()
     }
 

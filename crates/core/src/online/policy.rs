@@ -120,22 +120,22 @@ pub trait OnlinePolicy: fmt::Debug + Send {
     }
 }
 
-/// A factory producing fresh policy instances.
-type Factory = Box<dyn Fn() -> Box<dyn OnlinePolicy> + Send + Sync>;
-
 /// A string-keyed registry of [`OnlinePolicy`] factories, mirroring
-/// [`crate::AlgorithmRegistry`]: harnesses select policies by name from
-/// CLI flags or experiment descriptors, and can register their own
-/// factories (or re-register a default name with different configuration).
+/// [`crate::AlgorithmRegistry`] (both are thin wrappers over the shared
+/// [`Registry`](crate::registry::Registry)): harnesses select policies by
+/// name from CLI flags or experiment descriptors, and can register their
+/// own factories (or re-register a default name with different
+/// configuration).
+#[derive(Clone)]
 pub struct PolicyRegistry {
-    entries: Vec<(String, Factory)>,
+    inner: crate::registry::Registry<dyn OnlinePolicy>,
 }
 
 impl PolicyRegistry {
     /// Creates an empty registry.
     pub fn empty() -> Self {
         Self {
-            entries: Vec::new(),
+            inner: crate::registry::Registry::new("OnlinePolicy::name()", |p| p.name()),
         }
     }
 
@@ -163,16 +163,7 @@ impl PolicyRegistry {
         name: impl Into<String>,
         factory: impl Fn() -> Box<dyn OnlinePolicy> + Send + Sync + 'static,
     ) {
-        let name = name.into();
-        assert_eq!(
-            factory().name(),
-            name,
-            "registry name must match OnlinePolicy::name()"
-        );
-        match self.entries.iter_mut().find(|(n, _)| *n == name) {
-            Some((_, f)) => *f = Box::new(factory),
-            None => self.entries.push((name, Box::new(factory))),
-        }
+        self.inner.register(name, factory);
     }
 
     /// Instantiates the policy registered under `name`.
@@ -181,10 +172,8 @@ impl PolicyRegistry {
     ///
     /// Returns [`SolveError::UnknownPolicy`] for unregistered names.
     pub fn create(&self, name: &str) -> Result<Box<dyn OnlinePolicy>, SolveError> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, factory)| factory())
+        self.inner
+            .create(name)
             .ok_or_else(|| SolveError::UnknownPolicy {
                 name: name.to_string(),
             })
@@ -192,12 +181,12 @@ impl PolicyRegistry {
 
     /// Returns `true` if `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.iter().any(|(n, _)| n == name)
+        self.inner.contains(name)
     }
 
     /// The registered names, in registration order.
     pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+        self.inner.names()
     }
 }
 
@@ -256,9 +245,35 @@ impl PathCache {
 /// `min(link capacity, power-function capacity)` on every link, then
 /// [`CapacityLedger::reserve`] each granted assignment so later (lower
 /// priority) flows only see what is left.
+///
+/// The ledger doubles as the engine's *dirty-link* tracker for warm-started
+/// re-solves: every reservation (and explicit [`CapacityLedger::mark_dirty`])
+/// records the touched links, and the engine drains the set into
+/// [`dcn_solver::fmcf::FmcfScratch::mark_dirty_links`] before the next
+/// residual solve, so only commodities whose flows cross changed links are
+/// re-routed from scratch. [`CapacityLedger::reset`] deliberately keeps the
+/// dirty set — capacities are re-initialised per event, but dirt
+/// accumulates until a re-solve consumes it.
 #[derive(Debug, Default)]
 pub struct CapacityLedger {
     available: Vec<f64>,
+    /// The pristine per-link capacities `available` resets back to, so a
+    /// per-event reset restores only the links reservations touched
+    /// instead of recomputing every link (the full rebuild is the per-event
+    /// hot spot on 100k-arrival traces over large fabrics).
+    base: Vec<f64>,
+    /// Fingerprint of the graph/power pair `base` was built from: the
+    /// graph allocation's address and the power-function capacity clamp.
+    base_key: (usize, u64),
+    /// Links whose `available` entry may differ from `base` since the last
+    /// [`CapacityLedger::reset`] (duplicates allowed — restoring twice is
+    /// idempotent).
+    touched: Vec<dcn_topology::LinkId>,
+    /// Links whose reservations changed since the last
+    /// [`CapacityLedger::take_dirty`], deduplicated.
+    dirty: Vec<dcn_topology::LinkId>,
+    /// Membership mask of `dirty`, grown on demand.
+    dirty_mark: Vec<bool>,
 }
 
 impl CapacityLedger {
@@ -267,15 +282,27 @@ impl CapacityLedger {
         Self::default()
     }
 
-    /// Re-initialises every link to its usable capacity.
+    /// Re-initialises every link to its usable capacity. The dirty set is
+    /// preserved (see the type docs).
     pub fn reset(&mut self, ctx: &SolverContext<'_>, power: &PowerFunction) {
         let graph = ctx.graph();
         let cap = power.capacity();
-        self.available.clear();
-        self.available.extend(
-            (0..graph.link_count())
-                .map(|index| graph.capacity(dcn_topology::LinkId(index)).min(cap)),
-        );
+        let key = (std::ptr::from_ref(graph) as usize, cap.to_bits());
+        if self.base_key != key || self.base.len() != graph.link_count() {
+            self.base.clear();
+            self.base.extend(
+                (0..graph.link_count())
+                    .map(|index| graph.capacity(dcn_topology::LinkId(index)).min(cap)),
+            );
+            self.base_key = key;
+            self.available.clear();
+            self.available.extend_from_slice(&self.base);
+            self.touched.clear();
+            return;
+        }
+        for link in self.touched.drain(..) {
+            self.available[link.index()] = self.base[link.index()];
+        }
     }
 
     /// The largest rate `path` can still carry: the minimum residual
@@ -288,12 +315,43 @@ impl CapacityLedger {
     }
 
     /// Subtracts `rate` from every link of `path` (clamped at zero against
-    /// float drift).
+    /// float drift) and marks the links dirty.
     pub fn reserve(&mut self, path: &Path, rate: f64) {
         for link in path.links() {
             let slot = &mut self.available[link.index()];
             *slot = (*slot - rate).max(0.0);
         }
+        self.touched.extend_from_slice(path.links());
+        self.mark_dirty(path);
+    }
+
+    /// Marks every link of `path` dirty without reserving capacity — used
+    /// for committed schedule slices and retired flows, whose rate changes
+    /// invalidate cached per-commodity flows on those links.
+    pub fn mark_dirty(&mut self, path: &Path) {
+        for &link in path.links() {
+            if self.dirty_mark.len() <= link.index() {
+                self.dirty_mark.resize(link.index() + 1, false);
+            }
+            if !self.dirty_mark[link.index()] {
+                self.dirty_mark[link.index()] = true;
+                self.dirty.push(link);
+            }
+        }
+    }
+
+    /// The links dirtied since the last [`CapacityLedger::take_dirty`], in
+    /// first-touch order.
+    pub fn dirty(&self) -> &[dcn_topology::LinkId] {
+        &self.dirty
+    }
+
+    /// Drains and returns the dirty set.
+    pub fn take_dirty(&mut self) -> Vec<dcn_topology::LinkId> {
+        for &l in &self.dirty {
+            self.dirty_mark[l.index()] = false;
+        }
+        std::mem::take(&mut self.dirty)
     }
 }
 
@@ -369,5 +427,33 @@ mod tests {
         assert_eq!(ledger.available(&path), 1.5);
         ledger.reserve(&path, 5.0);
         assert_eq!(ledger.available(&path), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn ledger_dirty_set_survives_reset_and_drains_once() {
+        let topo = builders::line(3);
+        let ctx = SolverContext::from_network(&topo.network).unwrap();
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 4.0);
+        let mut ledger = CapacityLedger::new();
+        ledger.reset(&ctx, &power);
+        let path = ctx
+            .graph()
+            .shortest_path(topo.hosts()[0], topo.hosts()[2])
+            .unwrap();
+        assert!(ledger.dirty().is_empty());
+        ledger.reserve(&path, 1.0);
+        ledger.mark_dirty(&path); // idempotent: no duplicates
+        assert_eq!(ledger.dirty().len(), path.links().len());
+        ledger.reset(&ctx, &power);
+        assert_eq!(
+            ledger.dirty().len(),
+            path.links().len(),
+            "reset keeps accumulated dirt"
+        );
+        let drained = ledger.take_dirty();
+        assert_eq!(drained.len(), path.links().len());
+        assert!(ledger.dirty().is_empty());
+        ledger.reserve(&path, 1.0);
+        assert_eq!(ledger.dirty().len(), path.links().len(), "re-dirties");
     }
 }

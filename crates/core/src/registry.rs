@@ -1,0 +1,174 @@
+//! The shared string-keyed factory registry behind
+//! [`crate::AlgorithmRegistry`] and [`crate::online::PolicyRegistry`].
+//!
+//! Both registries expose the same surface — ordered registration,
+//! replace-in-place, name lookup — and enforce the same *round-trip
+//! invariant*: a factory registered under `name` must produce instances
+//! whose self-reported name equals `name`, so `create(name).name() ==
+//! name` always holds. [`Registry`] implements that once, generically
+//! over the trait object type; the two public wrappers keep their
+//! domain-specific typed errors ([`crate::SolveError::UnknownAlgorithm`],
+//! [`crate::SolveError::UnknownPolicy`]) and default tables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, reference-counted factory producing boxed `T` instances.
+type Factory<T> = Arc<dyn Fn() -> Box<T> + Send + Sync>;
+
+/// A string-keyed registry of factories producing boxed `T` trait
+/// objects, preserving registration order and enforcing the name
+/// round-trip invariant on [`Registry::register`].
+///
+/// Factories are reference-counted, so cloning a registry is cheap and
+/// shares them — which is how the benchmark harness hands its tuned
+/// registry to every [`crate::online::EngineConfig`] it builds.
+pub struct Registry<T: ?Sized> {
+    entries: Vec<(String, Factory<T>)>,
+    /// The trait-method label quoted by the mismatch panic, e.g.
+    /// `"Algorithm::name()"`.
+    label: &'static str,
+    /// Extracts the self-reported name of a produced instance.
+    name_of: fn(&T) -> &str,
+}
+
+impl<T: ?Sized> Registry<T> {
+    /// Creates an empty registry. `label` names the trait method quoted in
+    /// the mismatch panic; `name_of` extracts an instance's name.
+    pub fn new(label: &'static str, name_of: fn(&T) -> &str) -> Self {
+        Self {
+            entries: Vec::new(),
+            label,
+            name_of,
+        }
+    }
+
+    /// Registers (or replaces in place) a factory under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory produces an instance whose self-reported name
+    /// differs from `name` — the round-trip invariant.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<T> + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        assert_eq!(
+            (self.name_of)(&factory()),
+            name,
+            "registry name must match {}",
+            self.label
+        );
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, f)) => *f = Arc::new(factory),
+            None => self.entries.push((name, Arc::new(factory))),
+        }
+    }
+
+    /// Instantiates the entry registered under `name`, or `None` for
+    /// unregistered names (the wrappers map this to their typed error).
+    pub fn create(&self, name: &str) -> Option<Box<T>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, factory)| factory())
+    }
+
+    /// Returns `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl<T: ?Sized> Clone for Registry<T> {
+    /// Clones share the reference-counted factories (a `derive` would
+    /// demand `T: Clone`, which trait objects cannot satisfy).
+    fn clone(&self) -> Self {
+        Self {
+            entries: self.entries.clone(),
+            label: self.label,
+            name_of: self.name_of,
+        }
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for Registry<T> {
+    /// The factories are opaque closures, so print the registered names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Named {
+        fn name(&self) -> &str;
+    }
+
+    struct Fixed(&'static str);
+
+    impl Named for Fixed {
+        fn name(&self) -> &str {
+            self.0
+        }
+    }
+
+    fn registry() -> Registry<dyn Named> {
+        Registry::new("Named::name()", |n| n.name())
+    }
+
+    #[test]
+    fn round_trips_and_preserves_registration_order() {
+        let mut r = registry();
+        r.register("b", || Box::new(Fixed("b")));
+        r.register("a", || Box::new(Fixed("a")));
+        assert_eq!(r.names(), vec!["b", "a"]);
+        assert!(r.contains("a") && !r.contains("c"));
+        assert_eq!(r.create("a").unwrap().name(), "a");
+        assert!(r.create("c").is_none());
+    }
+
+    #[test]
+    fn replaces_in_place_under_the_same_name() {
+        let mut r = registry();
+        r.register("a", || Box::new(Fixed("a")));
+        r.register("b", || Box::new(Fixed("b")));
+        r.register("a", || Box::new(Fixed("a")));
+        assert_eq!(r.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry name must match Named::name()")]
+    fn mismatched_names_panic_with_the_trait_label() {
+        let mut r = registry();
+        r.register("not-a", || Box::new(Fixed("a")));
+    }
+
+    #[test]
+    fn clones_share_the_factories() {
+        let mut r = registry();
+        r.register("a", || Box::new(Fixed("a")));
+        let cloned = r.clone();
+        r.register("b", || Box::new(Fixed("b")));
+        assert_eq!(cloned.names(), vec!["a"], "clones diverge independently");
+        assert_eq!(cloned.create("a").unwrap().name(), "a");
+    }
+
+    #[test]
+    fn debug_prints_the_names() {
+        let mut r = registry();
+        r.register("a", || Box::new(Fixed("a")));
+        assert!(format!("{r:?}").contains("\"a\""));
+    }
+}

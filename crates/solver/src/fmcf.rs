@@ -151,7 +151,7 @@ impl Default for FmcfSolverConfig {
 /// path) or built once from a `Network` (the one-shot convenience path).
 #[derive(Debug, Clone)]
 enum GraphRef<'a> {
-    Owned(GraphCsr),
+    Owned(Box<GraphCsr>),
     Borrowed(&'a GraphCsr),
 }
 
@@ -171,10 +171,49 @@ pub struct FmcfProblem<'a> {
     commodities: Vec<Commodity>,
 }
 
+/// A converged solution cached by a warm-start-enabled scratch, together
+/// with the fingerprint of the problem that produced it.
+#[derive(Debug, Clone)]
+struct WarmEntry {
+    /// Per-commodity `(id, src, dst, demand bits)` of the cached problem.
+    keys: Vec<(usize, usize, usize, u64)>,
+    /// The converged flow matrix (`keys.len() x link_count`, row-major).
+    flows: Vec<f64>,
+    /// The converged aggregate loads.
+    loads: Vec<f64>,
+    /// Row stride of `flows`.
+    link_count: usize,
+    /// Iteration count of the cached solve.
+    iterations: usize,
+    /// Convergence flag of the cached solve.
+    converged: bool,
+    /// Links with nonzero load in the cached solution, ascending.
+    active: Vec<LinkId>,
+    /// Bit-pattern fingerprint of the solver configuration.
+    config_bits: [u64; 5],
+    /// Bit-pattern probe of the cost function (see [`cost_fingerprint`]).
+    cost_bits: [u64; 3],
+}
+
 /// Reusable solver state: the shortest-path engine arenas and every
 /// per-iteration buffer. One scratch can (and should) be shared across the
 /// many [`FmcfProblem::solve_with`] calls of an interval sweep; it grows to
 /// the largest problem seen and allocates nothing afterwards.
+///
+/// # Warm starts
+///
+/// With [`FmcfScratch::set_warm_start`] enabled the scratch additionally
+/// caches the last converged solution. A re-solve of the *identical*
+/// problem (same commodities, demands, graph size, configuration and cost
+/// fingerprint, and no [dirty links](FmcfScratch::mark_dirty_links)
+/// touching the cached flows) returns the cached solution bit-for-bit
+/// without iterating. Otherwise commodities carried over from the cached
+/// problem whose flows avoid every dirty link are *seeded* from their
+/// previous rows (scaled to the new demand) instead of hop-count paths, so
+/// Frank–Wolfe starts near the old optimum and converges in fewer
+/// iterations; freshly arrived or dirty-path commodities are re-routed
+/// from scratch. Warm starts are off by default: the cold path is
+/// bit-for-bit identical to a fresh scratch.
 #[derive(Debug, Clone, Default)]
 pub struct FmcfScratch {
     engine: ShortestPathEngine,
@@ -198,12 +237,78 @@ pub struct FmcfScratch {
     active: Vec<LinkId>,
     /// Membership mask of `active`.
     active_mark: Vec<bool>,
+    /// Whether solves cache and reuse the previous solution.
+    warm_enabled: bool,
+    /// The cached previous solution, when warm starts are enabled.
+    warm: Option<WarmEntry>,
+    /// Links whose residual conditions changed since the cached solve.
+    dirty: Vec<LinkId>,
+    /// Membership mask of `dirty` (indexed by link, grown on demand).
+    dirty_mark: Vec<bool>,
 }
 
 impl FmcfScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables warm-started solves (see the
+    /// [type docs](FmcfScratch#warm-starts)). Disabling drops the cached
+    /// solution, so re-enabling starts cold.
+    ///
+    /// The cache probes the cost function at `LinkId(0)` to fingerprint it,
+    /// which assumes link-homogeneous costs (true for [`PowerFlowCost`]);
+    /// callers alternating *per-link heterogeneous* costs on one scratch
+    /// should call [`FmcfScratch::clear_warm_cache`] between them.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_enabled = enabled;
+        if !enabled {
+            self.clear_warm_cache();
+        }
+    }
+
+    /// Whether warm-started solves are enabled.
+    pub fn warm_start(&self) -> bool {
+        self.warm_enabled
+    }
+
+    /// Drops the cached previous solution and the dirty-link set.
+    pub fn clear_warm_cache(&mut self) {
+        self.warm = None;
+        self.dirty.clear();
+        self.dirty_mark.fill(false);
+    }
+
+    /// Marks `links` as having changed residual conditions (capacity
+    /// reservations, completed or preempted flows) since the cached solve.
+    /// Cached commodities whose flows touch a dirty link are re-routed
+    /// from scratch instead of being seeded; an otherwise identical
+    /// re-solve whose cached flows touch a dirty link loses its shortcut.
+    /// The set is consumed by the next warm-enabled solve.
+    pub fn mark_dirty_links(&mut self, links: impl IntoIterator<Item = LinkId>) {
+        for l in links {
+            if self.dirty_mark.len() <= l.index() {
+                self.dirty_mark.resize(l.index() + 1, false);
+            }
+            if !self.dirty_mark[l.index()] {
+                self.dirty_mark[l.index()] = true;
+                self.dirty.push(l);
+            }
+        }
+    }
+
+    /// `true` if `link` is currently marked dirty.
+    fn is_dirty(&self, link: LinkId) -> bool {
+        self.dirty_mark.get(link.index()).copied().unwrap_or(false)
+    }
+
+    /// Clears the dirty set after a warm solve has consumed it.
+    fn consume_dirty(&mut self) {
+        for &l in &self.dirty {
+            self.dirty_mark[l.index()] = false;
+        }
+        self.dirty.clear();
     }
 
     /// Sizes the buffers for a problem with `n` commodities and `m` links
@@ -279,7 +384,7 @@ impl<'a> FmcfProblem<'a> {
     pub fn new(network: &'a Network, commodities: Vec<Commodity>) -> Self {
         Self::validate(&commodities);
         Self {
-            graph: GraphRef::Owned(GraphCsr::from_network(network)),
+            graph: GraphRef::Owned(Box::new(GraphCsr::from_network(network))),
             commodities,
         }
     }
@@ -443,6 +548,16 @@ impl<'a> FmcfProblem<'a> {
                 converged: true,
             };
         }
+        // Warm shortcut: an identical problem with an untouched cache
+        // returns the cached solution verbatim.
+        let warm = scratch.warm_enabled;
+        if warm {
+            if let Some(cached) = self.try_warm_shortcut(cost, config, scratch) {
+                scratch.consume_dirty();
+                return cached;
+            }
+        }
+
         // With a zero-load-free cost (and a sane capacity) the objective,
         // blending and load passes can be confined to the links actually
         // touched by some chosen path: every other load stays exactly 0.0
@@ -467,6 +582,9 @@ impl<'a> FmcfProblem<'a> {
             for &l in self.span(scratch, c) {
                 flows[c * m + l.index()] = commodity.demand;
             }
+        }
+        if warm {
+            self.seed_from_cache(cost, config, scratch, &mut flows, m);
         }
         column_sums_over(&flows, m, &scratch.active, &mut loads);
         let mut objective = self.objective_over(&loads, &scratch.active, cost, config);
@@ -558,6 +676,30 @@ impl<'a> FmcfProblem<'a> {
         }
         column_sums_over(&flows, m, &scratch.active, &mut loads);
 
+        if warm {
+            scratch.warm = Some(WarmEntry {
+                keys: self
+                    .commodities
+                    .iter()
+                    .map(|c| (c.id, c.src.index(), c.dst.index(), c.demand.to_bits()))
+                    .collect(),
+                flows: flows.clone(),
+                loads: loads.clone(),
+                link_count: m,
+                iterations,
+                converged,
+                active: scratch
+                    .active
+                    .iter()
+                    .copied()
+                    .filter(|&l| loads[l.index()] != 0.0)
+                    .collect(),
+                config_bits: config_fingerprint(config),
+                cost_bits: cost_fingerprint(cost),
+            });
+            scratch.consume_dirty();
+        }
+
         FmcfSolution {
             flows,
             loads,
@@ -567,6 +709,145 @@ impl<'a> FmcfProblem<'a> {
             converged,
         }
     }
+
+    /// Returns the cached solution when the problem is bit-identical to
+    /// the cached one and no dirty link touches its flows.
+    fn try_warm_shortcut(
+        &self,
+        cost: &impl FlowCost,
+        config: &FmcfSolverConfig,
+        scratch: &FmcfScratch,
+    ) -> Option<FmcfSolution> {
+        let entry = scratch.warm.as_ref()?;
+        let m = self.graph.get().link_count();
+        if entry.link_count != m
+            || entry.keys.len() != self.commodities.len()
+            || entry.config_bits != config_fingerprint(config)
+            || entry.cost_bits != cost_fingerprint(cost)
+        {
+            return None;
+        }
+        let same = self
+            .commodities
+            .iter()
+            .zip(&entry.keys)
+            .all(|(c, k)| *k == (c.id, c.src.index(), c.dst.index(), c.demand.to_bits()));
+        if !same || entry.active.iter().any(|&l| scratch.is_dirty(l)) {
+            return None;
+        }
+        Some(FmcfSolution {
+            flows: entry.flows.clone(),
+            loads: entry.loads.clone(),
+            commodities: entry.keys.len(),
+            link_count: m,
+            iterations: entry.iterations,
+            converged: entry.converged,
+        })
+    }
+
+    /// Overwrites the hop-count initial rows of commodities carried over
+    /// from the cached problem with their previous converged flows (scaled
+    /// to the new demand), skipping commodities whose cached flows touch a
+    /// dirty link. Registers the seeded links as active.
+    fn seed_from_cache(
+        &self,
+        cost: &impl FlowCost,
+        config: &FmcfSolverConfig,
+        scratch: &mut FmcfScratch,
+        flows: &mut [f64],
+        m: usize,
+    ) {
+        let mut seeded_links: Vec<LinkId> = Vec::new();
+        {
+            let Some(entry) = scratch.warm.as_ref() else {
+                return;
+            };
+            if entry.link_count != m
+                || entry.config_bits != config_fingerprint(config)
+                || entry.cost_bits != cost_fingerprint(cost)
+            {
+                return;
+            }
+            let index: std::collections::HashMap<usize, usize> = entry
+                .keys
+                .iter()
+                .enumerate()
+                .map(|(row, k)| (k.0, row))
+                .collect();
+            for (c, commodity) in self.commodities.iter().enumerate() {
+                let Some(&row) = index.get(&commodity.id) else {
+                    continue;
+                };
+                let (_, src, dst, demand_bits) = entry.keys[row];
+                if src != commodity.src.index() || dst != commodity.dst.index() {
+                    continue;
+                }
+                let old_demand = f64::from_bits(demand_bits);
+                if !old_demand.is_finite() || old_demand <= 0.0 {
+                    continue;
+                }
+                let cached = &entry.flows[row * m..(row + 1) * m];
+                if entry
+                    .active
+                    .iter()
+                    .any(|&l| cached[l.index()] != 0.0 && scratch.is_dirty(l))
+                {
+                    continue;
+                }
+                // Replace the hop-count initial path with the scaled cached
+                // row; scaling a valid flow preserves conservation at the
+                // new demand.
+                let scale = commodity.demand / old_demand;
+                let (start, len) = scratch.path_spans[c];
+                for &l in &scratch.path_links[start..start + len] {
+                    flows[c * m + l.index()] = 0.0;
+                }
+                for &l in &entry.active {
+                    let v = cached[l.index()];
+                    if v != 0.0 {
+                        flows[c * m + l.index()] = v * scale;
+                        if !scratch.active_mark[l.index()] {
+                            seeded_links.push(l);
+                        }
+                    }
+                }
+            }
+        }
+        let mut added = false;
+        for l in seeded_links {
+            if !scratch.active_mark[l.index()] {
+                scratch.active_mark[l.index()] = true;
+                scratch.active.push(l);
+                added = true;
+            }
+        }
+        if added {
+            scratch.active.sort_unstable();
+        }
+    }
+}
+
+/// Bit-pattern fingerprint of a solver configuration for warm-cache
+/// validity checks.
+fn config_fingerprint(config: &FmcfSolverConfig) -> [u64; 5] {
+    [
+        config.max_iterations as u64,
+        config.tolerance.to_bits(),
+        config.capacity.map_or(u64::MAX, f64::to_bits),
+        config.capacity_penalty.to_bits(),
+        config.line_search_steps as u64,
+    ]
+}
+
+/// Bit-pattern probe of a cost function at `LinkId(0)`; distinguishes
+/// link-homogeneous costs (different power functions hash differently)
+/// without requiring `PartialEq` on the trait.
+fn cost_fingerprint(cost: &impl FlowCost) -> [u64; 3] {
+    [
+        cost.cost(LinkId(0), 1.0).to_bits(),
+        cost.cost(LinkId(0), 2.0).to_bits(),
+        cost.marginal(LinkId(0), 1.0).to_bits(),
+    ]
 }
 
 impl FmcfSolution {
@@ -941,6 +1222,169 @@ mod tests {
                 demand: 0.0,
             }],
         );
+    }
+
+    #[test]
+    fn warm_shortcut_returns_the_cold_solution_bit_for_bit() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let graph = t.csr();
+        let cost = quadratic_cost();
+        let config = FmcfSolverConfig::default();
+        let commodities = vec![
+            Commodity {
+                id: 0,
+                src: hosts[0],
+                dst: hosts[10],
+                demand: 3.0,
+            },
+            Commodity {
+                id: 7,
+                src: hosts[3],
+                dst: hosts[12],
+                demand: 1.5,
+            },
+        ];
+        let cold = FmcfProblem::with_graph(&graph, commodities.clone()).solve_with(
+            &cost,
+            &config,
+            &mut FmcfScratch::new(),
+        );
+        let mut scratch = FmcfScratch::new();
+        scratch.set_warm_start(true);
+        let problem = FmcfProblem::with_graph(&graph, commodities);
+        let first = problem.solve_with(&cost, &config, &mut scratch);
+        let second = problem.solve_with(&cost, &config, &mut scratch);
+        assert_eq!(first, cold, "warm-enabled first solve must stay cold");
+        assert_eq!(second, cold, "warm re-solve must return the cache verbatim");
+    }
+
+    #[test]
+    fn dirty_links_disable_the_shortcut_but_not_correctness() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let graph = t.csr();
+        let cost = quadratic_cost();
+        let config = tight_config();
+        let commodities = vec![Commodity {
+            id: 3,
+            src: hosts[0],
+            dst: hosts[10],
+            demand: 2.0,
+        }];
+        let mut scratch = FmcfScratch::new();
+        scratch.set_warm_start(true);
+        let problem = FmcfProblem::with_graph(&graph, commodities);
+        let first = problem.solve_with(&cost, &config, &mut scratch);
+        // Dirty every link the solution uses: the commodity is re-routed
+        // fresh, which for a single commodity lands on the same optimum.
+        let used: Vec<LinkId> = (0..graph.link_count())
+            .map(LinkId)
+            .filter(|&l| first.edge_load(l) != 0.0)
+            .collect();
+        scratch.mark_dirty_links(used);
+        let resolved = problem.solve_with(&cost, &config, &mut scratch);
+        assert!(resolved.iterations >= 1, "shortcut must not fire");
+        assert!(close(
+            resolved.total_cost(&cost),
+            first.total_cost(&cost),
+            1e-6
+        ));
+        // The dirty set was consumed: the next re-solve shortcuts again.
+        let third = problem.solve_with(&cost, &config, &mut scratch);
+        assert_eq!(third, resolved);
+    }
+
+    #[test]
+    fn seeded_resolve_conserves_flow_and_matches_the_cold_objective() {
+        let t = builders::fat_tree(4);
+        let hosts = t.hosts();
+        let graph = t.csr();
+        let cost = quadratic_cost();
+        let config = tight_config();
+        let base = vec![
+            Commodity {
+                id: 0,
+                src: hosts[0],
+                dst: hosts[10],
+                demand: 3.0,
+            },
+            Commodity {
+                id: 1,
+                src: hosts[3],
+                dst: hosts[12],
+                demand: 1.5,
+            },
+        ];
+        let mut grown = base.clone();
+        grown.push(Commodity {
+            id: 2,
+            src: hosts[5],
+            dst: hosts[1],
+            demand: 2.0,
+        });
+
+        let mut scratch = FmcfScratch::new();
+        scratch.set_warm_start(true);
+        FmcfProblem::with_graph(&graph, base).solve_with(&cost, &config, &mut scratch);
+        let warm =
+            FmcfProblem::with_graph(&graph, grown.clone()).solve_with(&cost, &config, &mut scratch);
+        let cold = FmcfProblem::with_graph(&graph, grown.clone()).solve_with(
+            &cost,
+            &config,
+            &mut FmcfScratch::new(),
+        );
+
+        // The seeded start is a different (better) initial point, so the
+        // converged matrices differ in the low bits — but conservation is
+        // exact and the objectives agree to solver tolerance.
+        for (ci, c) in grown.iter().enumerate() {
+            for node in t.network.nodes() {
+                let net = warm.net_outflow(&t.network, ci, node.id);
+                let expected = if node.id == c.src {
+                    c.demand
+                } else if node.id == c.dst {
+                    -c.demand
+                } else {
+                    0.0
+                };
+                assert!(
+                    (net - expected).abs() < 1e-6,
+                    "warm-seeded commodity {ci} violates conservation at {}",
+                    node.id
+                );
+            }
+        }
+        assert!(
+            close(warm.total_cost(&cost), cold.total_cost(&cost), 1e-3),
+            "warm {} vs cold {}",
+            warm.total_cost(&cost),
+            cold.total_cost(&cost)
+        );
+    }
+
+    #[test]
+    fn disabling_warm_start_drops_the_cache() {
+        let t = builders::parallel(2, 100.0);
+        let graph = t.csr();
+        let cost = quadratic_cost();
+        let config = tight_config();
+        let commodities = vec![Commodity {
+            id: 0,
+            src: t.source(),
+            dst: t.sink(),
+            demand: 4.0,
+        }];
+        let mut scratch = FmcfScratch::new();
+        scratch.set_warm_start(true);
+        let problem = FmcfProblem::with_graph(&graph, commodities);
+        problem.solve_with(&cost, &config, &mut scratch);
+        scratch.set_warm_start(false);
+        assert!(!scratch.warm_start());
+        // Cold again: must match a fresh scratch bit-for-bit.
+        let after = problem.solve_with(&cost, &config, &mut scratch);
+        let fresh = problem.solve_with(&cost, &config, &mut FmcfScratch::new());
+        assert_eq!(after, fresh);
     }
 
     #[test]

@@ -151,6 +151,11 @@ pub fn fat_tree_with_capacity(k: usize, capacity: f64) -> BuiltTopology {
         let edges: Vec<NodeId> = (0..half)
             .map(|e| network.add_node(NodeKind::EdgeSwitch, format!("edge-{pod}-{e}")))
             .collect();
+        // Pod locality labels: aggregation/edge switches and hosts belong
+        // to their pod; core switches stay unlabelled (they are shared).
+        for &sw in aggs.iter().chain(edges.iter()) {
+            network.set_node_pod(sw, pod);
+        }
 
         // Full bipartite mesh between edge and aggregation inside the pod.
         for &agg in &aggs {
@@ -169,6 +174,7 @@ pub fn fat_tree_with_capacity(k: usize, capacity: f64) -> BuiltTopology {
         for (e, &edge) in edges.iter().enumerate() {
             for h in 0..half {
                 let host = network.add_node(NodeKind::Host, format!("host-{pod}-{e}-{h}"));
+                network.set_node_pod(host, pod);
                 network.add_duplex_link(edge, host, capacity);
                 hosts.push(host);
             }
@@ -262,11 +268,14 @@ pub fn leaf_spine_with_capacity(
     let mut hosts = Vec::new();
     for l in 0..leaves {
         let leaf = network.add_node(NodeKind::EdgeSwitch, format!("leaf-{l}"));
+        // Each leaf is its own locality group; spines are shared (no pod).
+        network.set_node_pod(leaf, l);
         for &spine in &spine_nodes {
             network.add_duplex_link(leaf, spine, capacity);
         }
         for h in 0..hosts_per_leaf {
             let host = network.add_node(NodeKind::Host, format!("host-{l}-{h}"));
+            network.set_node_pod(host, l);
             network.add_duplex_link(leaf, host, capacity);
             hosts.push(host);
         }
@@ -543,6 +552,44 @@ mod tests {
     #[should_panic(expected = "even k")]
     fn fat_tree_rejects_odd_k() {
         fat_tree(3);
+    }
+
+    #[test]
+    fn fat_tree_pod_labels_cover_pod_switches_and_hosts() {
+        let t = fat_tree(4);
+        let g = t.csr();
+        assert_eq!(g.pod_count(), 4);
+        for node in t.network.nodes() {
+            let expect = match node.kind {
+                NodeKind::CoreSwitch => None,
+                _ => {
+                    // Labels are "{kind}-{pod}-..." for pod members.
+                    let pod: usize = node.label.split('-').nth(1).unwrap().parse().unwrap();
+                    Some(pod)
+                }
+            };
+            assert_eq!(t.network.node_pod(node.id), expect, "{}", node.label);
+            assert_eq!(g.pod_of(node.id), expect, "{}", node.label);
+        }
+    }
+
+    #[test]
+    fn leaf_spine_pods_are_per_leaf_and_spines_unlabelled() {
+        let t = leaf_spine(4, 2, 3);
+        let g = t.csr();
+        assert_eq!(g.pod_count(), 4);
+        for node in t.network.nodes() {
+            match node.kind {
+                NodeKind::CoreSwitch => assert_eq!(node.pod, None, "{}", node.label),
+                _ => assert!(node.pod.is_some(), "{}", node.label),
+            }
+        }
+    }
+
+    #[test]
+    fn pod_free_builders_report_zero_pods() {
+        assert_eq!(line(4).csr().pod_count(), 0);
+        assert_eq!(star(3, 1.0).csr().pod_count(), 0);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct GraphCsr {
     link_dst: Vec<NodeId>,
     /// Capacity of every link, indexed by [`LinkId`].
     link_capacity: Vec<f64>,
+    /// Locality group (pod) of every node, `u32::MAX` when unassigned.
+    node_pod: Vec<u32>,
+    /// Number of distinct pods (`max assigned pod + 1`, 0 when none).
+    pod_count: usize,
 }
 
 impl GraphCsr {
@@ -118,6 +122,17 @@ impl GraphCsr {
             link_capacity.push(link.capacity);
         }
 
+        let node_pod: Vec<u32> = network
+            .nodes()
+            .map(|node| node.pod.unwrap_or(u32::MAX))
+            .collect();
+        let pod_count = node_pod
+            .iter()
+            .filter(|&&p| p != u32::MAX)
+            .map(|&p| p as usize + 1)
+            .max()
+            .unwrap_or(0);
+
         Self {
             out_offsets,
             out_link_ids,
@@ -127,6 +142,8 @@ impl GraphCsr {
             link_src,
             link_dst,
             link_capacity,
+            node_pod,
+            pod_count,
         }
     }
 
@@ -186,6 +203,21 @@ impl GraphCsr {
     #[inline]
     pub fn capacity(&self, link: LinkId) -> f64 {
         self.link_capacity[link.index()]
+    }
+
+    /// The locality group (pod) of `node`, if the topology builder assigned
+    /// one ([`Network::set_node_pod`]). `None` for shared infrastructure
+    /// (core/spine switches) and pod-free topologies.
+    #[inline]
+    pub fn pod_of(&self, node: NodeId) -> Option<usize> {
+        let p = self.node_pod[node.index()];
+        (p != u32::MAX).then_some(p as usize)
+    }
+
+    /// Number of distinct pods the builder labelled (`0` when the topology
+    /// has no pod structure).
+    pub fn pod_count(&self) -> usize {
+        self.pod_count
     }
 
     /// The unique out-neighbour of `node`, if its out-degree is exactly 1

@@ -13,6 +13,11 @@ pub struct Node {
     pub kind: NodeKind,
     /// Human-readable label assigned by the topology builder.
     pub label: String,
+    /// Locality group the node belongs to, when the builder defines one
+    /// (e.g. the pod index of a fat-tree's aggregation/edge switches and
+    /// hosts). Core switches and topologies without pod structure leave
+    /// this `None`.
+    pub pod: Option<u32>,
 }
 
 /// A directed, capacitated link of the network.
@@ -81,10 +86,33 @@ impl Network {
             id,
             kind,
             label: label.into(),
+            pod: None,
         });
         self.out_links.push(Vec::new());
         self.in_links.push(Vec::new());
         id
+    }
+
+    /// Assigns `node` to locality group (pod) `pod`. Builders with pod
+    /// structure (the fat-tree) call this; pod-aware consumers read it back
+    /// through [`Node::pod`] or [`crate::GraphCsr::pod_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or `pod` exceeds `u32::MAX - 1`.
+    pub fn set_node_pod(&mut self, node: NodeId, pod: usize) {
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        assert!(pod < u32::MAX as usize, "pod index {pod} out of range");
+        self.nodes[node.index()].pod = Some(pod as u32);
+    }
+
+    /// The locality group (pod) of `node`, if the builder assigned one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_pod(&self, node: NodeId) -> Option<usize> {
+        self.nodes[node.index()].pod.map(|p| p as usize)
     }
 
     /// Adds a directed link from `src` to `dst` with maximum rate `capacity`.
@@ -448,6 +476,24 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_node(NodeKind::Host, "a");
         net.add_link(a, NodeId(7), 1.0);
+    }
+
+    #[test]
+    fn pod_labels_default_to_none_and_round_trip() {
+        let (mut net, a, b, _c) = triangle();
+        assert_eq!(net.node_pod(a), None);
+        net.set_node_pod(a, 3);
+        net.set_node_pod(b, 0);
+        assert_eq!(net.node_pod(a), Some(3));
+        assert_eq!(net.node_pod(b), Some(0));
+        assert_eq!(net.node(a).pod, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn pod_label_rejects_unknown_node() {
+        let (mut net, ..) = triangle();
+        net.set_node_pod(NodeId(99), 0);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! cargo run --release --example online_arrivals
 //! ```
 
-use deadline_dcn::core::online::{AdmissionRule, OnlineEngine, PolicyRegistry};
+use deadline_dcn::core::online::OnlineEngine;
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
 use deadline_dcn::power::PowerFunction;
@@ -27,8 +27,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = builders::fat_tree(4);
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
     let base = UniformWorkload::paper_defaults(24, 7).generate(topo.hosts())?;
-    let registry = AlgorithmRegistry::with_defaults();
-    let policies = PolicyRegistry::with_defaults();
 
     println!("topology : {}", topo.name);
     println!(
@@ -44,12 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for load in [0.5, 4.0] {
         let flows = ArrivalProcess::with_load(load, 7).apply(&base)?;
         let mut ctx = SolverContext::from_network(&topo.network)?;
-        let mut online = OnlineEngine::new(
-            registry.create("dcfsr")?,
-            policies.create("resolve")?,
-            AdmissionRule::AdmitAll,
-        );
-        online.set_seed(7);
+        let mut online = OnlineEngine::builder()
+            .algorithm("dcfsr")
+            .policy("resolve")
+            .seed(7)
+            .build()?;
         let outcome = online.run_vs_offline(&mut ctx, &flows, &power)?;
         let report = &outcome.report;
 

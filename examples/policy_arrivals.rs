@@ -15,7 +15,7 @@
 //! cargo run --release --example policy_arrivals
 //! ```
 
-use deadline_dcn::core::online::{AdmissionRule, OnlineEngine, OnlineReport, PolicyRegistry};
+use deadline_dcn::core::online::{OnlineEngine, OnlineReport};
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
 use deadline_dcn::power::PowerFunction;
@@ -26,8 +26,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, builders::DEFAULT_CAPACITY);
     let base = UniformWorkload::paper_defaults(200, 11).generate(topo.hosts())?;
     let flows = ArrivalProcess::with_load(4.0, 11).apply(&base)?;
-    let registry = AlgorithmRegistry::with_defaults();
-    let policies = PolicyRegistry::with_defaults();
 
     println!("topology : {}", topo.name);
     println!(
@@ -43,12 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut reports: Vec<(String, OnlineReport)> = Vec::new();
     for name in ["resolve", "hybrid"] {
         let mut ctx = SolverContext::from_network(&topo.network)?;
-        let mut engine = OnlineEngine::new(
-            registry.create("dcfsr")?,
-            policies.create(name)?,
-            AdmissionRule::AdmitAll,
-        );
-        engine.set_seed(11);
+        let mut engine = OnlineEngine::builder()
+            .algorithm("dcfsr")
+            .policy(name)
+            .seed(11)
+            .build()?;
         let outcome = engine.run(&mut ctx, &flows, &power)?;
         let report = outcome.report;
         println!(

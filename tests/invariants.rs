@@ -24,7 +24,7 @@
 //! energy accounting) plus full delivery of every flow they did not
 //! declare missed.
 
-use deadline_dcn::core::online::{AdmissionRule, OnlineEngine, OnlineOutcome, PolicyRegistry};
+use deadline_dcn::core::online::{OnlineEngine, OnlineOutcome, PolicyRegistry};
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
 use deadline_dcn::flow::FlowSet;
@@ -297,7 +297,6 @@ proptest! {
     /// preemptive heuristics `srpt` and `rcd` get the relaxed variant.
     #[test]
     fn every_registered_policy_obeys_the_physics(seed in 0u64..10_000, load in 1u32..8) {
-        let registry = AlgorithmRegistry::with_defaults();
         let policies = PolicyRegistry::with_defaults();
         let power = power();
         for topo in topologies() {
@@ -307,12 +306,12 @@ proptest! {
             let flows = ArrivalProcess::with_load(load as f64, seed).apply(&base).unwrap();
             let mut ctx = SolverContext::from_network(&topo.network).unwrap();
             for name in policies.names() {
-                let mut engine = OnlineEngine::new(
-                    registry.create("dcfsr").unwrap(),
-                    policies.create(name).unwrap(),
-                    AdmissionRule::AdmitAll,
-                );
-                engine.set_seed(seed);
+                let mut engine = OnlineEngine::builder()
+                    .algorithm("dcfsr")
+                    .policy(name)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
                 let outcome = engine.run(&mut ctx, &flows, &power).unwrap();
                 let context =
                     format!("online {name} on {} (seed {seed}, load {load})", topo.name);

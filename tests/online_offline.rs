@@ -14,7 +14,7 @@
 //! set ([`SolveError::EmptyFlowSet`]).
 
 use deadline_dcn::core::online::{
-    fractionally_feasible, residual_flow, AdmissionRule, OnlineEngine, PolicyRegistry,
+    fractionally_feasible, residual_flow, AdmissionRule, OnlineEngine,
 };
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::UniformWorkload;
@@ -49,7 +49,6 @@ fn released_at_zero(flows: &FlowSet) -> FlowSet {
 fn online_full_knowledge_is_bit_identical_to_offline_dcfsr() {
     let power = x2(10.0);
     let registry = AlgorithmRegistry::with_defaults();
-    let policies = PolicyRegistry::with_defaults();
     for topo in topologies() {
         let mut ctx = SolverContext::from_network(&topo.network).unwrap();
         for seed in [7u64, 21, 1000] {
@@ -59,12 +58,12 @@ fn online_full_knowledge_is_bit_identical_to_offline_dcfsr() {
                     .unwrap(),
             );
 
-            let mut online = OnlineEngine::new(
-                registry.create("dcfsr").unwrap(),
-                policies.create("resolve").unwrap(),
-                AdmissionRule::AdmitAll,
-            );
-            online.set_seed(seed);
+            let mut online = OnlineEngine::builder()
+                .algorithm("dcfsr")
+                .policy("resolve")
+                .seed(seed)
+                .build()
+                .unwrap();
             let outcome = online.run(&mut ctx, &flows, &power).unwrap();
             assert_eq!(outcome.report.events, 1, "{} seed {seed}", topo.name);
             assert_eq!(outcome.report.resolves, 1);
@@ -112,7 +111,6 @@ fn online_full_knowledge_is_bit_identical_to_offline_dcfsr() {
 fn online_full_knowledge_is_bit_identical_to_offline_sp_mcf() {
     let power = x2(1e9);
     let registry = AlgorithmRegistry::with_defaults();
-    let policies = PolicyRegistry::with_defaults();
     for topo in topologies() {
         let mut ctx = SolverContext::from_network(&topo.network).unwrap();
         for seed in [3u64, 11, 42] {
@@ -125,12 +123,13 @@ fn online_full_knowledge_is_bit_identical_to_offline_sp_mcf() {
                 AdmissionRule::AdmitAll,
                 AdmissionRule::reject_infeasible(Default::default()),
             ] {
-                let mut online = OnlineEngine::new(
-                    registry.create("sp-mcf").unwrap(),
-                    policies.create("resolve").unwrap(),
-                    admission,
-                );
-                online.set_seed(seed);
+                let mut online = OnlineEngine::builder()
+                    .algorithm("sp-mcf")
+                    .policy("resolve")
+                    .admission(admission)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
                 let outcome = online.run(&mut ctx, &flows, &power).unwrap();
                 assert_eq!(outcome.report.admitted(), flows.len());
 
@@ -157,7 +156,6 @@ fn online_full_knowledge_is_bit_identical_to_offline_sp_mcf() {
 #[test]
 fn full_knowledge_competitive_ratio_is_exactly_one() {
     let power = x2(10.0);
-    let registry = AlgorithmRegistry::with_defaults();
     let topo = builders::fat_tree(4);
     let mut ctx = SolverContext::from_network(&topo.network).unwrap();
     let flows = released_at_zero(
@@ -165,12 +163,12 @@ fn full_knowledge_competitive_ratio_is_exactly_one() {
             .generate(topo.hosts())
             .unwrap(),
     );
-    let mut online = OnlineEngine::new(
-        registry.create("dcfsr").unwrap(),
-        PolicyRegistry::with_defaults().create("resolve").unwrap(),
-        AdmissionRule::AdmitAll,
-    );
-    online.set_seed(5);
+    let mut online = OnlineEngine::builder()
+        .algorithm("dcfsr")
+        .policy("resolve")
+        .seed(5)
+        .build()
+        .unwrap();
     let outcome = online.run_vs_offline(&mut ctx, &flows, &power).unwrap();
     assert_eq!(outcome.report.competitive_ratio(), Some(1.0));
     assert_eq!(
@@ -197,12 +195,11 @@ fn online_error_paths_are_typed_not_panics() {
 
     // A re-solve (and the feasibility probe) on an empty residual set.
     let empty = FlowSet::from_flows(vec![]).unwrap();
-    let registry = AlgorithmRegistry::with_defaults();
-    let mut online = OnlineEngine::new(
-        registry.create("dcfsr").unwrap(),
-        PolicyRegistry::with_defaults().create("resolve").unwrap(),
-        AdmissionRule::AdmitAll,
-    );
+    let mut online = OnlineEngine::builder()
+        .algorithm("dcfsr")
+        .policy("resolve")
+        .build()
+        .unwrap();
     assert_eq!(
         online.run(&mut ctx, &empty, &power).unwrap_err(),
         SolveError::EmptyFlowSet

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use deadline_dcn::core::online::{
-    fractionally_feasible, residual_flow, AdmissionRule, FlowDecision, OnlineEngine, PolicyRegistry,
+    fractionally_feasible, residual_flow, AdmissionRule, FlowDecision, OnlineEngine,
 };
 use deadline_dcn::core::prelude::*;
 use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
@@ -269,7 +269,6 @@ fn assert_resolve_matches_legacy(
 ) {
     let power = PowerFunction::speed_scaling_only(1.0, 2.0, 10.0);
     let registry = AlgorithmRegistry::with_defaults();
-    let policies = PolicyRegistry::with_defaults();
     // Staggered arrivals: the Poisson rewrite guarantees multiple arrival
     // events, which is the regime where the two loops could diverge.
     let base = UniformWorkload::paper_defaults(14, seed)
@@ -288,12 +287,13 @@ fn assert_resolve_matches_legacy(
     )
     .unwrap();
 
-    let mut engine = OnlineEngine::new(
-        registry.create(algorithm).unwrap(),
-        policies.create("resolve").unwrap(),
-        admission,
-    );
-    engine.set_seed(seed);
+    let mut engine = OnlineEngine::builder()
+        .algorithm(algorithm)
+        .policy("resolve")
+        .admission(admission)
+        .seed(seed)
+        .build()
+        .unwrap();
     let new = engine.run(&mut ctx, &flows, &power).unwrap();
 
     let tag = format!("{} seed {seed} {algorithm}", topo.name);
