@@ -145,10 +145,66 @@ fn bench_dcfsr_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// The interval-parallel offline path: the relaxation alone and the full
+/// DCFSR pipeline, each at pool widths 1/2/4 (`--solver-threads`). The
+/// results are bit-identical across widths (pinned by
+/// `tests/parallel_equivalence.rs`), so any spread between the series is
+/// pure wall-clock — the ISSUE's speedup criterion reads the ratio of the
+/// 1-thread to the 4-thread series on fat-tree(16).
+fn bench_offline_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_parallel");
+    group.sample_size(3);
+    let power = power();
+    for (k, flows_n) in [(8usize, 80usize), (16, 40)] {
+        let topo = builders::fat_tree(k);
+        let flows = UniformWorkload::paper_defaults(flows_n, 7)
+            .generate(topo.hosts())
+            .expect("workload generates");
+        for threads in [1usize, 2, 4] {
+            group.bench_function(
+                &format!("relaxation/fat_tree{k}_{flows_n}flows/{threads}threads"),
+                |b| {
+                    let mut ctx = SolverContext::from_network(&topo.network)
+                        .expect("fat-tree validates")
+                        .with_parallelism(dcn_core::ParallelConfig::with_threads(threads));
+                    b.iter(|| {
+                        black_box(
+                            ctx.relax(&flows, &power, &harness_fmcf_config())
+                                .expect("relaxation succeeds"),
+                        )
+                    })
+                },
+            );
+            group.bench_function(
+                &format!("dcfsr_end_to_end/fat_tree{k}_{flows_n}flows/{threads}threads"),
+                |b| {
+                    b.iter(|| {
+                        let mut ctx = SolverContext::from_network(&topo.network)
+                            .expect("fat-tree validates")
+                            .with_parallelism(dcn_core::ParallelConfig::with_threads(threads));
+                        let mut rs_algo = Dcfsr::new(RandomScheduleConfig {
+                            fmcf: harness_fmcf_config(),
+                            seed: 7,
+                            ..Default::default()
+                        });
+                        black_box(
+                            rs_algo
+                                .solve(&mut ctx, &flows, &power)
+                                .expect("random schedule succeeds"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dijkstra,
     bench_fmcf_iteration,
-    bench_dcfsr_end_to_end
+    bench_dcfsr_end_to_end,
+    bench_offline_parallel
 );
 criterion_main!(benches);

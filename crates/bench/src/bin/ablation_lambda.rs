@@ -81,6 +81,8 @@ fn main() {
     if let Some(algorithms) = cli.algorithms.clone() {
         exp.algorithms = algorithms;
     }
+    exp.solver_threads = cli.solver_threads;
+    exp.record_timings = cli.timings;
     let outcome = exp.run(cli.threads);
     let report = &outcome.report;
     let rows: Vec<Vec<String>> = report

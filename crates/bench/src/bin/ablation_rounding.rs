@@ -51,6 +51,7 @@ fn main() {
         // expensive serial prefix, solved once on one context; the rounding
         // draws (cheap, independent) fan out across the worker pool.
         let mut ctx = SolverContext::from_network(&topo.network).expect("fat-tree validates");
+        ctx.set_parallelism(dcn_core::ParallelConfig::with_threads(cli.solver_threads));
         let relaxation = ctx
             .relax(&flow_set, &power, &harness_fmcf_config())
             .expect("relaxation succeeds on connected instances");
@@ -106,6 +107,8 @@ fn main() {
             rs_capacity_excess: excess,
             rs_sim: Some(rs_sim),
             sp_sim: Some(sp_sim),
+            solve_wall_ms: None,
+            intervals_per_second: None,
             extra: vec![
                 ("budget".to_string(), budget as f64),
                 ("attempts".to_string(), attempts as f64),

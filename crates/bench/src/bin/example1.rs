@@ -31,6 +31,7 @@ fn main() {
         // The optimal DCFS schedule on the (forced) shortest paths is
         // exactly the `sp-mcf` algorithm of the registry.
         let mut ctx = SolverContext::from_network(&topo.network).expect("line network validates");
+        ctx.set_parallelism(dcn_core::ParallelConfig::with_threads(cli.solver_threads));
         let solution = RoutedMcf::shortest_path()
             .solve(&mut ctx, &flows, &power)
             .expect("example instance is feasible");
@@ -64,6 +65,8 @@ fn main() {
             rs_capacity_excess: 0.0,
             rs_sim: Some(sim),
             sp_sim: None,
+            solve_wall_ms: None,
+            intervals_per_second: None,
             extra: vec![
                 ("s1_measured".to_string(), s1),
                 ("s1_paper".to_string(), s1_paper),

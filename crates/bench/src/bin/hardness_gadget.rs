@@ -38,6 +38,7 @@ fn main() {
                 .expect("gadget flows are valid");
 
             let mut ctx = SolverContext::from_network(&topo.network).expect("gadget validates");
+            ctx.set_parallelism(dcn_core::ParallelConfig::with_threads(cli.solver_threads));
             let rs = Dcfsr::new(RandomScheduleConfig {
                 max_rounding_attempts: 50,
                 ..Default::default()
@@ -65,6 +66,8 @@ fn main() {
                 rs_capacity_excess: rs.diagnostics.capacity_excess.unwrap_or(0.0),
                 rs_sim: None,
                 sp_sim: None,
+                solve_wall_ms: None,
+                intervals_per_second: None,
                 extra: vec![("m".to_string(), m as f64), ("B".to_string(), b)],
             }
         })

@@ -136,7 +136,7 @@ fn main() {
         AdmissionRule::AdmitAll,
         AdmissionRule::reject_infeasible(harness_fmcf_config()),
     ];
-    let knobs = OnlineKnobs::from_cli(cli.epoch, cli.shards);
+    let knobs = OnlineKnobs::from_cli(cli.epoch, cli.shards, cli.solver_threads);
 
     println!(
         "Online event-driven sweep: {algorithm} re-solves behind policies [{}] under Poisson \
@@ -262,6 +262,8 @@ fn main() {
                 rs_capacity_excess: result.outcome.schedule.max_capacity_excess(&power),
                 rs_sim: Some(result.online_sim),
                 sp_sim: Some(result.offline_sim),
+                solve_wall_ms: None,
+                intervals_per_second: None,
                 extra,
             }
         })

@@ -68,6 +68,8 @@ fn main() {
     if let Some(algorithms) = cli.algorithms.clone() {
         exp.algorithms = algorithms;
     }
+    exp.solver_threads = cli.solver_threads;
+    exp.record_timings = cli.timings;
     let outcome = exp.run(cli.threads);
     for &k in ks {
         let group = format!("k={k}");

@@ -34,7 +34,9 @@ pub mod report;
 pub mod runner;
 
 use dcn_core::online::{AdmissionRule, OnlineEngine, OnlineOutcome, PolicyRegistry, ShardMode};
-use dcn_core::{AlgorithmRegistry, Dcfsr, RandomScheduleConfig, RelaxationLb, SolverContext};
+use dcn_core::{
+    AlgorithmRegistry, Dcfsr, ParallelConfig, RandomScheduleConfig, RelaxationLb, SolverContext,
+};
 use dcn_flow::workload::UniformWorkload;
 use dcn_flow::FlowSet;
 use dcn_power::PowerFunction;
@@ -81,6 +83,13 @@ pub struct InstanceResult {
     /// Simulated energies of any algorithm beyond the first two, as
     /// `("<name>_energy", energy)` pairs in selection order.
     pub extra_energies: Vec<(String, f64)>,
+    /// Wall-clock spent inside the algorithms' `solve` calls, in
+    /// milliseconds (simulator verification excluded). Only surfaces in
+    /// the artifact when the experiment opts into `--timings`.
+    pub solve_wall_ms: f64,
+    /// Total relaxation intervals solved across the instance's algorithms
+    /// (summed over every algorithm that reports the diagnostic).
+    pub relaxation_intervals: usize,
 }
 
 impl InstanceResult {
@@ -172,12 +181,38 @@ pub fn run_flow_set_algorithms(
     algorithms: &[String],
     registry: &AlgorithmRegistry,
 ) -> InstanceResult {
+    run_flow_set_algorithms_threads(topo, flows, power, seed, algorithms, registry, 1)
+}
+
+/// [`run_flow_set_algorithms`] with the instance's [`SolverContext`]
+/// configured to solve independent relaxation intervals on
+/// `solver_threads` pool workers ([`ParallelConfig`]).
+///
+/// The solution is bit-identical at any `solver_threads` — parallelism
+/// only changes wall-clock (and the opt-in
+/// [`InstanceResult::solve_wall_ms`] measurement). When instances are
+/// themselves sharded across `--threads` workers, the nested interval
+/// pools run inline, so the two axes compose without oversubscription.
+///
+/// # Panics
+///
+/// See [`run_flow_set_algorithms`].
+pub fn run_flow_set_algorithms_threads(
+    topo: &BuiltTopology,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    seed: u64,
+    algorithms: &[String],
+    registry: &AlgorithmRegistry,
+    solver_threads: usize,
+) -> InstanceResult {
     assert!(
         algorithms.len() >= 2,
         "an experiment needs a primary and a reference algorithm, got {algorithms:?}"
     );
     let mut ctx =
         SolverContext::from_network(&topo.network).expect("builder topologies always validate");
+    ctx.set_parallelism(ParallelConfig::with_threads(solver_threads));
     let simulator = Simulator::new(*power);
 
     struct Ran {
@@ -189,14 +224,18 @@ pub fn run_flow_set_algorithms(
     }
 
     let mut ran: Vec<Ran> = Vec::with_capacity(algorithms.len());
+    let mut solve_wall_ms = 0.0;
+    let mut relaxation_intervals = 0;
     for name in algorithms {
         let mut algo = registry
             .create(name)
             .unwrap_or_else(|e| panic!("cannot select algorithm: {e}"));
         algo.set_seed(seed);
-        let solution = algo
-            .solve(&mut ctx, flows, power)
-            .unwrap_or_else(|e| panic!("{name} must solve connected instances: {e}"));
+        let (solution, solve_seconds) = runner::timed(|| algo.solve(&mut ctx, flows, power));
+        let solution =
+            solution.unwrap_or_else(|e| panic!("{name} must solve connected instances: {e}"));
+        solve_wall_ms += solve_seconds * 1e3;
+        relaxation_intervals += solution.diagnostics.relaxation_intervals.unwrap_or(0);
         match &solution.schedule {
             Some(schedule) => {
                 let sim = simulator.run_ctx(&ctx, flows, schedule);
@@ -260,6 +299,8 @@ pub fn run_flow_set_algorithms(
             .iter()
             .map(|r| (format!("{}_energy", r.name), r.energy))
             .collect(),
+        solve_wall_ms,
+        relaxation_intervals,
     }
 }
 
@@ -295,7 +336,7 @@ impl OnlineInstanceResult {
 /// arrivals, and pod-sharded residual solving. The default is the plain
 /// event loop (cold solves, no batching, no shards) — the configuration
 /// every pre-existing sweep ran under.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct OnlineKnobs {
     /// Warm-start consecutive Frank–Wolfe re-solves from the previous
     /// event's flow matrix ([`dcn_core::online::EngineConfig::warm_start`]).
@@ -307,17 +348,35 @@ pub struct OnlineKnobs {
     /// byte-identical at any shard width — `Fixed(n)` only sets the
     /// worker-thread count.
     pub shards: ShardMode,
+    /// Interval-parallel offline/cold solving ([`ParallelConfig`]); `1`
+    /// keeps every solve sequential. Warm-started re-solves always run
+    /// sequentially regardless of this knob, so the artifact stays
+    /// byte-identical at any value.
+    pub solver_threads: usize,
+}
+
+impl Default for OnlineKnobs {
+    fn default() -> Self {
+        Self {
+            warm_start: false,
+            epoch: 0.0,
+            shards: ShardMode::Off,
+            solver_threads: 1,
+        }
+    }
 }
 
 impl OnlineKnobs {
     /// Builds the knob set from the CLI's optional `--epoch`/`--shards`
-    /// values: supplying either flag also enables warm starts (the
-    /// incremental pipeline is one feature from the harness's viewpoint).
-    pub fn from_cli(epoch: Option<f64>, shards: Option<usize>) -> Self {
+    /// values plus the `--solver-threads` pool width: supplying either of
+    /// the first two flags also enables warm starts (the incremental
+    /// pipeline is one feature from the harness's viewpoint).
+    pub fn from_cli(epoch: Option<f64>, shards: Option<usize>, solver_threads: usize) -> Self {
         Self {
             warm_start: epoch.is_some() || shards.is_some(),
             epoch: epoch.unwrap_or(0.0),
             shards: shards.map_or(ShardMode::Off, ShardMode::Fixed),
+            solver_threads: solver_threads.max(1),
         }
     }
 }
@@ -356,6 +415,7 @@ pub fn run_online_flow_set(
 ) -> OnlineInstanceResult {
     let mut ctx =
         SolverContext::from_network(&topo.network).expect("builder topologies always validate");
+    ctx.set_parallelism(ParallelConfig::with_threads(knobs.solver_threads));
     let mut online = OnlineEngine::builder()
         .algorithm(algorithm)
         .algorithms(registry.clone())
@@ -524,6 +584,17 @@ pub struct Experiment {
     pub algorithms: Vec<String>,
     /// The instance grid, in deterministic order.
     pub instances: Vec<InstanceSpec>,
+    /// Pool workers each instance's offline solves use for independent
+    /// relaxation intervals (the `--solver-threads` CLI knob). `1` — the
+    /// default — is today's fully sequential behaviour; any value yields
+    /// the same bytes in the artifact's deterministic columns.
+    pub solver_threads: usize,
+    /// Emit the wall-clock columns ([`report::InstanceRecord::solve_wall_ms`]
+    /// and [`report::InstanceRecord::intervals_per_second`]) into the
+    /// artifact (the `--timings` CLI knob). Off by default because timing
+    /// columns are machine-dependent and break byte-for-byte artifact
+    /// comparison.
+    pub record_timings: bool,
 }
 
 /// The outcome of [`Experiment::run`]: the artifact plus the measured
@@ -547,6 +618,8 @@ impl Experiment {
             workload: None,
             algorithms: default_algorithms(),
             instances: Vec::new(),
+            solver_threads: 1,
+            record_timings: false,
         }
     }
 
@@ -597,7 +670,7 @@ impl Experiment {
         });
         let mut coordinates = Vec::with_capacity(self.instances.len());
         for (spec, result) in self.instances.iter().zip(&results) {
-            report.instances.push(Self::record(spec, result));
+            report.instances.push(self.record(spec, result));
             coordinates.push((spec.group.clone(), spec.x));
         }
         report.aggregate_points(&coordinates);
@@ -622,32 +695,44 @@ impl Experiment {
                 let flow_set = workload
                     .generate(topo.hosts())
                     .expect("workload generation succeeds on topologies with >= 2 hosts");
-                run_flow_set_algorithms(
+                run_flow_set_algorithms_threads(
                     topo,
                     &flow_set,
                     &spec.power,
                     spec.seed,
                     &self.algorithms,
                     registry,
+                    self.solver_threads,
                 )
             }
-            InstanceInput::Explicit(flow_set) => run_flow_set_algorithms(
+            InstanceInput::Explicit(flow_set) => run_flow_set_algorithms_threads(
                 topo,
                 flow_set,
                 &spec.power,
                 spec.seed,
                 &self.algorithms,
                 registry,
+                self.solver_threads,
             ),
         }
     }
 
     /// Builds the artifact record of one solved instance; energies of
     /// algorithms beyond the primary/reference pair are appended to the
-    /// record's `extra` dimensions.
-    fn record(spec: &InstanceSpec, result: &InstanceResult) -> InstanceRecord {
+    /// record's `extra` dimensions. The wall-clock columns are populated
+    /// only under [`Experiment::record_timings`] so the default artifact
+    /// stays machine-independent.
+    fn record(&self, spec: &InstanceSpec, result: &InstanceResult) -> InstanceRecord {
         let mut extra = spec.extra.clone();
         extra.extend(result.extra_energies.iter().cloned());
+        let solve_wall_ms = self.record_timings.then_some(result.solve_wall_ms);
+        let intervals_per_second = self
+            .record_timings
+            .then(|| {
+                (result.solve_wall_ms > 0.0 && result.relaxation_intervals > 0)
+                    .then(|| result.relaxation_intervals as f64 / (result.solve_wall_ms / 1e3))
+            })
+            .flatten();
         InstanceRecord {
             label: format!("{} x={} seed={}", spec.group, spec.x, spec.seed),
             flows: result.flows,
@@ -662,6 +747,8 @@ impl Experiment {
             rs_capacity_excess: result.rs_capacity_excess,
             rs_sim: Some(result.rs_sim),
             sp_sim: Some(result.sp_sim),
+            solve_wall_ms,
+            intervals_per_second,
             extra,
         }
     }

@@ -18,7 +18,12 @@ use std::io;
 use std::path::Path;
 
 /// Version of the report schema; bump on any breaking field change.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * v2 — added the opt-in per-instance timing columns
+///   [`InstanceRecord::solve_wall_ms`] and
+///   [`InstanceRecord::intervals_per_second`] (both `null` outside
+///   `--timings` runs).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One solved `(topology, workload, power-function, seed)` instance, as it
 /// appears in the JSON artifact.
@@ -58,6 +63,15 @@ pub struct InstanceRecord {
     pub rs_sim: Option<SimSummary>,
     /// Simulator verification of the reference schedule, when simulated.
     pub sp_sim: Option<SimSummary>,
+    /// Wall-clock of the instance's algorithm `solve` calls in
+    /// milliseconds; only populated under `--timings` because timing
+    /// columns are machine-dependent and break byte-for-byte artifact
+    /// comparison.
+    pub solve_wall_ms: Option<f64>,
+    /// Relaxation-interval throughput (`intervals / solve seconds`) of the
+    /// instance; only populated under `--timings` and only when the
+    /// instance solved at least one interval in measurable time.
+    pub intervals_per_second: Option<f64>,
     /// Experiment-specific dimensions (e.g. `grain`, `lambda`, `budget`,
     /// `m`), in a fixed order.
     pub extra: Vec<(String, f64)>,
@@ -199,6 +213,19 @@ impl ExperimentReport {
                     record.label
                 ));
             }
+            for (name, value) in [
+                ("solve_wall_ms", record.solve_wall_ms),
+                ("intervals_per_second", record.intervals_per_second),
+            ] {
+                if let Some(value) = value {
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(format!(
+                            "instance {i} ({}): {name} must be finite and non-negative",
+                            record.label
+                        ));
+                    }
+                }
+            }
             for (key, value) in &record.extra {
                 if key.is_empty() {
                     return Err(format!("instance {i} ({}): empty extra key", record.label));
@@ -295,6 +322,8 @@ mod tests {
             rs_capacity_excess: 0.0,
             rs_sim: None,
             sp_sim: None,
+            solve_wall_ms: None,
+            intervals_per_second: None,
             extra: vec![("grain".to_string(), 2.0)],
         }
     }
@@ -359,6 +388,29 @@ mod tests {
         let mut r = report();
         r.points[0].runs = 9;
         assert!(r.validate().unwrap_err().contains("average"));
+
+        let mut r = report();
+        r.instances[0].solve_wall_ms = Some(-1.0);
+        assert!(r.validate().unwrap_err().contains("solve_wall_ms"));
+
+        let mut r = report();
+        r.instances[0].intervals_per_second = Some(f64::INFINITY);
+        assert!(r.validate().unwrap_err().contains("intervals_per_second"));
+    }
+
+    #[test]
+    fn timing_columns_default_to_null_and_roundtrip_when_set() {
+        let r = report();
+        let json = r.to_json();
+        assert!(json.contains("\"solve_wall_ms\": null"));
+        assert!(json.contains("\"intervals_per_second\": null"));
+
+        let mut r = report();
+        r.instances[0].solve_wall_ms = Some(12.5);
+        r.instances[0].intervals_per_second = Some(400.0);
+        let back = ExperimentReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.instances[0].solve_wall_ms, Some(12.5));
+        assert_eq!(back.instances[0].intervals_per_second, Some(400.0));
     }
 
     #[test]

@@ -3,70 +3,21 @@
 //!
 //! The sweeps in this crate are embarrassingly parallel: every
 //! `(seed, flow-count)` instance is independent and internally seeded, so
-//! [`run_indexed`] fans instances out across a [`std::thread::scope`]-based
-//! worker pool and collects results **in input order**, which makes the
-//! output of a run — and therefore its JSON report — independent of the
+//! [`run_indexed`] fans instances out across the scoped worker pool of
+//! [`dcn_core::pool`] and collects results **in input order**, which makes
+//! the output of a run — and therefore its JSON report — independent of the
 //! thread count. That is the determinism contract the CI relies on: same
-//! seed ⇒ byte-identical `BENCH_*.json` regardless of `--threads`.
+//! seed ⇒ byte-identical `BENCH_*.json` regardless of `--threads` *and*
+//! `--solver-threads` (instance sharding and interval-parallel solving
+//! share one pool implementation and compose without oversubscription: a
+//! solver pool nested under an instance worker runs inline).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::report::ExperimentReport;
 
-/// The number of worker threads to use by default: every available core.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Runs `job(i)` for every `i in 0..count` on a pool of `threads` scoped
-/// worker threads and returns the results **in index order**.
-///
-/// Work is distributed dynamically (an atomic cursor), so long and short
-/// instances mix freely across workers; because every job is a pure
-/// function of its index, the returned vector — unlike the execution
-/// schedule — is deterministic. With `threads <= 1` the jobs run inline on
-/// the calling thread.
-///
-/// # Panics
-///
-/// Propagates a panic from any job (the scope joins every worker).
-pub fn run_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.clamp(1, count.max(1));
-    if threads <= 1 {
-        return (0..count).map(job).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let result = job(i);
-                *slots[i].lock().expect("result slot is never poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot is never poisoned")
-                .expect("every index was claimed exactly once")
-        })
-        .collect()
-}
+pub use dcn_core::pool::{default_threads, run_indexed, run_indexed_with};
 
 /// Runs a closure and measures its wall-clock time in seconds.
 pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
@@ -82,7 +33,14 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 /// --seeds N       rounding seeds (ablation_rounding)
 /// --flows N       workload size for the single-size ablations
 /// --step N        flow-count step of the fig2 sweep
-/// --threads N     worker threads (default: all cores)
+/// --threads N     worker threads for instance sharding (default: all
+///                 cores)
+/// --solver-threads N
+///                 interval-parallel solver threads *inside* each
+///                 instance (default 1 = sequential solves); artifacts
+///                 are byte-identical at any value, and a solver pool
+///                 nested under an instance worker runs inline, so
+///                 --threads x --solver-threads never oversubscribes
 /// --algorithms L  comma-separated registry names to compare (primary,
 ///                 reference, extras), e.g. dcfsr,sp-mcf,ecmp,greedy;
 ///                 defaults to the experiment's own selection
@@ -119,6 +77,10 @@ pub struct ExperimentCli {
     pub step: Option<usize>,
     /// `--threads N`: worker-pool size; defaults to every available core.
     pub threads: usize,
+    /// `--solver-threads N`: interval-parallel solver threads inside each
+    /// instance; defaults to 1 (sequential solves, bit-for-bit the
+    /// historical behaviour).
+    pub solver_threads: usize,
     /// `--algorithms a,b,...`: registry names to compare (primary,
     /// reference, extras); `None` keeps the experiment's default.
     pub algorithms: Option<Vec<String>>,
@@ -155,6 +117,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--flows",
     "--step",
     "--threads",
+    "--solver-threads",
     "--algorithms",
     "--load",
     "--policies",
@@ -175,9 +138,9 @@ impl ExperimentCli {
                 eprintln!("{experiment}: {message}");
                 eprintln!(
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
-                     [--threads N] [--algorithms a,b,...] [--load a,b,...] \
-                     [--policies a,b,...] [--epoch W] [--shards N] [--quick] [--full] \
-                     [--small] [--json-out [PATH]] [--timings]"
+                     [--threads N] [--solver-threads N] [--algorithms a,b,...] \
+                     [--load a,b,...] [--policies a,b,...] [--epoch W] [--shards N] \
+                     [--quick] [--full] [--small] [--json-out [PATH]] [--timings]"
                 );
                 std::process::exit(2);
             }
@@ -197,6 +160,7 @@ impl ExperimentCli {
             flows: None,
             step: None,
             threads: default_threads(),
+            solver_threads: 1,
             algorithms: None,
             load: None,
             policies: None,
@@ -234,6 +198,7 @@ impl ExperimentCli {
                     "--flows" => cli.flows = Some(parse_value(flag, value)?),
                     "--step" => cli.step = Some(parse_value(flag, value)?),
                     "--threads" => cli.threads = parse_value(flag, value)?,
+                    "--solver-threads" => cli.solver_threads = parse_value(flag, value)?,
                     "--algorithms" => {
                         let names: Vec<String> = value
                             .split(',')
@@ -311,6 +276,9 @@ impl ExperimentCli {
         if cli.threads == 0 {
             return Err("--threads must be at least 1".to_string());
         }
+        if cli.solver_threads == 0 {
+            return Err("--solver-threads must be at least 1".to_string());
+        }
         // Zero sweep sizes produce empty (schema-invalid) artifacts, NaN
         // averages, or a step_by(0) panic downstream; fail fast instead.
         for (flag, value) in [
@@ -380,23 +348,12 @@ mod tests {
     }
 
     #[test]
-    fn run_indexed_preserves_input_order() {
-        let serial = run_indexed(17, 1, |i| i * i);
-        for threads in [2, 3, 8, 64] {
-            assert_eq!(run_indexed(17, threads, |i| i * i), serial);
-        }
-        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn run_indexed_runs_every_job_exactly_once() {
-        let counter = AtomicUsize::new(0);
-        let results = run_indexed(100, 7, |i| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            i
-        });
-        assert_eq!(counter.load(Ordering::Relaxed), 100);
-        assert_eq!(results, (0..100).collect::<Vec<_>>());
+    fn run_indexed_is_reexported_from_the_core_pool() {
+        // The pool itself is tested in `dcn_core::pool`; this pins the
+        // delegation so the harness and the solvers share one
+        // implementation (and therefore one nested-execution guard).
+        assert_eq!(run_indexed(5, 3, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        assert!(default_threads() >= 1);
     }
 
     #[test]
@@ -490,6 +447,17 @@ mod tests {
         assert!(ExperimentCli::from_args("online", &args(&["--epoch"])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--shards", "0"])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--shards", "two"])).is_err());
+    }
+
+    #[test]
+    fn cli_parses_solver_threads() {
+        let cli = ExperimentCli::from_args("fig2", &args(&["--solver-threads", "4"])).unwrap();
+        assert_eq!(cli.solver_threads, 4);
+        // The default keeps solves sequential regardless of --threads.
+        let cli = ExperimentCli::from_args("fig2", &args(&["--threads", "8"])).unwrap();
+        assert_eq!(cli.solver_threads, 1);
+        assert!(ExperimentCli::from_args("fig2", &args(&["--solver-threads", "0"])).is_err());
+        assert!(ExperimentCli::from_args("fig2", &args(&["--solver-threads"])).is_err());
     }
 
     #[test]

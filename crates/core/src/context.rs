@@ -29,7 +29,8 @@
 //! ```
 
 use crate::error::SolveError;
-use crate::relaxation::{interval_relaxation_with, RelaxationSummary};
+use crate::pool::ParallelConfig;
+use crate::relaxation::{interval_relaxation_threads, interval_relaxation_with, RelaxationSummary};
 use crate::routing::Routing;
 use crate::schedule::Schedule;
 use dcn_flow::FlowSet;
@@ -51,6 +52,7 @@ pub struct SolverContext<'net> {
     graph: GraphCsr,
     engine: ShortestPathEngine,
     fmcf: FmcfScratch,
+    parallel: ParallelConfig,
 }
 
 impl<'net> SolverContext<'net> {
@@ -87,7 +89,35 @@ impl<'net> SolverContext<'net> {
             graph: GraphCsr::from_network(network),
             engine: ShortestPathEngine::new(),
             fmcf: FmcfScratch::new(),
+            parallel: ParallelConfig::default(),
         })
+    }
+
+    /// Builder-style [`SolverContext::set_parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.set_parallelism(parallel);
+        self
+    }
+
+    /// Sets the interval-parallelism knob: solves whose subproblems are
+    /// independent (the per-interval relaxation, DCFSR's per-interval path
+    /// decomposition, `exact`'s assignment enumeration) fan out across
+    /// `parallel.threads` pool workers. The default — one thread — is the
+    /// sequential behaviour bit for bit, and any other width produces
+    /// byte-identical results (see [`crate::pool`] and
+    /// [`interval_relaxation_threads`]); the knob only changes wall-clock.
+    ///
+    /// Warm-started relaxations ([`SolverContext::set_warm_start`]) always
+    /// run sequentially regardless of this knob: the warm cache on the
+    /// shared scratch is order-dependent by design.
+    pub fn set_parallelism(&mut self, parallel: ParallelConfig) {
+        self.parallel = ParallelConfig::with_threads(parallel.threads);
+    }
+
+    /// The interval-parallelism knob in effect.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.parallel
     }
 
     /// The network the context was built from.
@@ -213,9 +243,14 @@ impl<'net> SolverContext<'net> {
             .map_err(SolveError::from)
     }
 
-    /// Solves the per-interval fractional relaxation of the instance,
-    /// sharing the context's Frank–Wolfe scratch (one shortest-path engine
-    /// and one buffer set across every interval and every call).
+    /// Solves the per-interval fractional relaxation of the instance. At
+    /// the default parallelism the interval loop shares the context's
+    /// Frank–Wolfe scratch (one shortest-path engine and one buffer set
+    /// across every interval and every call); with
+    /// [`SolverContext::set_parallelism`] above one thread — and warm
+    /// starts off — the independent intervals fan out across pool workers
+    /// with one private scratch each, returning byte-identical results
+    /// (see [`interval_relaxation_threads`]).
     ///
     /// Validates the flow set first, so the underlying solver — which
     /// panics on disconnected commodities — is never reached with bad
@@ -231,6 +266,17 @@ impl<'net> SolverContext<'net> {
         config: &FmcfSolverConfig,
     ) -> Result<RelaxationSummary, SolveError> {
         self.validate_flows(flows)?;
+        // The warm cache lives on the shared scratch and is order-dependent
+        // by design, so warm-started contexts keep the sequential path.
+        if self.parallel.threads > 1 && !self.fmcf.warm_start() {
+            return Ok(interval_relaxation_threads(
+                &self.graph,
+                flows,
+                power,
+                config,
+                self.parallel.threads,
+            ));
+        }
         Ok(interval_relaxation_with(
             &self.graph,
             flows,

@@ -177,7 +177,30 @@ impl RandomSchedule {
         power: &PowerFunction,
         relaxation: &RelaxationSummary,
     ) -> Result<RandomScheduleOutcome, DcfsrError> {
-        let candidates = self.candidate_paths(network, flows, relaxation)?;
+        self.run_with_relaxation_threads(network, flows, power, relaxation, 1)
+    }
+
+    /// [`RandomSchedule::run_with_relaxation`] with the per-interval path
+    /// decomposition fanned out across `threads` pool workers (each
+    /// interval's Raghavan–Tompson decompositions are independent; the
+    /// weight merge and the rounding loop stay sequential, so the outcome
+    /// is bit-identical at any thread count). This is the entry point the
+    /// [`crate::Dcfsr`] algorithm's `solve` drives from the context's
+    /// [`crate::SolverContext::parallelism`] knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcfsrError::Unroutable`] if some flow has no path in the
+    /// network.
+    pub fn run_with_relaxation_threads(
+        &self,
+        network: &Network,
+        flows: &FlowSet,
+        power: &PowerFunction,
+        relaxation: &RelaxationSummary,
+        threads: usize,
+    ) -> Result<RandomScheduleOutcome, DcfsrError> {
+        let candidates = self.candidate_paths(network, flows, relaxation, threads)?;
 
         // Randomized rounding with capacity re-draws.
         let mut best: Option<(Schedule, f64)> = None;
@@ -212,25 +235,43 @@ impl RandomSchedule {
 
     /// Builds every flow's candidate path set `Q_i` with merged weights
     /// `w̄_P` (Algorithm 2, lines 4–7).
+    ///
+    /// The per-interval decompositions are independent and fan out across
+    /// `threads` pool workers; the weight merge then walks the per-interval
+    /// results in interval order, flow order, path order — the exact
+    /// floating-point sequence of the sequential loop, so the candidate
+    /// sets are bit-identical at any thread count.
     fn candidate_paths(
         &self,
         network: &Network,
         flows: &FlowSet,
         relaxation: &RelaxationSummary,
+        threads: usize,
     ) -> Result<Vec<Vec<CandidatePath>>, DcfsrError> {
         let mut candidates: Vec<Vec<CandidatePath>> = vec![Vec::new(); flows.len()];
 
-        for iv in &relaxation.intervals {
+        let decomposed = crate::pool::run_indexed(relaxation.intervals.len(), threads, |k| {
+            let iv = &relaxation.intervals[k];
+            iv.flow_ids
+                .iter()
+                .enumerate()
+                .map(|(ci, &flow_id)| {
+                    let flow = flows.flow(flow_id);
+                    decompose_flow(
+                        network,
+                        flow.src,
+                        flow.dst,
+                        iv.solution.commodity_flows(ci),
+                        self.config.decompose_epsilon,
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+
+        for (iv, interval_parts) in relaxation.intervals.iter().zip(decomposed) {
             let interval_share = iv.interval.length();
-            for (ci, &flow_id) in iv.flow_ids.iter().enumerate() {
+            for (&flow_id, parts) in iv.flow_ids.iter().zip(interval_parts) {
                 let flow = flows.flow(flow_id);
-                let parts = decompose_flow(
-                    network,
-                    flow.src,
-                    flow.dst,
-                    iv.solution.commodity_flows(ci),
-                    self.config.decompose_epsilon,
-                );
                 let density = flow.density();
                 for part in parts {
                     // w_P(k): the fraction of the flow routed on this path

@@ -119,6 +119,7 @@ pub fn exact_dcfsr_ctx(
     max_assignments: u128,
 ) -> Result<ExactOutcome, ExactError> {
     let paths_per_flow = paths_per_flow.max(1);
+    let threads = ctx.parallelism().threads;
     let network = ctx.network();
     // Candidate paths per flow, over the context's CSR view and engine.
     let (graph, engine, _) = ctx.parts();
@@ -136,6 +137,12 @@ pub fn exact_dcfsr_ctx(
             combinations,
             budget: max_assignments,
         });
+    }
+
+    if threads > 1 {
+        if let Ok(total) = usize::try_from(combinations) {
+            return exact_parallel(network, flows, power, &candidates, total, threads);
+        }
     }
 
     let mut best: Option<ExactOutcome> = None;
@@ -182,6 +189,61 @@ pub fn exact_dcfsr_ctx(
             pos += 1;
         }
     }
+}
+
+/// The `i`-th path assignment of the mixed-radix enumeration (digit 0 is
+/// the least significant, matching the sequential counter's order).
+fn assignment_paths(candidates: &[Vec<Path>], index: usize) -> Vec<Path> {
+    let mut rest = index;
+    candidates
+        .iter()
+        .map(|c| {
+            let choice = rest % c.len();
+            rest /= c.len();
+            c[choice].clone()
+        })
+        .collect()
+}
+
+/// Assignment-parallel enumeration: every assignment's DCFS evaluation is
+/// independent, so the energies fan out across pool workers; the winner is
+/// then selected by a sequential scan in enumeration order with a strict
+/// `<` (first-better-wins) — the same tie-breaking as the sequential loop —
+/// and only the winning assignment's schedule is rebuilt.
+fn exact_parallel(
+    network: &Network,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    candidates: &[Vec<Path>],
+    total: usize,
+    threads: usize,
+) -> Result<ExactOutcome, ExactError> {
+    let energies: Vec<Option<f64>> = crate::pool::run_indexed(total, threads, |i| {
+        let paths = assignment_paths(candidates, i);
+        most_critical_first(network, flows, &paths, power)
+            .ok()
+            .map(|schedule| schedule.energy(power).total())
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for (i, energy) in energies.iter().enumerate() {
+        let Some(energy) = energy else { continue };
+        let better = best.map(|(_, e)| *energy < e).unwrap_or(true);
+        if better {
+            best = Some((i, *energy));
+        }
+    }
+    let Some((winner, energy)) = best else {
+        return Err(ExactError::NoFeasibleAssignment);
+    };
+    let paths = assignment_paths(candidates, winner);
+    let schedule = most_critical_first(network, flows, &paths, power)
+        .expect("the winning assignment was feasible during enumeration");
+    Ok(ExactOutcome {
+        schedule,
+        energy,
+        paths,
+        assignments_tried: total,
+    })
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@
 //!
 //! Supporting modules: [`schedule`] (the schedule data model, feasibility
 //! verification and energy accounting), [`routing`] (path selection
-//! strategies for the DCFS input and the SP+MCF baseline), and [`online`]
+//! strategies for the DCFS input and the SP+MCF baseline), [`pool`] (the
+//! deterministic index-ordered worker pool behind interval-parallel solves
+//! and the benchmark sweeps, with a [`ParallelConfig`] knob on the
+//! [`SolverContext`]), and [`online`]
 //! (the event-driven engine that reveals flows at their release times and
 //! re-plans their rates per event through a pluggable [`OnlinePolicy`] —
 //! from full residual re-solves with any wrapped [`Algorithm`] down to
@@ -82,6 +85,7 @@ pub mod dcfsr;
 pub mod error;
 pub mod exact;
 pub mod online;
+pub mod pool;
 pub mod registry;
 pub mod relaxation;
 pub mod routing;
@@ -101,8 +105,10 @@ pub use online::{
     AdmissionRule, EngineConfig, FlowDecision, OnlineEngine, OnlineOutcome, OnlinePolicy,
     OnlineReport, PolicyRegistry, ShardMode,
 };
+pub use pool::ParallelConfig;
 pub use relaxation::{
-    interval_relaxation_on, interval_relaxation_with, IntervalRelaxation, RelaxationSummary,
+    interval_relaxation_on, interval_relaxation_threads, interval_relaxation_with,
+    IntervalRelaxation, RelaxationSummary,
 };
 pub use routing::{Routing, RoutingError};
 pub use schedule::{FlowSchedule, Schedule, ScheduleError, ScheduleViolation};
@@ -131,6 +137,7 @@ pub mod prelude {
         AdmissionRule, EngineConfig, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport,
         PolicyRegistry, ShardMode,
     };
+    pub use crate::pool::ParallelConfig;
     pub use crate::routing::Routing;
     pub use crate::schedule::{FlowSchedule, Schedule};
     pub use crate::solution::{Diagnostics, Solution};

@@ -1,0 +1,241 @@
+//! The deterministic scoped worker pool shared by the offline solvers and
+//! the benchmark harness.
+//!
+//! Every parallel workload in this repository has the same shape: `count`
+//! independent jobs indexed `0..count`, each a pure function of its index,
+//! whose results must come back **in index order** so downstream output —
+//! schedules, lower bounds, JSON artifacts — is independent of the thread
+//! count. [`run_indexed`] implements exactly that contract on a
+//! [`std::thread::scope`] pool with an atomic work cursor: the execution
+//! schedule is dynamic, the result vector is not.
+//!
+//! [`run_indexed_with`] extends the contract with **per-worker state**: each
+//! worker thread builds one state value (a Frank–Wolfe scratch, say) and
+//! reuses it across every job it drains, which is what makes the
+//! interval-parallel relaxation of [`crate::relaxation`] allocation-frugal
+//! without sharing buffers across threads.
+//!
+//! # Nesting
+//!
+//! Pools compose without oversubscription: a `run_indexed` call issued from
+//! *inside* a pool worker (e.g. an interval-parallel solve nested under the
+//! benchmark harness's instance-parallel sweep) detects the nesting through
+//! a thread-local flag and runs its jobs inline on the calling worker.
+//! Because results are collected in index order either way, nesting can
+//! never change a result — only where the parallelism is spent.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested pool calls
+    /// check it and run inline instead of spawning a second pool layer.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns `true` when called from inside a pool worker thread (any nested
+/// [`run_indexed`] would therefore run inline).
+pub fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(Cell::get)
+}
+
+/// The number of worker threads to use by default: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The parallelism knob of the offline solvers (see
+/// [`crate::SolverContext::set_parallelism`]).
+///
+/// The default — one thread — is today's sequential behaviour bit for bit;
+/// any other width keeps results byte-identical because every consumer of
+/// the pool collects in index order and reduces in a fixed sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for interval-parallel solves. `1` runs inline.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// Sequential execution (the default).
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..count` on a pool of `threads` scoped
+/// worker threads and returns the results **in index order**.
+///
+/// Work is distributed dynamically (an atomic cursor), so long and short
+/// jobs mix freely across workers; because every job is a pure function of
+/// its index, the returned vector — unlike the execution schedule — is
+/// deterministic. With `threads <= 1`, or when called from inside another
+/// pool's worker (see the [module docs](self)), the jobs run inline on the
+/// calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins every worker).
+pub fn run_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(count, threads, || (), |(), i| job(i))
+}
+
+/// [`run_indexed`] with per-worker state: every worker thread calls `init`
+/// once and passes the resulting value to each job it drains, so expensive
+/// scratch (solver arenas, RNGs, buffers) is built once per worker instead
+/// of once per job — and never shared across threads.
+///
+/// The inline path (`threads <= 1`, empty input, or nested under another
+/// pool worker) builds a single state and runs every job on it, which is
+/// exactly the sequential loop the parallel path must reproduce.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins every worker).
+pub fn run_indexed_with<S, T, I, F>(count: usize, threads: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = if in_pool_worker() {
+        1
+    } else {
+        threads.clamp(1, count.max(1))
+    };
+    if threads <= 1 {
+        let mut state = init();
+        return (0..count).map(|i| job(&mut state, i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                IN_POOL_WORKER.with(|flag| flag.set(true));
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = job(&mut state, i);
+                    *slots[i].lock().expect("result slot is never poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot is never poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let serial = run_indexed(17, 1, |i| i * i);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run_indexed(17, threads, |i| i * i), serial);
+        }
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn run_indexed_runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_indexed(100, 7, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(results, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_across_drained_jobs() {
+        // Each worker's state counts the jobs it ran; the total across all
+        // returned (state_counter_after_this_job) values must show states
+        // being advanced, and the sum of final per-worker counts is 100.
+        let results = run_indexed_with(
+            100,
+            4,
+            || 0usize,
+            |state, i| {
+                *state += 1;
+                (i, *state)
+            },
+        );
+        assert_eq!(results.len(), 100);
+        // Indices come back in order regardless of which worker ran them.
+        for (slot, (i, count)) in results.iter().enumerate() {
+            assert_eq!(slot, *i);
+            assert!(*count >= 1 && *count <= 100);
+        }
+        // Sequentially, one state serves every job.
+        let serial = run_indexed_with(
+            5,
+            1,
+            || 0usize,
+            |state, i| {
+                *state += 1;
+                (i, *state)
+            },
+        );
+        assert_eq!(serial, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn nested_pools_run_inline_without_oversubscription() {
+        // An outer pool of 4 workers each launching an "8-thread" inner
+        // pool: the inner calls must detect the nesting and run inline,
+        // and the combined result must match the fully sequential one.
+        let outer = run_indexed(6, 4, |i| {
+            assert!(in_pool_worker());
+            let inner = run_indexed(5, 8, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let serial = run_indexed(6, 1, |i| {
+            let inner = run_indexed(5, 8, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(outer, serial);
+        // Back on the main thread the flag is clear.
+        assert!(!in_pool_worker());
+    }
+
+    #[test]
+    fn parallel_config_defaults_to_sequential() {
+        assert_eq!(ParallelConfig::default(), ParallelConfig::sequential());
+        assert_eq!(ParallelConfig::default().threads, 1);
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+        assert_eq!(ParallelConfig::with_threads(4).threads, 4);
+    }
+}

@@ -21,7 +21,15 @@ use dcn_solver::fmcf::{
 };
 use dcn_topology::{GraphCsr, Network};
 
+/// A [`FlowId`] that marks "not active in this interval" in the prebuilt
+/// commodity lookup of [`IntervalRelaxation`].
+const NOT_ACTIVE: u32 = u32::MAX;
+
 /// The fractional solution of one interval's F-MCF subproblem.
+///
+/// Build one with [`IntervalRelaxation::new`]; the constructor prebuilds
+/// the `FlowId -> commodity` lookup that makes
+/// [`IntervalRelaxation::commodity_index`] O(1) on the DCFSR hot path.
 #[derive(Debug, Clone)]
 pub struct IntervalRelaxation {
     /// The interval `I_k`.
@@ -33,9 +41,35 @@ pub struct IntervalRelaxation {
     pub solution: FmcfSolution,
     /// The relaxation cost of the interval **per unit of time**.
     pub cost_rate: f64,
+    /// Dense `FlowId -> commodity index` lookup ([`NOT_ACTIVE`] marks flows
+    /// outside the interval). Flow ids are dense per-instance indices, so a
+    /// flat vector beats a hash map here.
+    commodity_of: Vec<u32>,
 }
 
 impl IntervalRelaxation {
+    /// Assembles one interval's relaxation, prebuilding the
+    /// `FlowId -> commodity` lookup from `flow_ids`.
+    pub fn new(
+        interval: Interval,
+        flow_ids: Vec<FlowId>,
+        solution: FmcfSolution,
+        cost_rate: f64,
+    ) -> Self {
+        let size = flow_ids.iter().map(|&f| f + 1).max().unwrap_or(0);
+        let mut commodity_of = vec![NOT_ACTIVE; size];
+        for (c, &f) in flow_ids.iter().enumerate() {
+            commodity_of[f] = u32::try_from(c).expect("commodity counts fit in u32");
+        }
+        Self {
+            interval,
+            flow_ids,
+            solution,
+            cost_rate,
+            commodity_of,
+        }
+    }
+
     /// The relaxation cost contributed by this interval
     /// (`cost_rate * |I_k|`).
     pub fn cost(&self) -> f64 {
@@ -43,9 +77,12 @@ impl IntervalRelaxation {
     }
 
     /// The commodity index of a flow inside this interval, if the flow is
-    /// active here.
+    /// active here. O(1) through the lookup prebuilt at solve time.
     pub fn commodity_index(&self, flow: FlowId) -> Option<usize> {
-        self.flow_ids.iter().position(|&f| f == flow)
+        match self.commodity_of.get(flow) {
+            Some(&c) if c != NOT_ACTIVE => Some(c as usize),
+            _ => None,
+        }
     }
 }
 
@@ -61,9 +98,12 @@ pub struct RelaxationSummary {
 }
 
 impl RelaxationSummary {
-    /// The relaxation of the interval with the given index.
-    pub fn interval(&self, index: usize) -> &IntervalRelaxation {
-        &self.intervals[index]
+    /// The relaxation of the interval with the given index, or `None` when
+    /// `index` is out of range (an instance with `n` release/deadline
+    /// events has at most `2n - 1` intervals, and degenerate instances can
+    /// have fewer — callers should not assume a particular count).
+    pub fn interval(&self, index: usize) -> Option<&IntervalRelaxation> {
+        self.intervals.get(index)
     }
 }
 
@@ -128,39 +168,98 @@ pub fn interval_relaxation_with(
     scratch: &mut FmcfScratch,
 ) -> RelaxationSummary {
     let cost = PowerFlowCost::new(*power);
+    let config = effective_config(fmcf_config, power);
+    let intervals: Vec<IntervalRelaxation> = flows
+        .intervals()
+        .into_iter()
+        .map(|interval| solve_interval(graph, flows, &cost, &config, interval, scratch))
+        .collect();
+    summarize(intervals)
+}
+
+/// [`interval_relaxation_with`] fanned out across intervals on the
+/// index-ordered worker pool of [`crate::pool`]: each of the `threads`
+/// workers builds one private [`FmcfScratch`] and reuses it across every
+/// interval it drains.
+///
+/// **Determinism.** The result is byte-identical to the sequential path at
+/// any thread count: each interval is an independent F-MCF problem, a cold
+/// (non-warm-started) scratch solve is history-independent (pinned by the
+/// solver's own equivalence tests), the per-interval solutions are
+/// collected in interval order, and the lower bound is summed in
+/// interval-index order so the floating-point addition sequence is fixed.
+/// Callers that enable warm starts on a shared scratch must use the
+/// sequential path instead — the warm cache is order-dependent by design
+/// ([`crate::SolverContext::relax`] makes that choice automatically).
+///
+/// With `threads <= 1`, or when already running inside a pool worker (e.g.
+/// nested under the benchmark harness's instance sharding), the solve runs
+/// inline and is the sequential path.
+///
+/// # Panics
+///
+/// Panics if some active flow's destination is unreachable from its source
+/// (propagated from the Frank–Wolfe solver); validate the flow set first.
+pub fn interval_relaxation_threads(
+    graph: &GraphCsr,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    fmcf_config: &FmcfSolverConfig,
+    threads: usize,
+) -> RelaxationSummary {
+    let cost = PowerFlowCost::new(*power);
+    let config = effective_config(fmcf_config, power);
+    let spans = flows.intervals();
+    let intervals =
+        crate::pool::run_indexed_with(spans.len(), threads, FmcfScratch::new, |scratch, k| {
+            solve_interval(graph, flows, &cost, &config, spans[k], scratch)
+        });
+    summarize(intervals)
+}
+
+/// The solver configuration with the link capacity defaulted from the
+/// power function, as every relaxation entry point applies it.
+fn effective_config(fmcf_config: &FmcfSolverConfig, power: &PowerFunction) -> FmcfSolverConfig {
     let mut config = *fmcf_config;
     if config.capacity.is_none() {
         config.capacity = Some(power.capacity());
     }
+    config
+}
 
-    let mut intervals = Vec::new();
-    let mut lower_bound = 0.0;
-    for interval in flows.intervals() {
-        let flow_ids = flows.active_in_interval(&interval);
-        let commodities: Vec<Commodity> = flow_ids
-            .iter()
-            .map(|&id| {
-                let f = flows.flow(id);
-                Commodity {
-                    id,
-                    src: f.src,
-                    dst: f.dst,
-                    demand: f.density(),
-                }
-            })
-            .collect();
-        let problem = FmcfProblem::with_graph(graph, commodities);
-        let solution = problem.solve_with(&cost, &config, scratch);
-        let cost_rate = solution.total_cost(&cost);
-        lower_bound += cost_rate * interval.length();
-        intervals.push(IntervalRelaxation {
-            interval,
-            flow_ids,
-            solution,
-            cost_rate,
-        });
-    }
+/// Solves one interval's independent F-MCF subproblem on the given scratch.
+fn solve_interval(
+    graph: &GraphCsr,
+    flows: &FlowSet,
+    cost: &PowerFlowCost,
+    config: &FmcfSolverConfig,
+    interval: Interval,
+    scratch: &mut FmcfScratch,
+) -> IntervalRelaxation {
+    let flow_ids = flows.active_in_interval(&interval);
+    let commodities: Vec<Commodity> = flow_ids
+        .iter()
+        .map(|&id| {
+            let f = flows.flow(id);
+            Commodity {
+                id,
+                src: f.src,
+                dst: f.dst,
+                demand: f.density(),
+            }
+        })
+        .collect();
+    let problem = FmcfProblem::with_graph(graph, commodities);
+    let solution = problem.solve_with(cost, config, scratch);
+    let cost_rate = solution.total_cost(cost);
+    IntervalRelaxation::new(interval, flow_ids, solution, cost_rate)
+}
 
+/// Folds per-interval solutions into a summary, summing the lower bound in
+/// interval-index order (a fixed floating-point sequence, so the bound is
+/// identical however the solves were scheduled).
+fn summarize(intervals: Vec<IntervalRelaxation>) -> RelaxationSummary {
+    let lower_bound = intervals.iter().map(IntervalRelaxation::cost).sum();
     RelaxationSummary {
         intervals,
         lower_bound,
@@ -265,6 +364,24 @@ mod tests {
         assert_eq!(iv.commodity_index(0), Some(0));
         assert_eq!(iv.commodity_index(1), Some(1));
         assert_eq!(iv.commodity_index(7), None);
+    }
+
+    #[test]
+    fn interval_accessor_is_checked() {
+        let topo = builders::line_with_capacity(3, 100.0);
+        let flows =
+            dcn_flow::FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 4.0)])
+                .unwrap();
+        let summary = relax_network(
+            &topo.network,
+            &flows,
+            &x2(100.0),
+            &FmcfSolverConfig::default(),
+        );
+        assert_eq!(summary.intervals.len(), 1);
+        assert!(summary.interval(0).is_some());
+        assert!(summary.interval(1).is_none());
+        assert!(summary.interval(usize::MAX).is_none());
     }
 
     #[test]

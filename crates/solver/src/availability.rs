@@ -73,6 +73,9 @@ impl TimeAvailability {
     }
 
     /// Total blocked time inside `[start, end)`.
+    ///
+    /// An empty or reversed window (`end <= start`) contains no time, so
+    /// the result is `0.0`.
     pub fn blocked_between(&self, start: f64, end: f64) -> f64 {
         self.blocked
             .iter()
@@ -85,11 +88,20 @@ impl TimeAvailability {
     }
 
     /// The available time `a ~ b` inside `[start, end)`.
+    ///
+    /// An empty or reversed window (`end <= start`) yields `0.0`.
     pub fn available_between(&self, start: f64, end: f64) -> f64 {
         ((end - start) - self.blocked_between(start, end)).max(0.0)
     }
 
     /// The maximal available sub-intervals of `[start, end)`, sorted.
+    ///
+    /// Never panics on degenerate windows: an empty or reversed window
+    /// (`end <= start`) and a window entirely covered by blocked time both
+    /// yield an empty vector, and sub-intervals shorter than the merge
+    /// tolerance (`1e-12`) are dropped rather than returned as zero-width
+    /// slivers. Callers can therefore treat "no available time" and
+    /// "degenerate query" uniformly as the empty case.
     pub fn available_subintervals(&self, start: f64, end: f64) -> Vec<(f64, f64)> {
         let mut out = Vec::new();
         let mut cursor = start;
@@ -187,5 +199,43 @@ mod tests {
     fn reversed_block_panics() {
         let mut a = TimeAvailability::new();
         a.block(5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_block_panics() {
+        let mut a = TimeAvailability::new();
+        a.block(0.0, f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_windows_are_empty_not_panicking() {
+        // Reversed and zero-width query windows are answered, not
+        // asserted on: every query degenerates to "no time available".
+        let mut a = TimeAvailability::new();
+        a.block(2.0, 4.0);
+        for (s, e) in [(5.0, 1.0), (3.0, 3.0), (10.0, -10.0)] {
+            assert!(a.available_subintervals(s, e).is_empty());
+            assert_eq!(a.available_between(s, e), 0.0);
+            assert_eq!(a.blocked_between(s, e), 0.0);
+        }
+        // Reversed windows stay empty even when blocked intervals straddle
+        // or precede the (reversed) bounds.
+        a.block(6.0, 7.0);
+        assert!(a.available_subintervals(6.5, 3.0).is_empty());
+    }
+
+    #[test]
+    fn fully_blocked_window_yields_empty_mask() {
+        let mut a = TimeAvailability::new();
+        a.block(0.0, 10.0);
+        assert!(a.available_subintervals(2.0, 8.0).is_empty());
+        assert_eq!(a.available_between(2.0, 8.0), 0.0);
+        // Sliver gaps below the merge tolerance are dropped, not returned
+        // as zero-width intervals.
+        let mut b = TimeAvailability::new();
+        b.block(0.0, 5.0);
+        b.block(5.0 + 1e-13, 10.0);
+        assert!(b.available_subintervals(0.0, 10.0).is_empty());
     }
 }

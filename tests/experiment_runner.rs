@@ -88,6 +88,8 @@ fn golden_report() -> ExperimentReport {
             energy: 105.5,
         }),
         sp_sim: None,
+        solve_wall_ms: Some(42.5),
+        intervals_per_second: Some(160.0),
         extra: vec![("run".to_string(), 0.0)],
     });
     // An online-style exemplar: the event-driven sweep uses three-part
@@ -120,6 +122,8 @@ fn golden_report() -> ExperimentReport {
             active_links: 10,
             energy: 88.0,
         }),
+        solve_wall_ms: None,
+        intervals_per_second: None,
         extra: vec![
             ("load".to_string(), 2.0),
             ("admission".to_string(), 0.0),
