@@ -109,6 +109,8 @@ fn main() {
             sp_sim: Some(sp_sim),
             solve_wall_ms: None,
             intervals_per_second: None,
+            requests_per_second: None,
+            p99_latency_ms: None,
             extra: vec![
                 ("budget".to_string(), budget as f64),
                 ("attempts".to_string(), attempts as f64),

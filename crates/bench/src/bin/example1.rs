@@ -67,6 +67,8 @@ fn main() {
             sp_sim: None,
             solve_wall_ms: None,
             intervals_per_second: None,
+            requests_per_second: None,
+            p99_latency_ms: None,
             extra: vec![
                 ("s1_measured".to_string(), s1),
                 ("s1_paper".to_string(), s1_paper),

@@ -68,6 +68,8 @@ fn main() {
                 sp_sim: None,
                 solve_wall_ms: None,
                 intervals_per_second: None,
+                requests_per_second: None,
+                p99_latency_ms: None,
                 extra: vec![("m".to_string(), m as f64), ("B".to_string(), b)],
             }
         })

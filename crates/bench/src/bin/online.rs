@@ -264,6 +264,8 @@ fn main() {
                 sp_sim: Some(result.offline_sim),
                 solve_wall_ms: None,
                 intervals_per_second: None,
+                requests_per_second: None,
+                p99_latency_ms: None,
                 extra,
             }
         })

@@ -749,6 +749,8 @@ impl Experiment {
             sp_sim: Some(result.sp_sim),
             solve_wall_ms,
             intervals_per_second,
+            requests_per_second: None,
+            p99_latency_ms: None,
             extra,
         }
     }

@@ -23,7 +23,11 @@ use std::path::Path;
 ///   [`InstanceRecord::solve_wall_ms`] and
 ///   [`InstanceRecord::intervals_per_second`] (both `null` outside
 ///   `--timings` runs).
-pub const SCHEMA_VERSION: u32 = 2;
+/// * v3 — added the serving-throughput columns
+///   [`InstanceRecord::requests_per_second`] and
+///   [`InstanceRecord::p99_latency_ms`] for the `serve` bench (both
+///   `null` outside `--timings` runs and for every batch experiment).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One solved `(topology, workload, power-function, seed)` instance, as it
 /// appears in the JSON artifact.
@@ -72,6 +76,14 @@ pub struct InstanceRecord {
     /// instance; only populated under `--timings` and only when the
     /// instance solved at least one interval in measurable time.
     pub intervals_per_second: Option<f64>,
+    /// Sustained request throughput of the `serve` bench's closed-loop
+    /// client (`requests / wall seconds`); only populated under
+    /// `--timings`, `null` for every batch experiment.
+    pub requests_per_second: Option<f64>,
+    /// 99th-percentile admission latency of the `serve` bench in
+    /// milliseconds; only populated under `--timings`, `null` for every
+    /// batch experiment.
+    pub p99_latency_ms: Option<f64>,
     /// Experiment-specific dimensions (e.g. `grain`, `lambda`, `budget`,
     /// `m`), in a fixed order.
     pub extra: Vec<(String, f64)>,
@@ -216,6 +228,8 @@ impl ExperimentReport {
             for (name, value) in [
                 ("solve_wall_ms", record.solve_wall_ms),
                 ("intervals_per_second", record.intervals_per_second),
+                ("requests_per_second", record.requests_per_second),
+                ("p99_latency_ms", record.p99_latency_ms),
             ] {
                 if let Some(value) = value {
                     if !value.is_finite() || value < 0.0 {
@@ -324,6 +338,8 @@ mod tests {
             sp_sim: None,
             solve_wall_ms: None,
             intervals_per_second: None,
+            requests_per_second: None,
+            p99_latency_ms: None,
             extra: vec![("grain".to_string(), 2.0)],
         }
     }
@@ -396,6 +412,14 @@ mod tests {
         let mut r = report();
         r.instances[0].intervals_per_second = Some(f64::INFINITY);
         assert!(r.validate().unwrap_err().contains("intervals_per_second"));
+
+        let mut r = report();
+        r.instances[0].requests_per_second = Some(-5.0);
+        assert!(r.validate().unwrap_err().contains("requests_per_second"));
+
+        let mut r = report();
+        r.instances[0].p99_latency_ms = Some(f64::NAN);
+        assert!(r.validate().unwrap_err().contains("p99_latency_ms"));
     }
 
     #[test]

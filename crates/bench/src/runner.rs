@@ -55,6 +55,12 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 /// --shards N      pod-shard worker threads of the `online` binary; the
 ///                 artifact is byte-identical at any N (supplying the
 ///                 flag also turns warm starts on)
+/// --shard-workers N
+///                 worker threads of the `serve` bench's in-process
+///                 daemon; the artifact is byte-identical at any N
+/// --queue-depth N per-worker queue bound of the `serve` bench's daemon
+/// --admission R   admission rule of the `serve` bench's daemon:
+///                 admit-all | reject-infeasible
 /// --quick         CI smoke mode: smallest topology, one run per point
 /// --full          paper-scale mode (fig2: 10 runs, step 20)
 /// --small         swap the k=8 fat-tree for k=4 (fig2)
@@ -98,6 +104,15 @@ pub struct ExperimentCli {
     /// `--shards N`: pod-shard worker threads of the `online` binary;
     /// `None` keeps sharding (and warm starts) off.
     pub shards: Option<usize>,
+    /// `--shard-workers N`: worker threads of the `serve` bench's
+    /// in-process daemon; `None` keeps the binary's default (1).
+    pub shard_workers: Option<usize>,
+    /// `--queue-depth N`: per-worker queue bound of the `serve` bench's
+    /// daemon; `None` keeps the daemon's default.
+    pub queue_depth: Option<usize>,
+    /// `--admission R`: admission rule of the `serve` bench's daemon;
+    /// `None` keeps the binary's default (`admit-all`).
+    pub admission: Option<String>,
     /// `--quick`: CI smoke mode (smallest topology, one run per point).
     pub quick: bool,
     /// `--full`: paper-scale mode.
@@ -123,6 +138,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--policies",
     "--epoch",
     "--shards",
+    "--shard-workers",
+    "--queue-depth",
+    "--admission",
 ];
 
 /// The boolean flags [`ExperimentCli::from_args`] accepts.
@@ -140,6 +158,7 @@ impl ExperimentCli {
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
                      [--threads N] [--solver-threads N] [--algorithms a,b,...] \
                      [--load a,b,...] [--policies a,b,...] [--epoch W] [--shards N] \
+                     [--shard-workers N] [--queue-depth N] [--admission R] \
                      [--quick] [--full] [--small] [--json-out [PATH]] [--timings]"
                 );
                 std::process::exit(2);
@@ -166,6 +185,9 @@ impl ExperimentCli {
             policies: None,
             epoch: None,
             shards: None,
+            shard_workers: None,
+            queue_depth: None,
+            admission: None,
             quick: false,
             full: false,
             small: false,
@@ -243,6 +265,16 @@ impl ExperimentCli {
                         cli.epoch = Some(window);
                     }
                     "--shards" => cli.shards = Some(parse_value(flag, value)?),
+                    "--shard-workers" => cli.shard_workers = Some(parse_value(flag, value)?),
+                    "--queue-depth" => cli.queue_depth = Some(parse_value(flag, value)?),
+                    "--admission" => {
+                        if !["admit-all", "reject-infeasible"].contains(&value.as_str()) {
+                            return Err(format!(
+                                "--admission expects admit-all or reject-infeasible, got {value:?}"
+                            ));
+                        }
+                        cli.admission = Some(value.clone());
+                    }
                     "--policies" => {
                         let names: Vec<String> = value
                             .split(',')
@@ -295,6 +327,12 @@ impl ExperimentCli {
         }
         if cli.shards == Some(0) {
             return Err("--shards must be at least 1".to_string());
+        }
+        if cli.shard_workers == Some(0) {
+            return Err("--shard-workers must be at least 1".to_string());
+        }
+        if cli.queue_depth == Some(0) {
+            return Err("--queue-depth must be at least 1".to_string());
         }
         Ok(cli)
     }

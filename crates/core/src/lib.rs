@@ -102,8 +102,8 @@ pub use dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
 pub use error::SolveError;
 pub use exact::{ExactError, ExactOutcome};
 pub use online::{
-    AdmissionRule, EngineConfig, FlowDecision, OnlineEngine, OnlineOutcome, OnlinePolicy,
-    OnlineReport, PolicyRegistry, ShardMode,
+    AdmissionRule, EngineConfig, FlowDecision, InFlightLedger, LedgerEntry, OnlineEngine,
+    OnlineOutcome, OnlinePolicy, OnlineReport, PolicyRegistry, ShardMode,
 };
 pub use pool::ParallelConfig;
 pub use relaxation::{
@@ -134,8 +134,8 @@ pub mod prelude {
     pub use crate::dcfsr::{RandomSchedule, RandomScheduleConfig, RandomScheduleOutcome};
     pub use crate::error::SolveError;
     pub use crate::online::{
-        AdmissionRule, EngineConfig, OnlineEngine, OnlineOutcome, OnlinePolicy, OnlineReport,
-        PolicyRegistry, ShardMode,
+        AdmissionRule, EngineConfig, InFlightLedger, OnlineEngine, OnlineOutcome, OnlinePolicy,
+        OnlineReport, PolicyRegistry, ShardMode,
     };
     pub use crate::pool::ParallelConfig;
     pub use crate::routing::Routing;

@@ -19,7 +19,11 @@
 //!   re-solve at every arrival — the pre-split `OnlineScheduler` behaviour,
 //!   bit for bit), preemptive `edf` and `srpt` rate reassignment, `rcd`
 //!   (rapid-close-to-deadline deferral) and `hybrid` (EDF until any flow's
-//!   slack falls under a threshold, then one DCFSR re-solve).
+//!   slack falls under a threshold, then one DCFSR re-solve);
+//! * [`ledger`] exposes the [`InFlightLedger`]: the snapshotable
+//!   in-flight residual view that long-lived serving loops (the
+//!   `dcn-server` daemon) keep per shard, factored out of the engine's
+//!   private per-flow bookkeeping.
 //!
 //! Only the slice of each policy decision up to the next event is
 //! **committed**; the [`OnlineOutcome`] stitches the committed slices into
@@ -73,6 +77,7 @@ use dcn_solver::fmcf::FmcfSolverConfig;
 use dcn_topology::LinkId;
 
 pub mod engine;
+pub mod ledger;
 pub mod policies;
 pub mod policy;
 
@@ -80,6 +85,7 @@ pub use engine::{
     AdmissionRule, EngineConfig, FlowDecision, OnlineEngine, OnlineEvent, OnlineOutcome,
     OnlineReport, ShardMode, WorldView,
 };
+pub use ledger::{InFlightLedger, LedgerEntry};
 pub use policies::{EdfPolicy, HybridPolicy, RcdPolicy, ResolvePolicy, SrptPolicy};
 pub use policy::{
     CapacityLedger, OnlinePolicy, PathCache, PolicyAction, PolicyRegistry, RateAssignment, RatePlan,

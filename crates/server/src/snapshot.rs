@@ -1,0 +1,214 @@
+//! Snapshot/restore of the daemon's in-flight state as a JSON file.
+//!
+//! A snapshot captures everything a restarted daemon needs to keep
+//! making *bit-identical* decisions: per-bucket logical clocks, event
+//! counters (they seed `resolve` re-solves), the full flow ledgers with
+//! delivered volumes, the currently committed plans, and the stitched
+//! history of what those plans already delivered. The file also pins the
+//! configuration the state was produced under (topology, policy,
+//! admission, seed); [`crate::Server`] refuses to restore a snapshot
+//! whose configuration does not match its own, because the state would
+//! silently mean something else.
+//!
+//! The same dump doubles as the daemon's audit artifact: the serve bench
+//! reads the final snapshot back and rebuilds the stitched [`Schedule`]
+//! (committed history plus each live flow's remaining plan) to account
+//! energy, misses and capacity excess — see [`SnapshotFile::schedule`].
+
+use std::path::Path as FsPath;
+
+use dcn_core::{FlowSchedule, Schedule, SolveError};
+use dcn_power::RateProfile;
+use dcn_topology::{Network, NodeId, Path};
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::PlanSegment;
+
+/// Version stamp of the snapshot layout.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One admitted flow as dumped by a shard: the original request plus its
+/// delivery state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Server-assigned flow id.
+    pub id: u64,
+    /// Source host node id.
+    pub src: usize,
+    /// Destination host node id.
+    pub dst: usize,
+    /// Release time (as served; clamped to the shard clock at admission).
+    pub release: f64,
+    /// Hard deadline.
+    pub deadline: f64,
+    /// Total volume of the flow.
+    pub volume: f64,
+    /// Volume delivered as of the bucket's clock.
+    pub delivered: f64,
+    /// Whether the flow has left the live set.
+    pub retired: bool,
+    /// Whether it retired with undelivered volume.
+    pub missed: bool,
+}
+
+/// A rate plan as dumped by a shard: path (node ids) plus constant-rate
+/// segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRecord {
+    /// The flow the plan belongs to.
+    pub flow: u64,
+    /// Node ids of the routing path, source first.
+    pub path: Vec<usize>,
+    /// Constant-rate segments, in time order.
+    pub segments: Vec<PlanSegment>,
+}
+
+/// The complete dump of one logical shard (pod bucket).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketState {
+    /// The bucket id (pod index, or the cross bucket).
+    pub bucket: usize,
+    /// Logical clock; `null` when the bucket never saw a submission.
+    pub clock: Option<f64>,
+    /// Submissions processed (seeds `resolve` re-solves).
+    pub events: u64,
+    /// Ids of rejected flows (for `QueryFlow` answers).
+    pub rejected: Vec<u64>,
+    /// Every admitted flow, live and retired, in id order.
+    pub flows: Vec<FlowRecord>,
+    /// The plan currently committed for each live flow.
+    pub plans: Vec<PlanRecord>,
+    /// The stitched already-delivered history per flow.
+    pub committed: Vec<PlanRecord>,
+}
+
+/// The snapshot file: configuration pin plus every bucket's state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFile {
+    /// Layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Topology spec string (e.g. `fat-tree:4`).
+    pub topology: String,
+    /// Serve policy name.
+    pub policy: String,
+    /// Admission rule name.
+    pub admission: String,
+    /// Base seed of the daemon.
+    pub seed: u64,
+    /// Total flow ids assigned so far (the next id continues from here).
+    pub flows_assigned: u64,
+    /// Bucket owning each assigned flow id, dense by id.
+    pub assignments: Vec<usize>,
+    /// Per-bucket dumps, in bucket order.
+    pub buckets: Vec<BucketState>,
+}
+
+impl SnapshotFile {
+    /// Total number of flows (live and retired) captured in the dump.
+    pub fn flow_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.flows.len()).sum()
+    }
+
+    /// Number of flows that retired with undelivered volume.
+    pub fn missed_count(&self) -> usize {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.flows.iter())
+            .filter(|f| f.missed)
+            .count()
+    }
+
+    /// Serializes and writes the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &FsPath) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable files, invalid JSON, or an
+    /// unsupported layout version.
+    pub fn load(path: &FsPath) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot {}: {e}", path.display()))?;
+        let snapshot: SnapshotFile = serde_json::from_str(&text)
+            .map_err(|e| format!("snapshot {} is not valid JSON: {e}", path.display()))?;
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot {} has layout version {} (this build reads {SNAPSHOT_VERSION})",
+                path.display(),
+                snapshot.version
+            ));
+        }
+        Ok(snapshot)
+    }
+
+    /// Rebuilds the stitched schedule the daemon has committed to: per
+    /// flow, the already-delivered history plus the current plan's
+    /// remaining tail (from the bucket clock onwards). The horizon spans
+    /// the earliest release to the latest of deadline and plan end, so
+    /// idle energy is accounted the same way the batch harness does.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose paths do not exist on `network`.
+    pub fn schedule(&self, network: &Network) -> Result<Schedule, SolveError> {
+        let mut flow_schedules = Vec::new();
+        let mut start = f64::INFINITY;
+        let mut end = f64::NEG_INFINITY;
+        for bucket in &self.buckets {
+            let clock = bucket.clock.unwrap_or(f64::NEG_INFINITY);
+            for record in &bucket.flows {
+                start = start.min(record.release);
+                end = end.max(record.deadline);
+                let committed = bucket.committed.iter().find(|p| p.flow == record.id);
+                let plan = bucket.plans.iter().find(|p| p.flow == record.id);
+                let mut profile = RateProfile::new();
+                if let Some(history) = committed {
+                    add_segments(&mut profile, &history.segments, f64::NEG_INFINITY, clock);
+                }
+                if let Some(plan) = plan {
+                    // Only the not-yet-delivered tail: the slice before
+                    // the clock is already part of the history.
+                    add_segments(&mut profile, &plan.segments, clock, f64::INFINITY);
+                }
+                let path_record = plan.or(committed);
+                let Some(path_record) = path_record else {
+                    continue; // Admitted but never served (zero-length plan).
+                };
+                let nodes: Vec<NodeId> = path_record.path.iter().map(|&n| NodeId(n)).collect();
+                let path =
+                    Path::from_nodes(network, &nodes).map_err(|e| SolveError::InvalidInput {
+                        reason: format!("snapshot path of flow {} is invalid: {e}", record.id),
+                    })?;
+                if let Some((_, profile_end)) = profile.span() {
+                    end = end.max(profile_end);
+                }
+                flow_schedules.push(FlowSchedule::uniform(record.id as usize, path, profile));
+            }
+        }
+        if flow_schedules.is_empty() {
+            return Err(SolveError::EmptyFlowSet);
+        }
+        Ok(Schedule::new(flow_schedules, (start, end)))
+    }
+}
+
+/// Adds the segments clipped to `[from, to]` to a profile.
+fn add_segments(profile: &mut RateProfile, segments: &[PlanSegment], from: f64, to: f64) {
+    for segment in segments {
+        let start = segment.start.max(from);
+        let end = segment.end.min(to);
+        if end > start && segment.rate > 0.0 {
+            profile.add_rate(start, end, segment.rate);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The per-shard scheduling engine: one warm [`SolverContext`] plus an
+//! [`InFlightLedger`] of admitted flows, advanced one submission at a
+//! time.
+//!
+//! A [`ShardEngine`] owns everything one logical shard (pod bucket)
+//! needs to answer requests: the residual state of its admitted flows,
+//! the rate plan currently committed for each, and the stitched history
+//! of what those plans already delivered. Time is the *logical* clock of
+//! the request stream — each submission advances the shard to the flow's
+//! release time, credits every live flow with the volume its plan
+//! delivered in the meantime, retires completed or expired flows, and
+//! only then decides admission. Nothing reads the wall clock, so a
+//! shard's decisions are a pure function of the subsequence of requests
+//! routed to it — the bedrock of the daemon's determinism contract (same
+//! request stream, same replies, at any `--shard-workers` width).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use dcn_core::online::{fractionally_feasible, InFlightLedger, PathCache};
+use dcn_core::{Algorithm, AlgorithmRegistry, SolveError, SolverContext};
+use dcn_flow::{Flow, FlowId};
+use dcn_power::{PowerFunction, RateProfile};
+use dcn_solver::fmcf::FmcfSolverConfig;
+use dcn_topology::{Network, Path};
+
+use crate::protocol::{PlanSegment, WirePlan};
+use crate::snapshot::{BucketState, FlowRecord, PlanRecord};
+
+/// How a shard plans rates for admitted flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Earliest-deadline-first pacing: each flow gets its required rate
+    /// (`remaining / time-to-deadline`) on its fewest-hop path. Solver-free
+    /// and O(live flows) per submission — the high-throughput default.
+    Edf,
+    /// Full-blast na&iuml;ve baseline: each flow transmits at its path's
+    /// bottleneck capacity until done. What a deadline-oblivious fabric
+    /// would do; the serve bench uses it as the energy reference.
+    Greedy,
+    /// Re-solves the whole residual instance with a registry algorithm at
+    /// every admission (the online engine's `resolve` policy, adapted to
+    /// serving). Highest quality, solver-priced.
+    Resolve,
+}
+
+impl ServePolicy {
+    /// The stable name used by `--policy`, snapshots and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServePolicy::Edf => "edf",
+            ServePolicy::Greedy => "greedy",
+            ServePolicy::Resolve => "resolve",
+        }
+    }
+
+    /// Parses a `--policy` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "edf" => Ok(ServePolicy::Edf),
+            "greedy" => Ok(ServePolicy::Greedy),
+            "resolve" => Ok(ServePolicy::Resolve),
+            other => Err(format!(
+                "unknown serve policy {other:?} (expected edf, greedy or resolve)"
+            )),
+        }
+    }
+}
+
+/// How a shard decides admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeAdmission {
+    /// Admit every routable flow.
+    AdmitAll,
+    /// Probe the LP relaxation of the candidate residual instance and
+    /// reject flows whose addition is fractionally infeasible (the online
+    /// engine's `RejectInfeasible` rule).
+    RejectInfeasible {
+        /// Relative capacity slack tolerated in the fractional loads.
+        slack: f64,
+    },
+}
+
+impl ServeAdmission {
+    /// The stable name used by `--admission`, snapshots and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeAdmission::AdmitAll => "admit-all",
+            ServeAdmission::RejectInfeasible { .. } => "reject-infeasible",
+        }
+    }
+
+    /// Parses an `--admission` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "admit-all" => Ok(ServeAdmission::AdmitAll),
+            "reject-infeasible" => Ok(ServeAdmission::RejectInfeasible { slack: 1e-3 }),
+            other => Err(format!(
+                "unknown admission rule {other:?} (expected admit-all or reject-infeasible)"
+            )),
+        }
+    }
+}
+
+/// The per-engine settings shared by every shard of a daemon.
+#[derive(Debug, Clone)]
+pub struct EngineSettings {
+    /// The power function energy and capacities are accounted under.
+    pub power: PowerFunction,
+    /// Rate-planning policy.
+    pub policy: ServePolicy,
+    /// Admission rule.
+    pub admission: ServeAdmission,
+    /// Registry name of the algorithm behind [`ServePolicy::Resolve`].
+    pub algorithm: String,
+    /// Base seed; per-solve seeds derive from it, the bucket id and the
+    /// bucket-local event index (never from thread identity).
+    pub seed: u64,
+}
+
+/// The committed plan of one live flow: its path and the rate profile
+/// from the shard clock onwards.
+#[derive(Debug, Clone)]
+struct Plan {
+    path: Path,
+    profile: RateProfile,
+}
+
+/// The admission decision of one submission, ready to put on the wire.
+#[derive(Debug, Clone)]
+pub struct AdmitOutcome {
+    /// Whether the flow was admitted.
+    pub admitted: bool,
+    /// Why not, when rejected.
+    pub reason: Option<String>,
+    /// The committed plan, when admitted.
+    pub plan: Option<WirePlan>,
+}
+
+impl AdmitOutcome {
+    fn rejected(reason: impl Into<String>) -> Self {
+        Self {
+            admitted: false,
+            reason: Some(reason.into()),
+            plan: None,
+        }
+    }
+}
+
+/// The Frank–Wolfe configuration shards use for admission probes and
+/// `resolve` re-solves: the benchmark harness's serving-grade settings
+/// (fewer iterations and a looser tolerance than the offline default).
+pub fn serve_fmcf_config() -> FmcfSolverConfig {
+    FmcfSolverConfig {
+        max_iterations: 25,
+        tolerance: 1e-3,
+        line_search_steps: 24,
+        ..Default::default()
+    }
+}
+
+/// One logical shard: warm solver context + residual state. See the
+/// module docs for the time model.
+pub struct ShardEngine<'net> {
+    bucket: usize,
+    ctx: SolverContext<'net>,
+    settings: EngineSettings,
+    fmcf: FmcfSolverConfig,
+    algorithm: Option<Box<dyn Algorithm>>,
+    ledger: InFlightLedger,
+    plans: BTreeMap<FlowId, Plan>,
+    committed: BTreeMap<FlowId, Plan>,
+    rejected: BTreeSet<FlowId>,
+    paths: PathCache,
+    clock: f64,
+    events: u64,
+}
+
+impl<'net> ShardEngine<'net> {
+    /// Creates an empty shard engine over a validated network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation errors and an unknown
+    /// [`EngineSettings::algorithm`] name.
+    pub fn new(
+        network: &'net Network,
+        settings: EngineSettings,
+        bucket: usize,
+    ) -> Result<Self, SolveError> {
+        let ctx = SolverContext::from_network(network)?;
+        let algorithm = match settings.policy {
+            ServePolicy::Resolve => {
+                Some(AlgorithmRegistry::with_defaults().create(&settings.algorithm)?)
+            }
+            ServePolicy::Edf | ServePolicy::Greedy => None,
+        };
+        Ok(Self {
+            bucket,
+            ctx,
+            settings,
+            fmcf: serve_fmcf_config(),
+            algorithm,
+            ledger: InFlightLedger::new(),
+            plans: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            rejected: BTreeSet::new(),
+            paths: PathCache::new(),
+            clock: f64::NEG_INFINITY,
+            events: 0,
+        })
+    }
+
+    /// The shard's logical clock (the last submission time seen).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the shard to `now`: credits every live flow with the
+    /// volume its plan delivered over `[clock, now)`, stitches that slice
+    /// into the committed history, and retires done or expired flows.
+    fn advance(&mut self, now: f64) {
+        if now <= self.clock {
+            return;
+        }
+        let from = self.clock;
+        for (&id, plan) in &self.plans {
+            let delivered = plan.profile.volume_between(from, now);
+            if delivered > 0.0 {
+                self.ledger.deliver(id, delivered);
+                let slice = plan.profile.restricted(from, now);
+                match self.committed.get_mut(&id) {
+                    Some(history) => {
+                        history.profile.merge(&slice);
+                        history.path = plan.path.clone();
+                    }
+                    None => {
+                        self.committed.insert(
+                            id,
+                            Plan {
+                                path: plan.path.clone(),
+                                profile: slice,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.clock = now;
+        for id in self.ledger.retire(now) {
+            self.plans.remove(&id);
+        }
+    }
+
+    /// Handles one flow submission: advance, admission check, plan, and
+    /// commit. Never panics; every failure mode becomes a rejection with
+    /// a reason.
+    pub fn submit(&mut self, flow: Flow) -> AdmitOutcome {
+        self.events += 1;
+        let now = flow.release.max(if self.clock.is_finite() {
+            self.clock
+        } else {
+            flow.release
+        });
+        self.advance(now);
+        if flow.deadline <= now {
+            self.rejected.insert(flow.id);
+            return AdmitOutcome::rejected(format!(
+                "deadline {} is not after the shard clock {now}",
+                flow.deadline
+            ));
+        }
+        let mut flow = flow;
+        // The shard clock only moves forward; a release in the past is
+        // served from now on.
+        flow.release = now;
+
+        if let ServeAdmission::RejectInfeasible { slack } = self.settings.admission {
+            match self.ledger.residual_set(now, Some(&flow)) {
+                Ok((set, _)) => {
+                    match fractionally_feasible(
+                        &mut self.ctx,
+                        &set,
+                        &self.settings.power,
+                        &self.fmcf,
+                        slack,
+                    ) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            self.rejected.insert(flow.id);
+                            return AdmitOutcome::rejected(
+                                "candidate residual instance is fractionally infeasible",
+                            );
+                        }
+                        Err(e) => {
+                            self.rejected.insert(flow.id);
+                            return AdmitOutcome::rejected(format!(
+                                "feasibility probe failed: {e}"
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.rejected.insert(flow.id);
+                    return AdmitOutcome::rejected(format!("residual instance is degenerate: {e}"));
+                }
+            }
+        }
+
+        let id = flow.id;
+        self.ledger.admit(flow.clone());
+        let planned = match self.settings.policy {
+            ServePolicy::Edf => self.plan_paced(&flow, false),
+            ServePolicy::Greedy => self.plan_paced(&flow, true),
+            ServePolicy::Resolve => self.plan_resolved(),
+        };
+        match planned {
+            Ok(()) => {
+                let plan = &self.plans[&id];
+                AdmitOutcome {
+                    admitted: true,
+                    reason: None,
+                    plan: Some(wire_plan(plan)),
+                }
+            }
+            Err(e) => {
+                self.ledger.remove(id);
+                self.plans.remove(&id);
+                self.rejected.insert(id);
+                AdmitOutcome::rejected(format!("planning failed: {e}"))
+            }
+        }
+    }
+
+    /// Plans the new flow alone at a constant rate on its fewest-hop
+    /// path: the required rate (EDF pacing) or the path bottleneck
+    /// (greedy full blast). Existing plans are untouched — under constant
+    /// pacing, a flow that tracks its plan keeps its required rate.
+    fn plan_paced(&mut self, flow: &Flow, full_blast: bool) -> Result<(), SolveError> {
+        let path = self
+            .paths
+            .shortest(&self.ctx, flow.id, flow.src, flow.dst)?;
+        let span = flow.deadline - flow.release;
+        let rate = if full_blast {
+            let bottleneck = path
+                .links()
+                .iter()
+                .map(|&l| self.ctx.graph().capacity(l))
+                .fold(self.settings.power.capacity(), f64::min);
+            bottleneck.max(flow.volume / span)
+        } else {
+            flow.volume / span
+        };
+        let duration = (flow.volume / rate).min(span);
+        let profile = RateProfile::constant(flow.release, flow.release + duration, rate);
+        self.plans.insert(flow.id, Plan { path, profile });
+        Ok(())
+    }
+
+    /// Re-solves the whole residual instance and replaces every live
+    /// flow's plan with the fresh schedule.
+    fn plan_resolved(&mut self) -> Result<(), SolveError> {
+        let (set, originals) = self.ledger.residual_set(self.clock, None)?;
+        let algorithm = self
+            .algorithm
+            .as_mut()
+            .expect("resolve policy constructs its algorithm");
+        algorithm.set_seed(
+            self.settings
+                .seed
+                .wrapping_add(self.events)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.bucket as u64 + 1),
+        );
+        let solution = algorithm.solve(&mut self.ctx, &set, &self.settings.power)?;
+        let schedule = solution.schedule.ok_or_else(|| SolveError::InvalidInput {
+            reason: "the resolve algorithm produced no schedule".to_string(),
+        })?;
+        let mut fresh: BTreeMap<FlowId, Plan> = BTreeMap::new();
+        for (residual_id, &original) in originals.iter().enumerate() {
+            let fs =
+                schedule
+                    .flow_schedule(residual_id)
+                    .ok_or_else(|| SolveError::InvalidInput {
+                        reason: format!("re-solve left residual flow {residual_id} unscheduled"),
+                    })?;
+            fresh.insert(
+                original,
+                Plan {
+                    path: fs.path.clone(),
+                    profile: fs.profile.clone(),
+                },
+            );
+        }
+        self.plans = fresh;
+        Ok(())
+    }
+
+    /// The status of a flow id: `("in-flight" | "delivered" | "missed" |
+    /// "rejected" | "unknown", delivered, remaining)`, as of the shard
+    /// clock.
+    pub fn query(&self, id: FlowId) -> (&'static str, f64, f64) {
+        if self.rejected.contains(&id) {
+            return ("rejected", 0.0, 0.0);
+        }
+        match self.ledger.get(id) {
+            Some(entry) if !entry.retired => ("in-flight", entry.delivered, entry.remaining()),
+            Some(entry) if entry.missed => ("missed", entry.delivered, entry.remaining()),
+            Some(entry) => ("delivered", entry.delivered, entry.remaining()),
+            None => ("unknown", 0.0, 0.0),
+        }
+    }
+
+    /// Number of submissions this shard has processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Dumps the shard's full state for a snapshot.
+    pub fn state(&self) -> BucketState {
+        let plan_records = |plans: &BTreeMap<FlowId, Plan>| -> Vec<PlanRecord> {
+            plans
+                .iter()
+                .map(|(&flow, plan)| PlanRecord {
+                    flow: flow as u64,
+                    path: plan.path.nodes().iter().map(|n| n.0).collect(),
+                    segments: plan
+                        .profile
+                        .segments()
+                        .into_iter()
+                        .map(|(start, end, rate)| PlanSegment { start, end, rate })
+                        .collect(),
+                })
+                .collect()
+        };
+        BucketState {
+            bucket: self.bucket,
+            clock: if self.clock.is_finite() {
+                Some(self.clock)
+            } else {
+                None
+            },
+            events: self.events,
+            rejected: self.rejected.iter().map(|&id| id as u64).collect(),
+            flows: self
+                .ledger
+                .entries()
+                .map(|entry| FlowRecord {
+                    id: entry.flow.id as u64,
+                    src: entry.flow.src.0,
+                    dst: entry.flow.dst.0,
+                    release: entry.flow.release,
+                    deadline: entry.flow.deadline,
+                    volume: entry.flow.volume,
+                    delivered: entry.delivered,
+                    retired: entry.retired,
+                    missed: entry.missed,
+                })
+                .collect(),
+            plans: plan_records(&self.plans),
+            committed: plan_records(&self.committed),
+        }
+    }
+
+    /// Rebuilds a shard engine from a snapshot dump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and rejects records that do not
+    /// describe valid flows or paths on this network.
+    pub fn restore(
+        network: &'net Network,
+        settings: EngineSettings,
+        state: &BucketState,
+    ) -> Result<Self, SolveError> {
+        let mut engine = Self::new(network, settings, state.bucket)?;
+        engine.clock = state.clock.unwrap_or(f64::NEG_INFINITY);
+        engine.events = state.events;
+        engine.rejected = state.rejected.iter().map(|&id| id as FlowId).collect();
+        let entries = state
+            .flows
+            .iter()
+            .map(|record| record.to_entry())
+            .collect::<Result<Vec<_>, SolveError>>()?;
+        engine.ledger = InFlightLedger::restore(entries);
+        engine.plans = restore_plans(network, &state.plans)?;
+        engine.committed = restore_plans(network, &state.committed)?;
+        Ok(engine)
+    }
+}
+
+/// Rebuilds the plan map of a snapshot dump against a network.
+fn restore_plans(
+    network: &Network,
+    records: &[PlanRecord],
+) -> Result<BTreeMap<FlowId, Plan>, SolveError> {
+    let mut plans = BTreeMap::new();
+    for record in records {
+        plans.insert(record.flow as FlowId, record.to_plan(network)?);
+    }
+    Ok(plans)
+}
+
+impl PlanRecord {
+    fn to_plan(&self, network: &Network) -> Result<Plan, SolveError> {
+        let nodes: Vec<_> = self.path.iter().map(|&n| dcn_topology::NodeId(n)).collect();
+        let path = Path::from_nodes(network, &nodes).map_err(|e| SolveError::InvalidInput {
+            reason: format!("snapshot path of flow {} is invalid: {e}", self.flow),
+        })?;
+        let mut profile = RateProfile::new();
+        for segment in &self.segments {
+            profile.add_rate(segment.start, segment.end, segment.rate);
+        }
+        Ok(Plan { path, profile })
+    }
+}
+
+impl FlowRecord {
+    fn to_entry(&self) -> Result<dcn_core::LedgerEntry, SolveError> {
+        let flow = Flow::new(
+            self.id as FlowId,
+            dcn_topology::NodeId(self.src),
+            dcn_topology::NodeId(self.dst),
+            self.release,
+            self.deadline,
+            self.volume,
+        )?;
+        Ok(dcn_core::LedgerEntry {
+            flow,
+            delivered: self.delivered,
+            retired: self.retired,
+            missed: self.missed,
+        })
+    }
+}
+
+/// Renders a plan for the wire.
+fn wire_plan(plan: &Plan) -> WirePlan {
+    WirePlan {
+        path: plan.path.nodes().iter().map(|n| n.0).collect(),
+        segments: plan
+            .profile
+            .segments()
+            .into_iter()
+            .map(|(start, end, rate)| PlanSegment { start, end, rate })
+            .collect(),
+    }
+}

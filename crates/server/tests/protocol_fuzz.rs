@@ -1,0 +1,270 @@
+//! Protocol robustness: the daemon must answer malformed input with a
+//! typed error reply or a clean disconnect — never a panic, never a
+//! hang. Covers hand-picked edge frames (truncated frames, oversized
+//! length prefixes, invalid JSON, unknown request versions) and a
+//! proptest sweep over random byte streams, both at the frame layer
+//! ([`read_frame`]/[`decode_request`]) and through a full in-process
+//! [`Server::serve_connection`].
+
+use std::io::Cursor;
+
+use dcn_server::{
+    decode_request, read_frame, Request, RequestBody, Response, ResponseBody, Server, ServerConfig,
+    SubmitFlow, TopologySpec, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+fn test_server() -> Server {
+    Server::start(ServerConfig::new(TopologySpec::FatTree { k: 4 })).expect("server starts")
+}
+
+/// Serves `input` as one connection and returns the reply bytes.
+fn serve_bytes(input: &[u8]) -> Vec<u8> {
+    let mut server = test_server();
+    let mut reader = Cursor::new(input.to_vec());
+    let mut replies = Vec::new();
+    server
+        .serve_connection(&mut reader, &mut replies)
+        .expect("in-memory write cannot fail");
+    replies
+}
+
+/// Parses every reply frame of a served stream.
+fn parse_replies(bytes: &[u8]) -> Vec<Response> {
+    let mut reader = Cursor::new(bytes.to_vec());
+    let mut replies = Vec::new();
+    while let Some(payload) = read_frame(&mut reader).expect("server output frames are well-formed")
+    {
+        let text = std::str::from_utf8(&payload).expect("server output is UTF-8");
+        replies.push(serde_json::from_str(text).expect("server output is a Response"));
+    }
+    replies
+}
+
+fn error_code(response: &Response) -> Option<&str> {
+    match &response.body {
+        ResponseBody::Error(e) => Some(e.code.as_str()),
+        _ => None,
+    }
+}
+
+#[test]
+fn truncated_frames_disconnect_without_a_reply() {
+    // Prefix only, prefix + partial payload, payload missing its
+    // trailing newline: the peer died mid-frame, nothing to answer.
+    for stream in ["7", "7\n{\"v\"", "7\n{\"v\":1}"] {
+        let replies = serve_bytes(stream.as_bytes());
+        assert!(
+            replies.is_empty(),
+            "truncated stream {stream:?} produced replies: {replies:?}"
+        );
+    }
+}
+
+#[test]
+fn oversized_length_prefix_gets_a_typed_error() {
+    let stream = format!("{}\nx", MAX_FRAME_BYTES + 1);
+    let replies = parse_replies(&serve_bytes(stream.as_bytes()));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(error_code(&replies[0]), Some("frame-too-large"));
+}
+
+#[test]
+fn non_numeric_prefix_gets_a_typed_error() {
+    for stream in ["notanumber\n{}\n", "-5\n{}\n", "\u{fF}12\n{}\n"] {
+        let replies = parse_replies(&serve_bytes(stream.as_bytes()));
+        assert_eq!(replies.len(), 1, "stream {stream:?}");
+        assert_eq!(
+            error_code(&replies[0]),
+            Some("bad-frame"),
+            "stream {stream:?}"
+        );
+    }
+}
+
+#[test]
+fn invalid_json_payload_gets_bad_json() {
+    let payload = "{not json!";
+    let stream = format!("{}\n{}\n", payload.len(), payload);
+    let replies = parse_replies(&serve_bytes(stream.as_bytes()));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(error_code(&replies[0]), Some("bad-json"));
+}
+
+#[test]
+fn non_object_and_unknown_body_get_bad_envelope_or_bad_request() {
+    let cases = [
+        ("[1,2,3]", "bad-envelope"),
+        ("{\"v\":1,\"id\":4}", "bad-request"),
+        (
+            "{\"v\":1,\"id\":4,\"body\":{\"NoSuchRequest\":{}}}",
+            "bad-request",
+        ),
+    ];
+    for (payload, expected) in cases {
+        let stream = format!("{}\n{}\n", payload.len(), payload);
+        let replies = parse_replies(&serve_bytes(stream.as_bytes()));
+        assert_eq!(replies.len(), 1, "payload {payload:?}");
+        assert_eq!(
+            error_code(&replies[0]),
+            Some(expected),
+            "payload {payload:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_version_echoes_the_request_id() {
+    let payload = format!(
+        "{{\"v\":{},\"id\":99,\"body\":\"Shutdown\"}}",
+        PROTOCOL_VERSION + 1
+    );
+    let stream = format!("{}\n{}\n", payload.len(), payload);
+    let replies = parse_replies(&serve_bytes(stream.as_bytes()));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].id, 99);
+    assert_eq!(error_code(&replies[0]), Some("unsupported-version"));
+}
+
+#[test]
+fn bad_frame_after_good_requests_answers_them_first() {
+    let mut stream = dcn_server::encode_frame(&Request::new(
+        0,
+        RequestBody::SubmitFlow(SubmitFlow {
+            src: 8,
+            dst: 9,
+            release: 1.0,
+            deadline: 5.0,
+            volume: 2.0,
+        }),
+    ));
+    stream.extend_from_slice(b"garbage\n{}\n");
+    let replies = parse_replies(&serve_bytes(&stream));
+    assert_eq!(replies.len(), 2, "admission reply then frame error");
+    assert!(matches!(replies[0].body, ResponseBody::Admit(_)));
+    assert_eq!(error_code(&replies[1]), Some("bad-frame"));
+}
+
+#[test]
+fn nonsense_submissions_are_rejected_not_panicked() {
+    // Non-host endpoints, reversed deadlines, non-finite and negative
+    // volumes: each gets a typed reply.
+    let bodies = [
+        SubmitFlow {
+            src: 0,
+            dst: 9,
+            release: 1.0,
+            deadline: 5.0,
+            volume: 2.0,
+        },
+        SubmitFlow {
+            src: 8,
+            dst: 8_000,
+            release: 1.0,
+            deadline: 5.0,
+            volume: 2.0,
+        },
+        SubmitFlow {
+            src: 8,
+            dst: 9,
+            release: 5.0,
+            deadline: 1.0,
+            volume: 2.0,
+        },
+        SubmitFlow {
+            src: 8,
+            dst: 9,
+            release: 1.0,
+            deadline: 5.0,
+            volume: -2.0,
+        },
+        SubmitFlow {
+            src: 8,
+            dst: 9,
+            release: f64::NAN,
+            deadline: 5.0,
+            volume: 2.0,
+        },
+        SubmitFlow {
+            src: 8,
+            dst: 9,
+            release: 1.0,
+            deadline: f64::INFINITY,
+            volume: 2.0,
+        },
+    ];
+    let mut server = test_server();
+    for (id, body) in bodies.into_iter().enumerate() {
+        let response = server.request(Request::new(id as u64, RequestBody::SubmitFlow(body)));
+        assert_eq!(response.id, id as u64);
+        assert!(
+            matches!(&response.body, ResponseBody::Error(e) if e.code == "bad-flow"),
+            "submission {id} got {response:?}"
+        );
+    }
+}
+
+#[test]
+fn frame_layer_never_panics_on_edge_prefixes() {
+    for stream in [
+        "\n",
+        "0\n\n",
+        "0\n",
+        "00000000000000000000000007\n{}\n",
+        "18446744073709551616\nx",
+        "1\n{\n",
+        "2\n{}x",
+    ] {
+        let mut reader = Cursor::new(stream.as_bytes().to_vec());
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            let _ = decode_request(&payload);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random byte soup through the frame layer: every frame either
+    /// decodes or produces a typed error; no panics, ever.
+    #[test]
+    fn random_bytes_never_panic_the_frame_layer(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let mut reader = Cursor::new(bytes.clone());
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            let _ = decode_request(&payload);
+        }
+    }
+
+    /// Random byte soup through a full in-process daemon: the reply
+    /// stream itself is always well-framed valid JSON.
+    #[test]
+    fn random_bytes_never_panic_the_daemon(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let replies = serve_bytes(&bytes);
+        let _ = parse_replies(&replies);
+    }
+
+    /// Streams that *start* with valid frames but carry random JSON
+    /// payloads: every payload gets exactly one reply (typed error or a
+    /// real answer) until the stream ends.
+    #[test]
+    fn framed_random_payloads_get_one_reply_each(
+        payloads in prop::collection::vec(
+            prop::collection::vec(0u8..=255, 0..64),
+            1..8,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for payload in &payloads {
+            stream.extend_from_slice(payload.len().to_string().as_bytes());
+            stream.push(b'\n');
+            stream.extend_from_slice(payload);
+            stream.push(b'\n');
+        }
+        let replies = parse_replies(&serve_bytes(&stream));
+        prop_assert_eq!(replies.len(), payloads.len());
+    }
+}

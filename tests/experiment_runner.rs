@@ -90,6 +90,8 @@ fn golden_report() -> ExperimentReport {
         sp_sim: None,
         solve_wall_ms: Some(42.5),
         intervals_per_second: Some(160.0),
+        requests_per_second: None,
+        p99_latency_ms: None,
         extra: vec![("run".to_string(), 0.0)],
     });
     // An online-style exemplar: the event-driven sweep uses three-part
@@ -124,6 +126,8 @@ fn golden_report() -> ExperimentReport {
         }),
         solve_wall_ms: None,
         intervals_per_second: None,
+        requests_per_second: None,
+        p99_latency_ms: None,
         extra: vec![
             ("load".to_string(), 2.0),
             ("admission".to_string(), 0.0),
@@ -132,6 +136,38 @@ fn golden_report() -> ExperimentReport {
             ("solve_failures".to_string(), 0.0),
             ("admitted".to_string(), 10.0),
             ("rejected".to_string(), 0.0),
+            ("missed".to_string(), 0.0),
+            ("run".to_string(), 0.0),
+        ],
+    });
+    // A serve-style exemplar: the scheduler-as-a-service bench audits the
+    // daemon's committed plans and is the only producer of the schema-v3
+    // serving columns (`requests_per_second`, `p99_latency_ms`, both
+    // `--timings`-only). Pinned with the columns populated so the v3
+    // layout is under the golden.
+    report.instances.push(InstanceRecord {
+        label: "fat-tree:8|edf|admit-all flows=1000 seed=10000".to_string(),
+        flows: 1000,
+        seed: 10000,
+        alpha: 2.0,
+        lower_bound: 250.0,
+        rs_energy: 300.0,
+        sp_energy: 450.0,
+        rs_normalized: 1.2,
+        sp_normalized: 1.8,
+        deadline_misses: 0,
+        rs_capacity_excess: 0.0,
+        rs_sim: None,
+        sp_sim: None,
+        solve_wall_ms: None,
+        intervals_per_second: None,
+        requests_per_second: Some(25_000.0),
+        p99_latency_ms: Some(0.45),
+        extra: vec![
+            ("requests".to_string(), 1000.0),
+            ("admitted".to_string(), 998.0),
+            ("rejected".to_string(), 2.0),
+            ("busy".to_string(), 0.0),
             ("missed".to_string(), 0.0),
             ("run".to_string(), 0.0),
         ],
@@ -148,6 +184,13 @@ fn golden_report() -> ExperimentReport {
         x: 2.0,
         rs: 1.15625,
         sp: 1.1,
+        runs: 1,
+    });
+    report.points.push(SweepPoint {
+        group: "fat-tree:8|edf|admit-all".to_string(),
+        x: 1000.0,
+        rs: 1.2,
+        sp: 1.8,
         runs: 1,
     });
     report

@@ -1,0 +1,64 @@
+//! Golden pin of the `dcn-serve` wire behavior: the canned request
+//! stream in `tests/data/serve_requests.txt` (produced by
+//! `dcn-serve --gen-requests 60 --queries --seed 1`) must yield the
+//! reply bytes in `tests/data/serve_replies_golden.txt`, at one worker
+//! and at several — the protocol, the admission decisions, and the
+//! committed rate plans are all under the pin.
+//!
+//! Re-bless after an intentional wire or policy change with
+//! `BLESS_GOLDEN=1 cargo test --test serve_golden`.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use dcn_server::{Server, ServerConfig, TopologySpec};
+
+fn data_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+fn serve_canned(workers: usize) -> Vec<u8> {
+    let requests = std::fs::read(data_path("serve_requests.txt")).expect("canned requests exist");
+    let mut config = ServerConfig::new(TopologySpec::FatTree { k: 4 });
+    config.seed = 1;
+    config.shard_workers = workers;
+    let mut server = Server::start(config).expect("server starts");
+    let mut reader = Cursor::new(requests);
+    let mut replies = Vec::new();
+    server
+        .serve_connection(&mut reader, &mut replies)
+        .expect("in-memory write cannot fail");
+    server.shutdown();
+    replies
+}
+
+#[test]
+fn canned_stream_matches_the_golden_replies() {
+    let replies = serve_canned(1);
+    let golden_path = data_path("serve_replies_golden.txt");
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &replies).expect("golden file writes");
+        return;
+    }
+    let golden = std::fs::read(&golden_path).expect("golden replies exist");
+    assert!(
+        replies == golden,
+        "serve replies diverged from tests/data/serve_replies_golden.txt \
+         ({} vs {} bytes); re-bless with BLESS_GOLDEN=1 if the change is intentional",
+        replies.len(),
+        golden.len()
+    );
+}
+
+#[test]
+fn golden_replies_are_worker_width_invariant() {
+    let baseline = serve_canned(1);
+    for workers in [2, 4] {
+        assert!(
+            serve_canned(workers) == baseline,
+            "canned replies diverged at {workers} workers"
+        );
+    }
+}
