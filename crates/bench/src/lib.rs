@@ -413,6 +413,47 @@ pub fn run_online_flow_set(
     registry: &AlgorithmRegistry,
     policies: &PolicyRegistry,
 ) -> OnlineInstanceResult {
+    run_online_flow_set_with_events(
+        topo,
+        flows,
+        power,
+        seed,
+        algorithm,
+        policy,
+        admission,
+        knobs,
+        &[],
+        registry,
+        policies,
+    )
+}
+
+/// [`run_online_flow_set`] with a dynamic topology: the typed
+/// failure/recovery `events` are merged into the engine's event queue
+/// ([`OnlineEngine::run_vs_offline_with_events`]). The clairvoyant
+/// offline reference and both simulator verifications run on the
+/// *pristine* fabric — the engine rolls its topology changes back before
+/// returning — so the energy gap and the failure-attributed misses
+/// isolate exactly what the outages cost the online loop.
+///
+/// # Panics
+///
+/// As [`run_online_flow_set`], plus when an event is malformed (non-finite
+/// time or out-of-range link).
+#[allow(clippy::too_many_arguments)]
+pub fn run_online_flow_set_with_events(
+    topo: &BuiltTopology,
+    flows: &FlowSet,
+    power: &PowerFunction,
+    seed: u64,
+    algorithm: &str,
+    policy: &str,
+    admission: AdmissionRule,
+    knobs: OnlineKnobs,
+    events: &[dcn_topology::TopologyEvent],
+    registry: &AlgorithmRegistry,
+    policies: &PolicyRegistry,
+) -> OnlineInstanceResult {
     let mut ctx =
         SolverContext::from_network(&topo.network).expect("builder topologies always validate");
     ctx.set_parallelism(ParallelConfig::with_threads(knobs.solver_threads));
@@ -429,7 +470,7 @@ pub fn run_online_flow_set(
         .build()
         .unwrap_or_else(|e| panic!("cannot configure the online engine: {e}"));
     let outcome = online
-        .run_vs_offline(&mut ctx, flows, power)
+        .run_vs_offline_with_events(&mut ctx, flows, power, events)
         .unwrap_or_else(|e| panic!("{algorithm} must run connected online instances: {e}"));
 
     let offline = outcome

@@ -46,6 +46,11 @@ pub fn timed<T>(work: impl FnOnce() -> T) -> (T, f64) {
 ///                 defaults to the experiment's own selection
 /// --load L        comma-separated load factors swept by the `online`
 ///                 binary, e.g. 0.5,1,2,4
+/// --rates L       comma-separated link failure rates (failures per link
+///                 per unit time) swept by the `failures` binary, e.g.
+///                 0,0.01,0.05; 0 means the link never fails
+/// --downtime D    mean outage duration of the `failures` binary's
+///                 alternating-renewal process (positive, finite)
 /// --policies L    comma-separated online-policy registry names compared
 ///                 by the `online` binary, e.g. resolve,edf,hybrid;
 ///                 defaults to the binary's own selection
@@ -93,6 +98,14 @@ pub struct ExperimentCli {
     /// `--load a,b,...`: load factors for the `online` sweep; `None` keeps
     /// the binary's default grid.
     pub load: Option<Vec<f64>>,
+    /// `--rates a,b,...`: link failure rates (failures per link per unit
+    /// time) for the `failures` sweep; `None` keeps the binary's default
+    /// grid. A rate of `0` is valid and means "no failures" (the static
+    /// baseline point).
+    pub rates: Option<Vec<f64>>,
+    /// `--downtime D`: mean outage duration of the `failures` binary's
+    /// failure process; `None` keeps the binary's default.
+    pub downtime: Option<f64>,
     /// `--policies a,b,...`: online-policy registry names compared by the
     /// `online` binary (a single name is fine — unlike `--algorithms`,
     /// there is no primary/reference pairing); `None` keeps the binary's
@@ -135,6 +148,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--solver-threads",
     "--algorithms",
     "--load",
+    "--rates",
+    "--downtime",
     "--policies",
     "--epoch",
     "--shards",
@@ -157,7 +172,8 @@ impl ExperimentCli {
                 eprintln!(
                     "usage: {experiment} [--runs N] [--seeds N] [--flows N] [--step N] \
                      [--threads N] [--solver-threads N] [--algorithms a,b,...] \
-                     [--load a,b,...] [--policies a,b,...] [--epoch W] [--shards N] \
+                     [--load a,b,...] [--rates a,b,...] [--downtime D] \
+                     [--policies a,b,...] [--epoch W] [--shards N] \
                      [--shard-workers N] [--queue-depth N] [--admission R] \
                      [--quick] [--full] [--small] [--json-out [PATH]] [--timings]"
                 );
@@ -182,6 +198,8 @@ impl ExperimentCli {
             solver_threads: 1,
             algorithms: None,
             load: None,
+            rates: None,
+            downtime: None,
             policies: None,
             epoch: None,
             shards: None,
@@ -254,6 +272,34 @@ impl ExperimentCli {
                             ));
                         }
                         cli.load = Some(loads);
+                    }
+                    "--rates" => {
+                        let rates = value
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|r| !r.is_empty())
+                            .map(|r| parse_value::<f64>(flag, r))
+                            .collect::<Result<Vec<f64>, String>>()?;
+                        if rates.is_empty() {
+                            return Err(format!(
+                                "--rates expects comma-separated failure rates, got {value:?}"
+                            ));
+                        }
+                        if let Some(bad) = rates.iter().find(|r| !r.is_finite() || **r < 0.0) {
+                            return Err(format!(
+                                "--rates must be non-negative and finite, got {bad}"
+                            ));
+                        }
+                        cli.rates = Some(rates);
+                    }
+                    "--downtime" => {
+                        let downtime: f64 = parse_value(flag, value)?;
+                        if !downtime.is_finite() || downtime <= 0.0 {
+                            return Err(format!(
+                                "--downtime expects a positive finite duration, got {value:?}"
+                            ));
+                        }
+                        cli.downtime = Some(downtime);
                     }
                     "--epoch" => {
                         let window: f64 = parse_value(flag, value)?;
@@ -445,6 +491,24 @@ mod tests {
         assert!(ExperimentCli::from_args("online", &args(&["--load", "nan"])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--load", ","])).is_err());
         assert!(ExperimentCli::from_args("online", &args(&["--load"])).is_err());
+    }
+
+    #[test]
+    fn cli_parses_the_failure_sweep_knobs() {
+        let cli = ExperimentCli::from_args(
+            "failures",
+            &args(&["--rates", "0,0.01,0.05", "--downtime", "2.5"]),
+        )
+        .unwrap();
+        assert_eq!(cli.rates, Some(vec![0.0, 0.01, 0.05]));
+        assert_eq!(cli.downtime, Some(2.5));
+        // Rate 0 is the static baseline; negatives and NaN are rejected.
+        assert!(ExperimentCli::from_args("failures", &args(&["--rates", "-0.1"])).is_err());
+        assert!(ExperimentCli::from_args("failures", &args(&["--rates", "nan"])).is_err());
+        assert!(ExperimentCli::from_args("failures", &args(&["--rates", ","])).is_err());
+        assert!(ExperimentCli::from_args("failures", &args(&["--downtime", "0"])).is_err());
+        assert!(ExperimentCli::from_args("failures", &args(&["--downtime", "-1"])).is_err());
+        assert!(ExperimentCli::from_args("failures", &args(&["--downtime", "inf"])).is_err());
     }
 
     #[test]

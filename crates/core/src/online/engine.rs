@@ -49,7 +49,7 @@ use crate::solution::Solution;
 use dcn_flow::{Flow, FlowId, FlowSet};
 use dcn_power::{PowerFunction, RateProfile};
 use dcn_solver::fmcf::FmcfSolverConfig;
-use dcn_topology::LinkId;
+use dcn_topology::{LinkId, TopologyEvent};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
@@ -134,6 +134,12 @@ pub struct FlowDecision {
     /// Whether an *admitted* flow failed to receive its full volume by its
     /// deadline (rejected flows are never counted as misses).
     pub missed: bool,
+    /// Whether the miss is attributed to a topology failure: the flow was
+    /// stranded (endpoints disconnected) by a
+    /// [`TopologyEvent::LinkDown`] while in flight, or a failure severed
+    /// the path its committed rates were riding. Always `false` when
+    /// `missed` is `false`.
+    pub failure_missed: bool,
 }
 
 /// What the online loop did: per-flow decisions, event/re-solve counters
@@ -157,6 +163,10 @@ pub struct OnlineReport {
     /// Energy of the wrapped algorithm solving the full instance with
     /// clairvoyant knowledge, when computed.
     pub offline_energy: Option<f64>,
+    /// Number of [`TopologyEvent`]s that actually changed link state
+    /// during the run (duplicate failures/recoveries are no-ops and not
+    /// counted).
+    pub topology_events: usize,
 }
 
 impl OnlineReport {
@@ -173,6 +183,12 @@ impl OnlineReport {
     /// Number of admitted flows that missed their deadline.
     pub fn missed(&self) -> usize {
         self.decisions.iter().filter(|d| d.missed).count()
+    }
+
+    /// Number of misses attributed to topology failures (a subset of
+    /// [`OnlineReport::missed`]; see [`FlowDecision::failure_missed`]).
+    pub fn failure_missed(&self) -> usize {
+        self.decisions.iter().filter(|d| d.failure_missed).count()
     }
 
     /// Per-flow admission mask, indexed by flow id (the shape
@@ -214,6 +230,13 @@ struct FlowState {
     in_flight: bool,
     missed: bool,
     delivered: f64,
+    /// Admitted but currently disconnected by link failures: out of
+    /// `live` until a recovery reconnects the endpoints (or the deadline
+    /// expires first).
+    stranded: bool,
+    /// A failure stranded this flow or severed a path its committed rates
+    /// were riding; a final miss is then attributed to the failure.
+    failure_touched: bool,
 }
 
 /// A read-only snapshot of the engine's per-flow state, handed to
@@ -311,11 +334,17 @@ pub struct OnlineEvent {
     pub completions: Vec<FlowId>,
     /// Flows whose deadline-slack timer fired, ids ascending.
     pub timers: Vec<FlowId>,
+    /// Topology events that took effect at this instant, in stream order.
+    /// They are applied to the context *before* the policy sees the batch,
+    /// so routing decisions already reflect the new link state.
+    pub topology: Vec<TopologyEvent>,
 }
 
 /// What is sitting in the event queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum QueuedKind {
+    /// Index into the run's topology-event stream.
+    Topology { index: usize },
     /// Index into the precomputed arrival groups.
     Arrival { group: usize },
     /// A rate assignment predicts this flow finishes now.
@@ -325,19 +354,22 @@ enum QueuedKind {
 }
 
 impl QueuedKind {
-    /// Ordering rank within one instant: arrivals, then completions, then
-    /// timers.
+    /// Ordering rank within one instant: topology changes first (so the
+    /// batch's decisions already see the new link state), then arrivals,
+    /// completions and timers.
     fn rank(self) -> u8 {
         match self {
-            QueuedKind::Arrival { .. } => 0,
-            QueuedKind::Completion { .. } => 1,
-            QueuedKind::SlackTimer { .. } => 2,
+            QueuedKind::Topology { .. } => 0,
+            QueuedKind::Arrival { .. } => 1,
+            QueuedKind::Completion { .. } => 2,
+            QueuedKind::SlackTimer { .. } => 3,
         }
     }
 
     /// Deterministic tie-break key within one rank.
     fn key(self) -> usize {
         match self {
+            QueuedKind::Topology { index } => index,
             QueuedKind::Arrival { group } => group,
             QueuedKind::Completion { flow } | QueuedKind::SlackTimer { flow } => flow,
         }
@@ -399,6 +431,14 @@ impl EventQueue {
         }));
     }
 
+    fn push_topology(&mut self, time: f64, index: usize) {
+        self.heap.push(Reverse(QueuedEvent {
+            time,
+            generation: 0,
+            kind: QueuedKind::Topology { index },
+        }));
+    }
+
     fn push_completion(&mut self, time: f64, flow: FlowId) {
         self.heap.push(Reverse(QueuedEvent {
             time,
@@ -422,7 +462,10 @@ impl EventQueue {
     }
 
     fn is_live(&self, event: &QueuedEvent) -> bool {
-        matches!(event.kind, QueuedKind::Arrival { .. }) || event.generation == self.generation
+        matches!(
+            event.kind,
+            QueuedKind::Arrival { .. } | QueuedKind::Topology { .. }
+        ) || event.generation == self.generation
     }
 
     /// The time of the next live event, discarding stale ones on the way.
@@ -805,7 +848,63 @@ impl OnlineEngine {
         flows: &FlowSet,
         power: &PowerFunction,
     ) -> Result<OnlineOutcome, SolveError> {
+        self.run_with_events(ctx, flows, power, &[])
+    }
+
+    /// [`OnlineEngine::run`] with a dynamic topology: the typed
+    /// failure/recovery stream is merged into the event queue and each
+    /// event is applied to the context at its effect time, *before* the
+    /// policy sees the batch. Because topology events sit in the queue
+    /// from the start, every commit window is automatically bounded by
+    /// the next one — no committed transmission ever crosses a failure on
+    /// a stale path.
+    ///
+    /// On a [`TopologyEvent::LinkDown`] the in-flight flows are triaged:
+    /// flows whose endpoints are disconnected are *stranded* (they leave
+    /// the live set, revive on a reconnecting
+    /// [`TopologyEvent::LinkUp`], and a final miss is attributed to the
+    /// failure — [`FlowDecision::failure_missed`]); still-connected flows
+    /// whose committed rates rode the failed link are re-routed by the
+    /// policy machinery at the same batch, on the already-updated graph.
+    ///
+    /// The run leaves the context's topology exactly as it found it:
+    /// whatever net link-state change the stream produced is rolled back
+    /// before returning, so follow-up solves (and
+    /// [`OnlineEngine::run_vs_offline_with_events`]'s clairvoyant
+    /// reference) see the pristine fabric.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`OnlineEngine::run`] returns, plus
+    /// [`SolveError::InvalidInput`] for an event with a non-finite time or
+    /// an out-of-range link id.
+    pub fn run_with_events(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+        events: &[TopologyEvent],
+    ) -> Result<OnlineOutcome, SolveError> {
         ctx.validate_flow_shape(flows)?;
+        for event in events {
+            if !event.time().is_finite() {
+                return Err(SolveError::InvalidInput {
+                    reason: format!("topology event time must be finite, got {event:?}"),
+                });
+            }
+            if event.link().index() >= ctx.graph().link_count() {
+                return Err(SolveError::InvalidInput {
+                    reason: format!(
+                        "topology event names link {} but the network has {} links",
+                        event.link(),
+                        ctx.graph().link_count()
+                    ),
+                });
+            }
+        }
+        // Snapshot the entry link state so the net effect of the stream
+        // can be rolled back on return.
+        let initial_down: BTreeSet<LinkId> = ctx.graph().down_links().collect();
         // The engine owns the scratch's warm flag for the duration of the
         // run (disabling also drops any stale cache from a previous run).
         ctx.set_warm_start(self.warm_start);
@@ -813,10 +912,13 @@ impl OnlineEngine {
         // A policy that keeps requesting timers without progress would spin
         // forever; built-in policies need at most a handful of batches per
         // flow (one completion, one deadline watchdog, one deferral wake).
-        let max_batches = groups.len() + 16 * flows.len() + 16;
+        let max_batches = groups.len() + events.len() + 16 * flows.len() + 16;
         let mut queue = EventQueue::default();
         for (group, (time, _)) in groups.iter().enumerate() {
             queue.push_arrival(*time, group);
+        }
+        for (index, event) in events.iter().enumerate() {
+            queue.push_topology(event.time(), index);
         }
         let mut state = vec![FlowState::default(); flows.len()];
         // The in-flight ids, mirroring `state[..].in_flight`: retiring,
@@ -835,6 +937,9 @@ impl OnlineEngine {
         let mut batches = 0usize;
         let mut resolves = 0usize;
         let mut solve_failures = 0usize;
+        let mut topology_applied = 0usize;
+        // Admitted flows currently disconnected by link failures.
+        let mut stranded: BTreeSet<FlowId> = BTreeSet::new();
         // Links whose committed rates changed since the last re-solve; fed
         // into the warm scratches as the dirty set before the next one.
         let mut dirty: Vec<LinkId> = Vec::new();
@@ -860,9 +965,11 @@ impl OnlineEngine {
                 arrivals: Vec::new(),
                 completions: Vec::new(),
                 timers: Vec::new(),
+                topology: Vec::new(),
             };
             for entry in entries {
                 match entry.kind {
+                    QueuedKind::Topology { index } => event.topology.push(events[index]),
                     QueuedKind::Arrival { group } => {
                         event.arrivals.extend(groups[group].1.iter().copied());
                     }
@@ -871,6 +978,71 @@ impl OnlineEngine {
                 }
             }
             event.arrivals.sort_unstable();
+
+            // Apply the batch's topology changes before anything routes:
+            // the policy, the admission probe and the re-solve below must
+            // all see the new link state. Shard contexts mirror the main
+            // context's view.
+            let mut topology_changed = false;
+            for &topo in &event.topology {
+                // A severed committed path means the plan the flow was
+                // riding is gone at this instant (the commit window ends
+                // here); attribute a later miss to the failure.
+                if topo.is_down() && ctx.graph().is_link_up(topo.link()) {
+                    for &id in &live {
+                        if let Some(&slot) = commit_index.get(&id) {
+                            let last = commits[slot].1.last().expect("commit lists stay non-empty");
+                            if commit_uses_link(last, topo.link()) {
+                                state[id].failure_touched = true;
+                            }
+                        }
+                    }
+                }
+                if ctx.apply_topology_event(topo) {
+                    topology_changed = true;
+                    topology_applied += 1;
+                    if let Some(shard_state) = shards.as_mut() {
+                        for sctx in &mut shard_state.contexts {
+                            sctx.apply_topology_event(topo);
+                        }
+                    }
+                }
+            }
+            if topology_changed {
+                // Strand the in-flight flows the failures disconnected...
+                retired.clear();
+                for &id in &live {
+                    let flow = flows.flow(id);
+                    if ctx.graph().shortest_path(flow.src, flow.dst).is_none() {
+                        retired.push(id);
+                    }
+                }
+                for id in retired.drain(..) {
+                    live.remove(&id);
+                    stranded.insert(id);
+                    state[id].in_flight = false;
+                    state[id].stranded = true;
+                    state[id].failure_touched = true;
+                }
+                // ... and revive the stranded flows the recoveries
+                // reconnected, if they still have time and volume left.
+                retired.clear();
+                for &id in &stranded {
+                    let flow = flows.flow(id);
+                    if flow.deadline > now
+                        && state[id].delivered < flow.volume * (1.0 - VOLUME_TOL)
+                        && ctx.graph().shortest_path(flow.src, flow.dst).is_some()
+                    {
+                        retired.push(id);
+                    }
+                }
+                for id in retired.drain(..) {
+                    stranded.remove(&id);
+                    live.insert(id);
+                    state[id].in_flight = true;
+                    state[id].stranded = false;
+                }
+            }
 
             // Retire in-flight flows: fully served, or out of time.
             retired.clear();
@@ -892,6 +1064,23 @@ impl OnlineEngine {
 
             // Admission of the new arrivals, in flow-id order.
             for &id in &event.arrivals {
+                if ctx.graph().down_link_count() > 0 {
+                    let flow = flows.flow(id);
+                    if ctx.graph().shortest_path(flow.src, flow.dst).is_none() {
+                        // Disconnected by the current failures: under
+                        // admit-all the flow is accepted and immediately
+                        // stranded (it revives if a recovery reconnects it
+                        // in time); reject-infeasible turns it away — a
+                        // commodity with no route is never feasible.
+                        if matches!(self.admission, AdmissionRule::AdmitAll) {
+                            state[id].admitted = true;
+                            state[id].stranded = true;
+                            state[id].failure_touched = true;
+                            stranded.insert(id);
+                        }
+                        continue;
+                    }
+                }
                 if flows.flow(id).deadline <= now {
                     // Epoch batching deferred the arrival past its own
                     // deadline (only reachable with a window > 0): the flow
@@ -1074,10 +1263,44 @@ impl OnlineEngine {
         }
 
         // Final accounting: an admitted flow that never received its full
-        // volume missed its deadline.
+        // volume missed its deadline; misses of failure-touched flows are
+        // attributed to the failures.
         for (id, s) in state.iter_mut().enumerate() {
             if s.admitted && s.delivered < flows.flow(id).volume * (1.0 - 1e-6) {
                 s.missed = true;
+            }
+        }
+
+        // Roll the context's topology back to its entry state: restore
+        // every link the stream left down, re-fail every link it left up.
+        let final_down: Vec<LinkId> = ctx.graph().down_links().collect();
+        let horizon_end = flows.horizon().1;
+        for link in final_down {
+            if !initial_down.contains(&link) {
+                let undo = TopologyEvent::LinkUp {
+                    time: horizon_end,
+                    link,
+                };
+                ctx.apply_topology_event(undo);
+                if let Some(shard_state) = shards.as_mut() {
+                    for sctx in &mut shard_state.contexts {
+                        sctx.apply_topology_event(undo);
+                    }
+                }
+            }
+        }
+        for &link in &initial_down {
+            if ctx.graph().is_link_up(link) {
+                let undo = TopologyEvent::LinkDown {
+                    time: horizon_end,
+                    link,
+                };
+                ctx.apply_topology_event(undo);
+                if let Some(shard_state) = shards.as_mut() {
+                    for sctx in &mut shard_state.contexts {
+                        sctx.apply_topology_event(undo);
+                    }
+                }
             }
         }
 
@@ -1091,6 +1314,7 @@ impl OnlineEngine {
                 admitted: s.admitted,
                 delivered: s.delivered,
                 missed: s.missed,
+                failure_missed: s.missed && s.failure_touched,
             })
             .collect();
         Ok(OnlineOutcome {
@@ -1102,6 +1326,7 @@ impl OnlineEngine {
                 solve_failures,
                 online_energy,
                 offline_energy: None,
+                topology_events: topology_applied,
             },
             offline: None,
         })
@@ -1121,7 +1346,26 @@ impl OnlineEngine {
         flows: &FlowSet,
         power: &PowerFunction,
     ) -> Result<OnlineOutcome, SolveError> {
-        let mut outcome = self.run(ctx, flows, power)?;
+        self.run_vs_offline_with_events(ctx, flows, power, &[])
+    }
+
+    /// [`OnlineEngine::run_with_events`], then the clairvoyant offline
+    /// solve of [`OnlineEngine::run_vs_offline`]. The offline reference
+    /// sees the *pristine* fabric (the online run rolls its topology
+    /// changes back before returning), so the competitive ratio isolates
+    /// what the failures cost the online loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors of the online run and of the offline solve.
+    pub fn run_vs_offline_with_events(
+        &mut self,
+        ctx: &mut SolverContext<'_>,
+        flows: &FlowSet,
+        power: &PowerFunction,
+        events: &[TopologyEvent],
+    ) -> Result<OnlineOutcome, SolveError> {
+        let mut outcome = self.run_with_events(ctx, flows, power, events)?;
         // The clairvoyant bound must not be seeded by the online run's
         // warm cache (disabling drops it; the next `run` re-enables).
         ctx.set_warm_start(false);
@@ -1393,6 +1637,15 @@ fn overloaded_links(
         .collect()
 }
 
+/// Whether one committed flow schedule transmits on `link`.
+fn commit_uses_link(fs: &FlowSchedule, link: LinkId) -> bool {
+    if fs.link_profiles.is_empty() {
+        fs.path.links().contains(&link)
+    } else {
+        fs.link_profiles.contains_key(&link)
+    }
+}
+
 /// Whether one flow schedule transmits on any of `links`.
 fn touches_any(fs: &FlowSchedule, links: &BTreeSet<LinkId>) -> bool {
     if fs.link_profiles.is_empty() {
@@ -1513,7 +1766,7 @@ mod tests {
     use crate::algorithm::Dcfsr;
     use crate::online::policies::ResolvePolicy;
     use dcn_flow::Flow;
-    use dcn_topology::builders;
+    use dcn_topology::{builders, GraphCsr};
 
     fn x2(capacity: f64) -> PowerFunction {
         PowerFunction::speed_scaling_only(1.0, 2.0, capacity)
@@ -1938,5 +2191,186 @@ mod tests {
             AdmissionRule::reject_infeasible(Default::default()).name(),
             "reject-infeasible"
         );
+    }
+
+    /// Total volume transmitted on `link` inside `[from, to]` across the
+    /// whole stitched schedule.
+    fn link_volume_between(schedule: &Schedule, link: LinkId, from: f64, to: f64) -> f64 {
+        schedule
+            .flow_schedules()
+            .iter()
+            .map(|fs| {
+                if fs.link_profiles.is_empty() {
+                    if fs.path.links().contains(&link) {
+                        fs.profile.volume_between(from, to)
+                    } else {
+                        0.0
+                    }
+                } else {
+                    fs.link_profiles
+                        .get(&link)
+                        .map_or(0.0, |p| p.volume_between(from, to))
+                }
+            })
+            .sum()
+    }
+
+    #[test]
+    fn failure_and_recovery_reroute_without_transmitting_on_the_down_link() {
+        // One flow on a line: the failure severs its only route, the
+        // recovery brings it back with time to spare.
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([(a, c, 0.0, 10.0, 4.0)]).unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let link = ctx.graph().shortest_path(a, c).unwrap().links()[0];
+        let events = [
+            TopologyEvent::LinkDown { time: 1.0, link },
+            TopologyEvent::LinkUp { time: 2.0, link },
+        ];
+        let mut engine = resolve_engine("sp-mcf", AdmissionRule::AdmitAll);
+        let outcome = engine
+            .run_with_events(&mut ctx, &flows, &power, &events)
+            .unwrap();
+        assert_eq!(outcome.report.topology_events, 2);
+        assert_eq!(outcome.report.missed(), 0, "recovery leaves time to finish");
+        assert_eq!(outcome.report.failure_missed(), 0);
+        let delivered = outcome.report.decisions[0].delivered;
+        assert!(
+            (delivered - 4.0).abs() <= 1e-6 * 4.0,
+            "delivered {delivered}"
+        );
+        // Physics: nothing rides the failed link while it is down.
+        assert_eq!(
+            link_volume_between(&outcome.schedule, link, 1.0, 2.0),
+            0.0,
+            "no transmission on a down link"
+        );
+        assert!(
+            link_volume_between(&outcome.schedule, link, 2.0, 10.0) > 0.0,
+            "the flow resumes after the recovery"
+        );
+        // The run rolled its topology changes back.
+        assert_eq!(ctx.graph().down_link_count(), 0);
+        assert_eq!(*ctx.graph(), GraphCsr::from_network(&topo.network));
+    }
+
+    #[test]
+    fn permanent_failure_attributes_the_miss() {
+        // Volume 20 at capacity 10 needs 2 time units; the failure at
+        // t = 1 with no recovery leaves the flow stranded and short.
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        let flows = FlowSet::from_tuples([(a, c, 0.0, 4.0, 20.0)]).unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let link = ctx.graph().shortest_path(a, c).unwrap().links()[0];
+        let events = [TopologyEvent::LinkDown { time: 1.0, link }];
+        let mut engine = resolve_engine("sp-mcf", AdmissionRule::AdmitAll);
+        let outcome = engine
+            .run_with_events(&mut ctx, &flows, &power, &events)
+            .unwrap();
+        assert_eq!(outcome.report.topology_events, 1);
+        assert_eq!(outcome.report.missed(), 1);
+        assert_eq!(
+            outcome.report.failure_missed(),
+            1,
+            "the miss is attributed to the failure"
+        );
+        assert!(outcome.report.decisions[0].failure_missed);
+        assert_eq!(
+            link_volume_between(&outcome.schedule, link, 1.0, 4.0),
+            0.0,
+            "nothing rides the link after it fails"
+        );
+        // Even though the stream never recovered the link, the run rolls
+        // the context back to the pristine fabric.
+        assert_eq!(ctx.graph().down_link_count(), 0);
+    }
+
+    #[test]
+    fn arrivals_while_disconnected_strand_under_admit_all_and_reject_otherwise() {
+        let topo = builders::line(3);
+        let (a, c) = (topo.hosts()[0], topo.hosts()[2]);
+        // Flow 1 arrives inside the outage window.
+        let flows = FlowSet::from_tuples([(a, c, 0.0, 10.0, 2.0), (a, c, 1.5, 10.0, 2.0)]).unwrap();
+        let power = x2(10.0);
+        let link = {
+            let ctx = SolverContext::from_network(&topo.network).unwrap();
+            ctx.graph().shortest_path(a, c).unwrap().links()[0]
+        };
+        let events = [
+            TopologyEvent::LinkDown { time: 1.0, link },
+            TopologyEvent::LinkUp { time: 3.0, link },
+        ];
+
+        // Admit-all: the disconnected arrival is admitted, stranded, and
+        // revived by the recovery in time to finish.
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine("sp-mcf", AdmissionRule::AdmitAll);
+        let outcome = engine
+            .run_with_events(&mut ctx, &flows, &power, &events)
+            .unwrap();
+        assert_eq!(outcome.report.admitted(), 2);
+        assert_eq!(outcome.report.missed(), 0);
+
+        // Reject-infeasible: a commodity with no route is never feasible.
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine(
+            "sp-mcf",
+            AdmissionRule::reject_infeasible(Default::default()),
+        );
+        let outcome = engine
+            .run_with_events(&mut ctx, &flows, &power, &events)
+            .unwrap();
+        assert!(!outcome.report.decisions[1].admitted);
+        assert_eq!(outcome.report.rejected(), 1);
+    }
+
+    #[test]
+    fn event_validation_rejects_bad_times_and_links() {
+        let topo = builders::line(3);
+        let flows =
+            FlowSet::from_tuples([(topo.hosts()[0], topo.hosts()[2], 0.0, 4.0, 1.0)]).unwrap();
+        let power = x2(10.0);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine("sp-mcf", AdmissionRule::AdmitAll);
+        let bad_time = [TopologyEvent::LinkDown {
+            time: f64::NAN,
+            link: LinkId(0),
+        }];
+        assert!(matches!(
+            engine.run_with_events(&mut ctx, &flows, &power, &bad_time),
+            Err(SolveError::InvalidInput { .. })
+        ));
+        let bad_link = [TopologyEvent::LinkDown {
+            time: 1.0,
+            link: LinkId(ctx.graph().link_count()),
+        }];
+        assert!(matches!(
+            engine.run_with_events(&mut ctx, &flows, &power, &bad_link),
+            Err(SolveError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn runs_without_events_are_bit_identical_to_plain_runs() {
+        let topo = builders::fat_tree(4);
+        let power = x2(10.0);
+        let flows = dcn_flow::workload::UniformWorkload::paper_defaults(10, 4)
+            .generate(topo.hosts())
+            .unwrap();
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let mut engine = resolve_engine("dcfsr", AdmissionRule::AdmitAll);
+        engine.set_seed(9);
+        let plain = engine.run(&mut ctx, &flows, &power).unwrap();
+        engine.set_seed(9);
+        let with_events = engine
+            .run_with_events(&mut ctx, &flows, &power, &[])
+            .unwrap();
+        assert_eq!(plain.report.online_energy, with_events.report.online_energy);
+        assert_eq!(plain.report.events, with_events.report.events);
+        assert_eq!(plain.report.decisions, with_events.report.decisions);
     }
 }

@@ -209,9 +209,15 @@ impl fmt::Debug for PolicyRegistry {
 /// policies route every flow on its BFS shortest path (the same
 /// tie-breaking as [`dcn_topology::GraphCsr::shortest_path`]); the cache
 /// makes that a one-time cost per endpoint pair per run.
+///
+/// Memoised paths are keyed to the graph's [`dcn_topology::GraphCsr::epoch`]:
+/// a link failure or recovery bumps the epoch and clears the memo, so a
+/// cached route can never survive the topology change that invalidated it.
 #[derive(Debug, Default)]
 pub struct PathCache {
     paths: HashMap<(NodeId, NodeId), Option<Path>>,
+    /// Epoch of the graph the memo was filled from (0 = empty).
+    epoch: u64,
 }
 
 impl PathCache {
@@ -220,7 +226,8 @@ impl PathCache {
         Self::default()
     }
 
-    /// The fewest-hop path from `src` to `dst`, computed on first use.
+    /// The fewest-hop path from `src` to `dst`, computed on first use (and
+    /// recomputed after any topology mutation).
     ///
     /// # Errors
     ///
@@ -233,6 +240,11 @@ impl PathCache {
         src: NodeId,
         dst: NodeId,
     ) -> Result<Path, SolveError> {
+        let epoch = ctx.graph().epoch();
+        if self.epoch != epoch {
+            self.paths.clear();
+            self.epoch = epoch;
+        }
         self.paths
             .entry((src, dst))
             .or_insert_with(|| ctx.graph().shortest_path(src, dst))
@@ -263,8 +275,12 @@ pub struct CapacityLedger {
     /// hot spot on 100k-arrival traces over large fabrics).
     base: Vec<f64>,
     /// Fingerprint of the graph/power pair `base` was built from: the
-    /// graph allocation's address and the power-function capacity clamp.
-    base_key: (usize, u64),
+    /// graph's mutation [`epoch`](dcn_topology::GraphCsr::epoch) and the
+    /// power-function capacity clamp. The epoch is process-globally unique
+    /// per (graph, mutation-state), so — unlike the allocation address a
+    /// previous revision used — a dead graph's key can never be revived by
+    /// a recycled allocation hosting a same-link-count graph.
+    base_key: (u64, u64),
     /// Links whose `available` entry may differ from `base` since the last
     /// [`CapacityLedger::reset`] (duplicates allowed — restoring twice is
     /// idempotent).
@@ -287,7 +303,7 @@ impl CapacityLedger {
     pub fn reset(&mut self, ctx: &SolverContext<'_>, power: &PowerFunction) {
         let graph = ctx.graph();
         let cap = power.capacity();
-        let key = (std::ptr::from_ref(graph) as usize, cap.to_bits());
+        let key = (graph.epoch(), cap.to_bits());
         if self.base_key != key || self.base.len() != graph.link_count() {
             self.base.clear();
             self.base.extend(
@@ -427,6 +443,75 @@ mod tests {
         assert_eq!(ledger.available(&path), 1.5);
         ledger.reserve(&path, 5.0);
         assert_eq!(ledger.available(&path), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn ledger_rebuilds_for_a_recycled_graph_allocation() {
+        // Regression: the ledger once keyed `base` on the graph's
+        // *allocation address* (plus the power clamp). Dropping a context
+        // and building a same-shape one at the recycled allocation made
+        // the key collide, so `reset` replayed the dead graph's
+        // capacities. The loop below alternates link capacities across
+        // same-sized boxed contexts — under the address key the stale
+        // 8.0 base survives into a 2.0-capacity round; under the epoch
+        // key every round rebuilds.
+        use dcn_topology::{Network, NodeKind};
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 100.0);
+        let mut ledger = CapacityLedger::new();
+        for round in 0..8 {
+            let cap = if round % 2 == 0 { 8.0 } else { 2.0 };
+            let mut net = Network::new();
+            let a = net.add_node(NodeKind::Host, "a");
+            let b = net.add_node(NodeKind::Host, "b");
+            net.add_duplex_link(a, b, cap);
+            let ctx = Box::new(SolverContext::from_network(&net).unwrap());
+            ledger.reset(&ctx, &power);
+            let path = ctx.graph().shortest_path(a, b).unwrap();
+            assert_eq!(
+                ledger.available(&path),
+                cap,
+                "round {round}: ledger must track the live graph, not a \
+                 recycled allocation"
+            );
+            ledger.reserve(&path, 1.0);
+        }
+    }
+
+    #[test]
+    fn ledger_rebuilds_after_an_in_place_link_failure() {
+        // A link failure mutates the graph in place: the address (and the
+        // link count) stay the same and only the epoch moves, so this is
+        // exactly the case an address-keyed cache cannot see.
+        use dcn_topology::TopologyEvent;
+        let topo = builders::line(3);
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        let power = PowerFunction::speed_scaling_only(1.0, 2.0, 100.0);
+        let mut ledger = CapacityLedger::new();
+        ledger.reset(&ctx, &power);
+        let path = ctx
+            .graph()
+            .shortest_path(topo.hosts()[0], topo.hosts()[2])
+            .unwrap();
+        let pristine = ledger.available(&path);
+        assert!(pristine > 0.0);
+        ledger.reserve(&path, 1.0);
+        let link = path.links()[0];
+
+        assert!(ctx.apply_topology_event(TopologyEvent::LinkDown { time: 0.5, link }));
+        ledger.reset(&ctx, &power);
+        assert_eq!(
+            ledger.available(&path),
+            0.0,
+            "the failed link masks to zero residual"
+        );
+
+        assert!(ctx.apply_topology_event(TopologyEvent::LinkUp { time: 1.5, link }));
+        ledger.reset(&ctx, &power);
+        assert_eq!(
+            ledger.available(&path),
+            pristine,
+            "recovery restores the exact pre-failure capacity"
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   adversarial parallel-link gadgets from the hardness proofs, and the
 //!   [`workload::ArrivalProcess`] overlay that turns any of them into an
 //!   online instance (Poisson arrivals at a configurable load factor).
+//! * [`failure`] — seeded link failure/recovery processes: the
+//!   [`failure::FailureProcess`] alternating-renewal model that generates
+//!   the typed topology-event stream the online engine merges into its
+//!   event queue.
 //! * [`trace`] — JSON (de)serialization of flow sets so experiments can be
 //!   replayed.
 //!
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![deny(deprecated)]
 
+pub mod failure;
 mod flow;
 mod set;
 pub mod trace;

@@ -260,6 +260,108 @@ impl ShuffleWorkload {
     }
 }
 
+/// An empirical heavy-tailed flow-size distribution, shaped after the two
+/// classic data-center traffic measurements: the partition–aggregate web
+/// search workload (DCTCP) and the VL2 data-mining workload. Both are
+/// dominated by small flows with a tail several orders of magnitude above
+/// the median — the opposite of the paper's near-Gaussian `N(10, 3)`
+/// volumes, and exactly the regime where a link failure strands a few
+/// elephants instead of shaving every flow equally.
+///
+/// Samples are drawn by inversion from a piecewise-linear CDF and
+/// normalized to mean `1.0`, so callers scale them to whatever volume
+/// scale the instance uses (see [`ArrivalProcess::sizes`], which scales by
+/// the base workload's mean volume — load factors stay comparable across
+/// distributions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// The web-search workload: mostly short query/response flows, with
+    /// ~5% of flows carrying ~10× the median and the largest ~200×.
+    WebSearch,
+    /// The data-mining workload: even heavier tail — half the flows are
+    /// tiny, while the top 1% carry three orders of magnitude more.
+    DataMining,
+}
+
+impl SizeDistribution {
+    /// The `(size, cdf)` breakpoints of the empirical distribution, in
+    /// arbitrary size units (only ratios matter — samples are normalized
+    /// to mean 1.0).
+    fn table(self) -> &'static [(f64, f64)] {
+        match self {
+            SizeDistribution::WebSearch => &[
+                (1.0, 0.0),
+                (6.0, 0.15),
+                (13.0, 0.30),
+                (19.0, 0.45),
+                (33.0, 0.60),
+                (53.0, 0.70),
+                (133.0, 0.80),
+                (667.0, 0.90),
+                (1333.0, 0.95),
+                (6667.0, 0.99),
+                (20000.0, 1.0),
+            ],
+            SizeDistribution::DataMining => &[
+                (1.0, 0.0),
+                (2.0, 0.50),
+                (3.0, 0.60),
+                (7.0, 0.70),
+                (27.0, 0.80),
+                (267.0, 0.90),
+                (2107.0, 0.95),
+                (6667.0, 0.99),
+                (66667.0, 1.0),
+            ],
+        }
+    }
+
+    /// The mean of the piecewise-linear CDF (linear interpolation within
+    /// each segment, so each segment contributes its probability mass
+    /// times the segment midpoint).
+    fn raw_mean(self) -> f64 {
+        self.table()
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) * 0.5 * (w[0].0 + w[1].0))
+            .sum()
+    }
+
+    /// The quantile at `u ∈ [0, 1)`, normalized so the distribution's
+    /// mean is exactly `1.0`.
+    pub fn quantile(self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let table = self.table();
+        let mut raw = table[table.len() - 1].0;
+        for w in table.windows(2) {
+            let ((x0, p0), (x1, p1)) = (w[0], w[1]);
+            if u <= p1 {
+                raw = x0 + (x1 - x0) * ((u - p0) / (p1 - p0));
+                break;
+            }
+        }
+        raw / self.raw_mean()
+    }
+
+    /// The stable name used in experiment artifacts (`websearch` /
+    /// `datamining`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeDistribution::WebSearch => "websearch",
+            SizeDistribution::DataMining => "datamining",
+        }
+    }
+
+    /// Parses an artifact name (the inverse of [`SizeDistribution::name`];
+    /// `None` for anything else).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "websearch" => Some(SizeDistribution::WebSearch),
+            "datamining" => Some(SizeDistribution::DataMining),
+            _ => None,
+        }
+    }
+}
+
 /// A Poisson arrival process layered over any existing workload: the flows
 /// of a base [`FlowSet`] keep their endpoints, volumes and span *lengths*,
 /// but their release times are replaced by the cumulative arrival instants
@@ -300,6 +402,10 @@ pub struct ArrivalProcess {
     pub start: f64,
     /// RNG seed; the same seed always yields the same arrival times.
     pub seed: u64,
+    /// When set, flow volumes are re-drawn from this heavy-tailed
+    /// distribution (scaled to the base workload's mean volume) instead of
+    /// carried over from the base flows.
+    pub sizes: Option<SizeDistribution>,
 }
 
 impl ArrivalProcess {
@@ -317,12 +423,23 @@ impl ArrivalProcess {
             load,
             start: 0.0,
             seed,
+            sizes: None,
         }
+    }
+
+    /// Re-draws flow volumes from a heavy-tailed [`SizeDistribution`]
+    /// instead of keeping the base workload's (scaled so the expected
+    /// volume matches the base's mean — load factors stay comparable).
+    pub fn sizes(mut self, sizes: SizeDistribution) -> Self {
+        self.sizes = Some(sizes);
+        self
     }
 
     /// Rewrites the release times of `base` with Poisson arrivals (keeping
     /// each flow's endpoints, volume and span length) and returns the new
-    /// flow set.
+    /// flow set. With [`ArrivalProcess::sizes`] set, volumes are re-drawn
+    /// from the heavy-tailed distribution instead, scaled to the base
+    /// workload's mean volume.
     ///
     /// # Errors
     ///
@@ -342,6 +459,7 @@ impl ArrivalProcess {
             return FlowSet::from_flows(Vec::new());
         }
         let mean_span: f64 = base.iter().map(Flow::span_length).sum::<f64>() / base.len() as f64;
+        let mean_volume: f64 = base.iter().map(|f| f.volume).sum::<f64>() / base.len() as f64;
         let mean_gap = mean_span / self.load;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut clock = self.start;
@@ -350,13 +468,20 @@ impl ArrivalProcess {
             // Exponential inter-arrival gap by inversion sampling.
             let u: f64 = rng.gen_range(0.0..1.0);
             clock += -(1.0 - u).ln() * mean_gap;
+            let volume = match self.sizes {
+                Some(dist) => {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    dist.quantile(u) * mean_volume
+                }
+                None => f.volume,
+            };
             flows.push(Flow::new(
                 f.id,
                 f.src,
                 f.dst,
                 clock,
                 clock + f.span_length(),
-                f.volume,
+                volume,
             )?);
         }
         FlowSet::from_flows(flows)
@@ -567,6 +692,85 @@ mod tests {
             t1 - t0
         };
         assert!(span(&sparse) > 4.0 * span(&dense));
+    }
+
+    #[test]
+    fn size_distributions_are_normalized_and_heavy_tailed() {
+        for dist in [SizeDistribution::WebSearch, SizeDistribution::DataMining] {
+            // Numerical mean over a fine quantile grid is ~1.0.
+            let n = 200_000;
+            let mean: f64 = (0..n)
+                .map(|i| dist.quantile((i as f64 + 0.5) / n as f64))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - 1.0).abs() < 1e-3,
+                "{}: normalized mean {mean}",
+                dist.name()
+            );
+            // Heavy tail: the median sits far below the mean, the p99 far
+            // above — the shape a Gaussian cannot produce.
+            let median = dist.quantile(0.5);
+            let p99 = dist.quantile(0.99);
+            assert!(median < 0.25, "{}: median {median}", dist.name());
+            assert!(p99 > 5.0, "{}: p99 {p99}", dist.name());
+            assert!(dist.quantile(0.0) > 0.0, "volumes stay positive");
+            // Quantiles are monotone.
+            let mut last = 0.0;
+            for i in 0..=100 {
+                let q = dist.quantile(i as f64 / 100.0);
+                assert!(q >= last);
+                last = q;
+            }
+            assert_eq!(SizeDistribution::from_name(dist.name()), Some(dist));
+        }
+        assert_eq!(SizeDistribution::from_name("gaussian"), None);
+        // Data mining is the heavier of the two tails.
+        assert!(
+            SizeDistribution::DataMining.quantile(0.999)
+                > SizeDistribution::WebSearch.quantile(0.999)
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_sizes_rescale_to_the_base_mean() {
+        let topo = builders::fat_tree(4);
+        let base = UniformWorkload::paper_defaults(400, 9)
+            .generate(topo.hosts())
+            .unwrap();
+        let base_mean = base.iter().map(|f| f.volume).sum::<f64>() / base.len() as f64;
+        for dist in [SizeDistribution::WebSearch, SizeDistribution::DataMining] {
+            let tailed = ArrivalProcess::with_load(2.0, 3)
+                .sizes(dist)
+                .apply(&base)
+                .unwrap();
+            assert_eq!(
+                tailed,
+                ArrivalProcess::with_load(2.0, 3)
+                    .sizes(dist)
+                    .apply(&base)
+                    .unwrap(),
+                "deterministic per seed"
+            );
+            let mean = tailed.iter().map(|f| f.volume).sum::<f64>() / tailed.len() as f64;
+            assert!(
+                (mean / base_mean - 1.0).abs() < 0.8,
+                "{}: sample mean {mean} vs base {base_mean}",
+                dist.name()
+            );
+            let max = tailed.iter().map(|f| f.volume).fold(0.0, f64::max);
+            assert!(
+                max > 4.0 * base_mean,
+                "{}: no elephants (max {max})",
+                dist.name()
+            );
+            // Endpoints and spans still come from the base workload.
+            for (orig, online) in base.iter().zip(tailed.iter()) {
+                assert_eq!(orig.src, online.src);
+                assert_eq!(orig.dst, online.dst);
+                assert!((orig.span_length() - online.span_length()).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

@@ -42,5 +42,7 @@ pub use protocol::{
     MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{ServeOutcome, Server, ServerConfig, ServerError, TopologySpec};
-pub use snapshot::{BucketState, FlowRecord, PlanRecord, SnapshotFile, SNAPSHOT_VERSION};
+pub use snapshot::{
+    BucketState, FlowRecord, PlanRecord, SnapshotError, SnapshotFile, SNAPSHOT_VERSION,
+};
 pub use worker::{serve_fmcf_config, AdmitOutcome, EngineSettings, ServeAdmission, ServePolicy};

@@ -66,6 +66,17 @@ pub enum RequestBody {
         /// The server-assigned flow id.
         flow: u64,
     },
+    /// Apply a topology change: take a directed link down or bring it
+    /// back up. Broadcast to every shard worker (a FIFO barrier behind
+    /// all previously dispatched work) before the
+    /// [`ResponseBody::LinkAck`] reply, so later submissions are planned
+    /// on the updated fabric — never on a stale route.
+    LinkEvent {
+        /// Directed link id on the daemon's topology.
+        link: usize,
+        /// `true` = the link failed, `false` = it recovered.
+        down: bool,
+    },
     /// Persist the in-flight state of every shard to the snapshot file.
     Snapshot,
     /// Drain and stop the daemon; answered with [`ResponseBody::Bye`].
@@ -159,6 +170,17 @@ pub enum ResponseBody {
     Admit(AdmitReply),
     /// Flow status.
     Status(StatusReply),
+    /// Acknowledges [`RequestBody::LinkEvent`] after every shard worker
+    /// has applied it.
+    LinkAck {
+        /// The directed link the event addressed.
+        link: usize,
+        /// The state the link is now in.
+        down: bool,
+        /// Whether the event changed anything (`false` when the link was
+        /// already in the requested state).
+        changed: bool,
+    },
     /// Snapshot written.
     SnapshotDone {
         /// Where the snapshot landed.
@@ -388,6 +410,14 @@ mod tests {
                 volume: 10.0,
             }),
             RequestBody::QueryFlow { flow: 3 },
+            RequestBody::LinkEvent {
+                link: 12,
+                down: true,
+            },
+            RequestBody::LinkEvent {
+                link: 12,
+                down: false,
+            },
             RequestBody::Snapshot,
             RequestBody::Shutdown,
         ] {

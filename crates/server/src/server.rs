@@ -37,7 +37,7 @@ use std::thread::JoinHandle;
 
 use dcn_flow::Flow;
 use dcn_power::PowerFunction;
-use dcn_topology::{builders, BuiltTopology, GraphCsr, NodeId};
+use dcn_topology::{builders, BuiltTopology, GraphCsr, LinkId, NodeId};
 
 use crate::protocol::{
     write_frame, AdmitReply, Request, RequestBody, Response, ResponseBody, StatusReply,
@@ -232,6 +232,15 @@ enum Job {
     /// FIFO queue as submissions, so it naturally serializes after all
     /// previously dispatched work — the snapshot barrier.
     Collect { reply: Sender<Vec<BucketState>> },
+    /// Apply a link failure/recovery to every engine the worker owns.
+    /// Rides the FIFO queue like [`Job::Collect`], so it lands *after*
+    /// all previously dispatched submissions and *before* all later ones
+    /// — at any worker width, every submission sees the same fabric.
+    Topology {
+        link: LinkId,
+        down: bool,
+        reply: Sender<()>,
+    },
     /// Drain and exit.
     Stop,
 }
@@ -442,6 +451,29 @@ impl Server {
                         )),
                     );
                 }
+                // Under link failures an endpoint pair can be cut off
+                // entirely; routing such a flow to a shard would at best
+                // be rejected with an opaque planning error and at worst
+                // admitted on a stale route. Answer with a typed error
+                // up front instead.
+                if self.graph.down_link_count() > 0
+                    && self
+                        .graph
+                        .shortest_path(NodeId(submit.src), NodeId(submit.dst))
+                        .is_none()
+                {
+                    return (
+                        seq,
+                        Some(Response::error(
+                            id,
+                            "unreachable",
+                            format!(
+                                "no route from {} to {}: link failures disconnected the endpoints",
+                                submit.src, submit.dst
+                            ),
+                        )),
+                    );
+                }
                 let flow_id = self.flows_assigned as usize;
                 let flow = match Flow::new(
                     flow_id,
@@ -516,6 +548,67 @@ impl Server {
                         Some(Response::error(id, "internal", "shard worker is gone")),
                     ),
                 }
+            }
+            RequestBody::LinkEvent { link, down } => {
+                if link >= self.graph.link_count() {
+                    return (
+                        seq,
+                        Some(Response::error(
+                            id,
+                            "bad-link",
+                            format!(
+                                "link {link} does not exist (topology has {} directed links)",
+                                self.graph.link_count()
+                            ),
+                        )),
+                    );
+                }
+                let link_id = LinkId(link);
+                // The router's own graph answers reachability checks for
+                // later submissions; the broadcast updates every shard
+                // engine behind the FIFO barrier before the ack goes out.
+                let changed = if down {
+                    self.graph.fail_link(link_id)
+                } else {
+                    self.graph.restore_link(link_id)
+                };
+                let mut acks = Vec::with_capacity(self.queues.len());
+                for queue in &self.queues {
+                    let (tx, rx) = mpsc::channel();
+                    if queue
+                        .send(Job::Topology {
+                            link: link_id,
+                            down,
+                            reply: tx,
+                        })
+                        .is_err()
+                    {
+                        return (
+                            seq,
+                            Some(Response::error(id, "internal", "shard worker is gone")),
+                        );
+                    }
+                    acks.push(rx);
+                }
+                for ack in acks {
+                    if ack.recv().is_err() {
+                        return (
+                            seq,
+                            Some(Response::error(id, "internal", "shard worker is gone")),
+                        );
+                    }
+                }
+                (
+                    seq,
+                    Some(Response::new(
+                        id,
+                        ResponseBody::LinkAck {
+                            link,
+                            down,
+                            changed,
+                        },
+                    )),
+                )
             }
             RequestBody::Snapshot => match self.take_snapshot() {
                 Ok((path, flows)) => (
@@ -824,6 +917,12 @@ fn run_worker(jobs: &Receiver<Job>, engines: &mut BTreeMap<usize, ShardEngine<'_
             Job::Collect { reply } => {
                 let states = engines.values().map(ShardEngine::state).collect();
                 let _ = reply.send(states);
+            }
+            Job::Topology { link, down, reply } => {
+                for engine in engines.values_mut() {
+                    engine.apply_link_event(link, down);
+                }
+                let _ = reply.send(());
             }
             Job::Stop => break,
         }

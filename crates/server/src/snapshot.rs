@@ -15,14 +15,58 @@
 //! (committed history plus each live flow's remaining plan) to account
 //! energy, misses and capacity excess — see [`SnapshotFile::schedule`].
 
+use std::fmt;
 use std::path::Path as FsPath;
 
-use dcn_core::{FlowSchedule, Schedule, SolveError};
+use dcn_core::{FlowSchedule, Schedule};
 use dcn_power::RateProfile;
 use dcn_topology::{Network, NodeId, Path};
 use serde::{Deserialize, Serialize};
 
 use crate::protocol::PlanSegment;
+
+/// Typed errors of [`SnapshotFile::schedule`] — everything that can make
+/// a dump unreconstructable on the restore host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A recorded flow id does not fit the platform's `usize`. Flow ids
+    /// are `u64` on the wire; on 32-bit targets an `as usize` cast would
+    /// silently truncate and alias two distinct flows, so the overflow is
+    /// an error instead.
+    FlowIdOverflow {
+        /// The id that does not fit.
+        id: u64,
+    },
+    /// A recorded routing path does not exist on the restore network.
+    InvalidPath {
+        /// The flow whose path is broken.
+        flow: u64,
+        /// What the path validation rejected.
+        reason: String,
+    },
+    /// The snapshot contains no served flows, so there is no schedule to
+    /// rebuild.
+    Empty,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FlowIdOverflow { id } => {
+                write!(
+                    f,
+                    "snapshot flow id {id} does not fit this platform's usize"
+                )
+            }
+            Self::InvalidPath { flow, reason } => {
+                write!(f, "snapshot path of flow {flow} is invalid: {reason}")
+            }
+            Self::Empty => write!(f, "snapshot holds no served flows"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Version stamp of the snapshot layout.
 pub const SNAPSHOT_VERSION: u32 = 1;
@@ -159,8 +203,9 @@ impl SnapshotFile {
     ///
     /// # Errors
     ///
-    /// Rejects snapshots whose paths do not exist on `network`.
-    pub fn schedule(&self, network: &Network) -> Result<Schedule, SolveError> {
+    /// Rejects snapshots whose paths do not exist on `network`, whose
+    /// flow ids overflow `usize`, or that hold no served flows.
+    pub fn schedule(&self, network: &Network) -> Result<Schedule, SnapshotError> {
         let mut flow_schedules = Vec::new();
         let mut start = f64::INFINITY;
         let mut end = f64::NEG_INFINITY;
@@ -184,19 +229,22 @@ impl SnapshotFile {
                 let Some(path_record) = path_record else {
                     continue; // Admitted but never served (zero-length plan).
                 };
+                let flow_id = usize::try_from(record.id)
+                    .map_err(|_| SnapshotError::FlowIdOverflow { id: record.id })?;
                 let nodes: Vec<NodeId> = path_record.path.iter().map(|&n| NodeId(n)).collect();
                 let path =
-                    Path::from_nodes(network, &nodes).map_err(|e| SolveError::InvalidInput {
-                        reason: format!("snapshot path of flow {} is invalid: {e}", record.id),
+                    Path::from_nodes(network, &nodes).map_err(|e| SnapshotError::InvalidPath {
+                        flow: record.id,
+                        reason: e.to_string(),
                     })?;
                 if let Some((_, profile_end)) = profile.span() {
                     end = end.max(profile_end);
                 }
-                flow_schedules.push(FlowSchedule::uniform(record.id as usize, path, profile));
+                flow_schedules.push(FlowSchedule::uniform(flow_id, path, profile));
             }
         }
         if flow_schedules.is_empty() {
-            return Err(SolveError::EmptyFlowSet);
+            return Err(SnapshotError::Empty);
         }
         Ok(Schedule::new(flow_schedules, (start, end)))
     }
@@ -210,5 +258,81 @@ fn add_segments(profile: &mut RateProfile, segments: &[PlanSegment], from: f64, 
         if end > start && segment.rate > 0.0 {
             profile.add_rate(start, end, segment.rate);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+
+    fn snapshot_with(buckets: Vec<BucketState>) -> SnapshotFile {
+        SnapshotFile {
+            version: SNAPSHOT_VERSION,
+            topology: "line:3".to_string(),
+            policy: "resolve".to_string(),
+            admission: "admit-all".to_string(),
+            seed: 1,
+            flows_assigned: 1,
+            assignments: vec![0],
+            buckets,
+        }
+    }
+
+    #[test]
+    fn empty_snapshots_yield_a_typed_error() {
+        let built = builders::line(3);
+        let err = snapshot_with(Vec::new())
+            .schedule(&built.network)
+            .unwrap_err();
+        assert_eq!(err, SnapshotError::Empty);
+        assert!(err.to_string().contains("no served flows"));
+    }
+
+    #[test]
+    fn broken_paths_yield_a_typed_error_naming_the_flow() {
+        let built = builders::line(3);
+        let snapshot = snapshot_with(vec![BucketState {
+            bucket: 0,
+            clock: Some(0.0),
+            events: 1,
+            rejected: Vec::new(),
+            flows: vec![FlowRecord {
+                id: 7,
+                src: 0,
+                dst: 2,
+                release: 0.0,
+                deadline: 2.0,
+                volume: 1.0,
+                delivered: 0.0,
+                retired: false,
+                missed: false,
+            }],
+            plans: vec![PlanRecord {
+                flow: 7,
+                // Node 99 does not exist on a 3-node line.
+                path: vec![0, 99, 2],
+                segments: vec![PlanSegment {
+                    start: 0.0,
+                    end: 1.0,
+                    rate: 1.0,
+                }],
+            }],
+            committed: Vec::new(),
+        }]);
+        match snapshot.schedule(&built.network).unwrap_err() {
+            SnapshotError::InvalidPath { flow, .. } => assert_eq!(flow, 7),
+            other => panic!("expected InvalidPath, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_errors_render_the_offending_id() {
+        // `usize::try_from(u64)` cannot fail on 64-bit hosts, so the
+        // variant is exercised directly: what matters is that the error
+        // names the id instead of silently truncating it like the old
+        // `as usize` cast did on 32-bit targets.
+        let err = SnapshotError::FlowIdOverflow { id: u64::MAX };
+        assert!(err.to_string().contains(&u64::MAX.to_string()));
     }
 }

@@ -22,7 +22,7 @@ use dcn_core::{Algorithm, AlgorithmRegistry, SolveError, SolverContext};
 use dcn_flow::{Flow, FlowId};
 use dcn_power::{PowerFunction, RateProfile};
 use dcn_solver::fmcf::FmcfSolverConfig;
-use dcn_topology::{Network, Path};
+use dcn_topology::{LinkId, Network, Path, TopologyEvent};
 
 use crate::protocol::{PlanSegment, WirePlan};
 use crate::snapshot::{BucketState, FlowRecord, PlanRecord};
@@ -422,6 +422,24 @@ impl<'net> ShardEngine<'net> {
     /// Number of submissions this shard has processed.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Applies a link failure or recovery to the shard's solver context.
+    /// Subsequent plans and re-solves see the updated fabric (the graph
+    /// epoch bump invalidates the path cache and warm-start fingerprints
+    /// automatically). Returns whether the link state actually changed.
+    pub fn apply_link_event(&mut self, link: LinkId, down: bool) -> bool {
+        let time = if self.clock.is_finite() {
+            self.clock
+        } else {
+            0.0
+        };
+        let event = if down {
+            TopologyEvent::LinkDown { time, link }
+        } else {
+            TopologyEvent::LinkUp { time, link }
+        };
+        self.ctx.apply_topology_event(event)
     }
 
     /// Dumps the shard's full state for a snapshot.

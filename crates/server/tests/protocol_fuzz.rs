@@ -204,6 +204,112 @@ fn nonsense_submissions_are_rejected_not_panicked() {
     }
 }
 
+/// The outgoing access link of host `node` on a fat-tree(k=4).
+fn access_link_of(node: usize) -> usize {
+    let built = TopologySpec::FatTree { k: 4 }.build();
+    let link = built
+        .network
+        .links()
+        .find(|l| l.src.0 == node)
+        .expect("hosts have an access link")
+        .id;
+    link.index()
+}
+
+fn submit(src: usize, dst: usize) -> RequestBody {
+    RequestBody::SubmitFlow(SubmitFlow {
+        src,
+        dst,
+        release: 1.0,
+        deadline: 50.0,
+        volume: 0.5,
+    })
+}
+
+#[test]
+fn failed_links_turn_submissions_into_typed_errors_until_recovery() {
+    let mut server = test_server();
+    let link = access_link_of(8);
+
+    // Pristine fabric: the flow admits.
+    let reply = server.request(Request::new(0, submit(8, 9)));
+    assert!(
+        matches!(&reply.body, ResponseBody::Admit(a) if a.admitted),
+        "pristine fabric must admit: {reply:?}"
+    );
+
+    // Fail host 8's only outgoing link: 8 cannot reach anything.
+    let reply = server.request(Request::new(1, RequestBody::LinkEvent { link, down: true }));
+    assert!(
+        matches!(
+            &reply.body,
+            ResponseBody::LinkAck {
+                down: true,
+                changed: true,
+                ..
+            }
+        ),
+        "failing an up link must ack changed: {reply:?}"
+    );
+    let reply = server.request(Request::new(2, submit(8, 9)));
+    assert!(
+        matches!(&reply.body, ResponseBody::Error(e) if e.code == "unreachable"),
+        "submissions across the cut must get a typed error: {reply:?}"
+    );
+    // Other host pairs are untouched.
+    let reply = server.request(Request::new(3, submit(9, 10)));
+    assert!(
+        matches!(&reply.body, ResponseBody::Admit(a) if a.admitted),
+        "unrelated pairs must still admit: {reply:?}"
+    );
+    // Failing an already-down link acks with changed = false.
+    let reply = server.request(Request::new(4, RequestBody::LinkEvent { link, down: true }));
+    assert!(
+        matches!(&reply.body, ResponseBody::LinkAck { changed: false, .. }),
+        "re-failing must be idempotent: {reply:?}"
+    );
+
+    // Recovery restores admission.
+    let reply = server.request(Request::new(
+        5,
+        RequestBody::LinkEvent { link, down: false },
+    ));
+    assert!(
+        matches!(
+            &reply.body,
+            ResponseBody::LinkAck {
+                down: false,
+                changed: true,
+                ..
+            }
+        ),
+        "restoring a down link must ack changed: {reply:?}"
+    );
+    let reply = server.request(Request::new(6, submit(8, 9)));
+    assert!(
+        matches!(&reply.body, ResponseBody::Admit(a) if a.admitted),
+        "recovery must restore admission: {reply:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn out_of_range_link_events_get_bad_link() {
+    let mut server = test_server();
+    let reply = server.request(Request::new(
+        0,
+        RequestBody::LinkEvent {
+            link: usize::MAX,
+            down: true,
+        },
+    ));
+    assert!(
+        matches!(&reply.body, ResponseBody::Error(e) if e.code == "bad-link"),
+        "got {reply:?}"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn frame_layer_never_panics_on_edge_prefixes() {
     for stream in [
@@ -245,6 +351,61 @@ proptest! {
     ) {
         let replies = serve_bytes(&bytes);
         let _ = parse_replies(&replies);
+    }
+
+    /// Random interleavings of link failures/recoveries (including
+    /// out-of-range link ids) and submissions: every request gets exactly
+    /// one reply, submissions answer `Admit` or a typed error — never a
+    /// panic, never a hang behind the topology broadcast barrier.
+    #[test]
+    fn failure_event_interleavings_never_panic_the_daemon(
+        ops in prop::collection::vec(
+            // (selector, link-or-src, down-or-dst): selector picks a link
+            // event or a submission. Link ids straddle the real link
+            // count of fat-tree(k=4) (valid and bad-link ids alike);
+            // submissions span the hosts (8..=15) plus non-host ids.
+            (0usize..2, 0usize..200, 0usize..2, 6usize..16, 6usize..16).prop_map(
+                |(is_link, link, down, src, dst)| {
+                    if is_link == 1 {
+                        RequestBody::LinkEvent {
+                            link,
+                            down: down == 1,
+                        }
+                    } else {
+                        submit(src, dst)
+                    }
+                },
+            ),
+            1..24,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for (id, body) in ops.iter().enumerate() {
+            stream.extend_from_slice(&dcn_server::encode_frame(
+                &Request::new(id as u64, body.clone()),
+            ));
+        }
+        let replies = parse_replies(&serve_bytes(&stream));
+        prop_assert_eq!(replies.len(), ops.len());
+        for (op, reply) in ops.iter().zip(&replies) {
+            match op {
+                RequestBody::LinkEvent { .. } => prop_assert!(
+                    matches!(
+                        &reply.body,
+                        ResponseBody::LinkAck { .. } | ResponseBody::Error(_)
+                    ),
+                    "link event got {:?}", reply
+                ),
+                RequestBody::SubmitFlow(_) => prop_assert!(
+                    matches!(
+                        &reply.body,
+                        ResponseBody::Admit(_) | ResponseBody::Error(_)
+                    ),
+                    "submission got {:?}", reply
+                ),
+                _ => unreachable!("only link events and submissions are generated"),
+            }
+        }
     }
 
     /// Streams that *start* with valid frames but carry random JSON

@@ -183,6 +183,12 @@ struct WarmEntry {
     loads: Vec<f64>,
     /// Row stride of `flows`.
     link_count: usize,
+    /// Epoch of the graph the cached solve ran on. Epochs are globally
+    /// unique and bumped on every topology mutation, so this pins the
+    /// cache to one graph *instance and state* — a recycled allocation
+    /// hosting a same-size graph, or an in-place link failure, can never
+    /// replay a stale solution.
+    graph_epoch: u64,
     /// Iteration count of the cached solve.
     iterations: usize,
     /// Convergence flag of the cached solve.
@@ -686,6 +692,7 @@ impl<'a> FmcfProblem<'a> {
                 flows: flows.clone(),
                 loads: loads.clone(),
                 link_count: m,
+                graph_epoch: self.graph.get().epoch(),
                 iterations,
                 converged,
                 active: scratch
@@ -721,6 +728,7 @@ impl<'a> FmcfProblem<'a> {
         let entry = scratch.warm.as_ref()?;
         let m = self.graph.get().link_count();
         if entry.link_count != m
+            || entry.graph_epoch != self.graph.get().epoch()
             || entry.keys.len() != self.commodities.len()
             || entry.config_bits != config_fingerprint(config)
             || entry.cost_bits != cost_fingerprint(cost)
@@ -763,6 +771,7 @@ impl<'a> FmcfProblem<'a> {
                 return;
             };
             if entry.link_count != m
+                || entry.graph_epoch != self.graph.get().epoch()
                 || entry.config_bits != config_fingerprint(config)
                 || entry.cost_bits != cost_fingerprint(cost)
             {

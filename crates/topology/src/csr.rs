@@ -44,11 +44,35 @@
 
 use crate::{LinkId, Network, NodeId, Path, PathError};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The workspace-global epoch counter. Every [`GraphCsr`] build *and*
+/// every mutation draws a fresh value, so an epoch uniquely identifies
+/// one (graph, mutation-state) pair for the whole process lifetime —
+/// unlike an allocation address, a recycled epoch can never alias a
+/// different graph. Epoch values are only ever compared for equality
+/// (cache keys), never emitted into artifacts, so the counter does not
+/// affect the determinism contract.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A compressed-sparse-row snapshot of a [`Network`]: contiguous adjacency
 /// and per-link attribute arrays, the read-optimised counterpart of the
 /// mutable builder. See the module-level documentation for the layout.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// # Dynamic topology
+///
+/// The view supports link failure and recovery in place:
+/// [`GraphCsr::fail_link`] removes a directed link from the adjacency
+/// arrays and masks its capacity to zero, [`GraphCsr::restore_link`]
+/// rebuilds it with the exact pre-failure capacity. Every mutation bumps
+/// the graph's [`GraphCsr::epoch`] — the cache key downstream residual
+/// ledgers and warm-start fingerprints use to detect that the topology
+/// under them changed.
+#[derive(Debug, Clone)]
 pub struct GraphCsr {
     /// `out_offsets[v]..out_offsets[v + 1]` indexes `out_link_ids`.
     out_offsets: Vec<u32>,
@@ -66,12 +90,44 @@ pub struct GraphCsr {
     link_src: Vec<NodeId>,
     /// Destination node of every link, indexed by [`LinkId`].
     link_dst: Vec<NodeId>,
-    /// Capacity of every link, indexed by [`LinkId`].
+    /// *Effective* capacity of every link, indexed by [`LinkId`]: the
+    /// built capacity while the link is up, `0.0` while it is down.
     link_capacity: Vec<f64>,
+    /// The pristine built capacity of every link; [`GraphCsr::restore_link`]
+    /// copies from here so recovery is bit-exact.
+    base_capacity: Vec<f64>,
+    /// Whether each link is currently up (in the adjacency arrays).
+    link_up: Vec<bool>,
+    /// Number of currently failed links.
+    down_count: usize,
     /// Locality group (pod) of every node, `u32::MAX` when unassigned.
     node_pod: Vec<u32>,
     /// Number of distinct pods (`max assigned pod + 1`, 0 when none).
     pod_count: usize,
+    /// Monotonically increasing mutation stamp, globally unique per
+    /// (graph, state) — see [`GraphCsr::epoch`].
+    epoch: u64,
+}
+
+/// Structural equality: two views are equal when they describe the same
+/// graph in the same up/down state. The `epoch` is deliberately excluded —
+/// it identifies a cache generation, not graph content, and two
+/// independently built identical graphs must still compare equal.
+impl PartialEq for GraphCsr {
+    fn eq(&self, other: &Self) -> bool {
+        self.out_offsets == other.out_offsets
+            && self.out_link_ids == other.out_link_ids
+            && self.out_dsts == other.out_dsts
+            && self.in_offsets == other.in_offsets
+            && self.in_link_ids == other.in_link_ids
+            && self.link_src == other.link_src
+            && self.link_dst == other.link_dst
+            && self.link_capacity == other.link_capacity
+            && self.base_capacity == other.base_capacity
+            && self.link_up == other.link_up
+            && self.node_pod == other.node_pod
+            && self.pod_count == other.pod_count
+    }
 }
 
 impl GraphCsr {
@@ -133,6 +189,7 @@ impl GraphCsr {
             .max()
             .unwrap_or(0);
 
+        let base_capacity = link_capacity.clone();
         Self {
             out_offsets,
             out_link_ids,
@@ -142,8 +199,12 @@ impl GraphCsr {
             link_src,
             link_dst,
             link_capacity,
+            base_capacity,
+            link_up: vec![true; m],
+            down_count: 0,
             node_pod,
             pod_count,
+            epoch: next_epoch(),
         }
     }
 
@@ -152,9 +213,125 @@ impl GraphCsr {
         self.out_offsets.len() - 1
     }
 
-    /// Number of directed links.
+    /// Number of directed links (up and down).
     pub fn link_count(&self) -> usize {
         self.link_src.len()
+    }
+
+    /// The graph's mutation epoch: a process-globally unique stamp drawn
+    /// at build time and re-drawn on every [`GraphCsr::fail_link`] /
+    /// [`GraphCsr::restore_link`]. An `(epoch, ...)` tuple is the correct
+    /// cache key for state derived from this view — unlike an allocation
+    /// address, it can never alias a different graph (or a different
+    /// mutation state of the same graph) through allocator recycling.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `link` is currently up.
+    #[inline]
+    pub fn is_link_up(&self, link: LinkId) -> bool {
+        self.link_up[link.index()]
+    }
+
+    /// Number of currently failed links.
+    pub fn down_link_count(&self) -> usize {
+        self.down_count
+    }
+
+    /// The ids of every currently failed link, in id order.
+    pub fn down_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.link_up
+            .iter()
+            .enumerate()
+            .filter(|(_, up)| !**up)
+            .map(|(i, _)| LinkId(i))
+    }
+
+    /// Takes `link` down: removes it from the adjacency arrays (so every
+    /// traversal — BFS, Dijkstra, reachability — automatically avoids it)
+    /// and masks its capacity to zero. Bumps the epoch. Returns `false`
+    /// when the link was already down (no state change, no epoch bump).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn fail_link(&mut self, link: LinkId) -> bool {
+        if !self.link_up[link.index()] {
+            return false;
+        }
+        self.link_up[link.index()] = false;
+        self.link_capacity[link.index()] = 0.0;
+        self.down_count += 1;
+        self.rebuild_adjacency();
+        self.epoch = next_epoch();
+        true
+    }
+
+    /// Brings `link` back up with its exact pre-failure capacity and
+    /// reinserts it into the adjacency arrays at its original position
+    /// (per-node adjacency is in link-id order, so recovery restores the
+    /// identical traversal order). Bumps the epoch. Returns `false` when
+    /// the link was already up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn restore_link(&mut self, link: LinkId) -> bool {
+        if self.link_up[link.index()] {
+            return false;
+        }
+        self.link_up[link.index()] = true;
+        self.link_capacity[link.index()] = self.base_capacity[link.index()];
+        self.down_count -= 1;
+        self.rebuild_adjacency();
+        self.epoch = next_epoch();
+        true
+    }
+
+    /// Rebuilds the four adjacency arrays from the per-link attribute
+    /// arrays, skipping down links. Per-node adjacency in a built view is
+    /// in link-id order ([`Network::add_link`] assigns ids sequentially
+    /// and appends), so a counting rebuild reproduces the original arrays
+    /// exactly when every link is up.
+    fn rebuild_adjacency(&mut self) {
+        let n = self.node_count();
+        let m = self.link_count();
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for id in 0..m {
+            if self.link_up[id] {
+                out_offsets[self.link_src[id].index() + 1] += 1;
+                in_offsets[self.link_dst[id].index() + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            out_offsets[v + 1] += out_offsets[v];
+            in_offsets[v + 1] += in_offsets[v];
+        }
+        let live = m - self.down_count;
+        let mut out_link_ids = vec![LinkId(0); live];
+        let mut out_dsts = vec![NodeId(0); live];
+        let mut in_link_ids = vec![LinkId(0); live];
+        let mut out_cursor: Vec<u32> = out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for id in 0..m {
+            if self.link_up[id] {
+                let src = self.link_src[id].index();
+                let dst = self.link_dst[id].index();
+                out_link_ids[out_cursor[src] as usize] = LinkId(id);
+                out_dsts[out_cursor[src] as usize] = self.link_dst[id];
+                out_cursor[src] += 1;
+                in_link_ids[in_cursor[dst] as usize] = LinkId(id);
+                in_cursor[dst] += 1;
+            }
+        }
+        self.out_offsets = out_offsets;
+        self.out_link_ids = out_link_ids;
+        self.out_dsts = out_dsts;
+        self.in_offsets = in_offsets;
+        self.in_link_ids = in_link_ids;
     }
 
     /// Outgoing links of `node`, in insertion order.
@@ -199,10 +376,18 @@ impl GraphCsr {
         self.link_dst[link.index()]
     }
 
-    /// Capacity of `link`.
+    /// Effective capacity of `link`: the built capacity while the link is
+    /// up, `0.0` while it is down ([`GraphCsr::fail_link`]).
     #[inline]
     pub fn capacity(&self, link: LinkId) -> f64 {
         self.link_capacity[link.index()]
+    }
+
+    /// The pristine built capacity of `link`, regardless of its up/down
+    /// state — what [`GraphCsr::capacity`] returns again after recovery.
+    #[inline]
+    pub fn base_capacity(&self, link: LinkId) -> f64 {
+        self.base_capacity[link.index()]
     }
 
     /// The locality group (pod) of `node`, if the topology builder assigned
@@ -395,6 +580,104 @@ mod tests {
         let g = GraphCsr::from_network(&topo.network);
         let d = g.hop_distances_to(topo.hosts()[3]);
         assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn fail_and_restore_round_trips_the_whole_view() {
+        let ft = builders::fat_tree(4);
+        let mut g = GraphCsr::from_network(&ft.network);
+        let pristine = g.clone();
+        let epoch0 = g.epoch();
+
+        // Take down a couple of links (one duplex pair, one singleton).
+        let victims = [LinkId(0), LinkId(1), LinkId(17)];
+        for &l in &victims {
+            assert!(g.fail_link(l));
+            assert!(!g.is_link_up(l));
+            assert_eq!(g.capacity(l), 0.0);
+            assert!(g.base_capacity(l) > 0.0);
+        }
+        assert!(!g.fail_link(victims[0]), "double-fail is a no-op");
+        assert_eq!(g.down_link_count(), victims.len());
+        assert_eq!(g.down_links().collect::<Vec<_>>(), victims);
+        assert_ne!(g.epoch(), epoch0, "mutations bump the epoch");
+        assert_ne!(g, pristine);
+
+        // Down links are gone from every adjacency view.
+        for &l in &victims {
+            assert!(!g.out_links(g.link_src(l)).contains(&l));
+            assert!(!g.in_links(g.link_dst(l)).contains(&l));
+            assert!(g
+                .out_links_with_dsts(g.link_src(l))
+                .all(|(lid, _)| lid != l));
+        }
+
+        // Recovery restores the exact pre-failure view (adjacency order,
+        // capacities bit-for-bit) — everything except the epoch.
+        for &l in &victims {
+            assert!(g.restore_link(l));
+        }
+        assert!(!g.restore_link(victims[0]), "double-restore is a no-op");
+        assert_eq!(g.down_link_count(), 0);
+        assert_eq!(g, pristine);
+        for node in ft.network.nodes() {
+            assert_eq!(g.out_links(node.id), pristine.out_links(node.id));
+            assert_eq!(g.in_links(node.id), pristine.in_links(node.id));
+        }
+        for link in ft.network.links() {
+            assert_eq!(g.capacity(link.id).to_bits(), link.capacity.to_bits());
+        }
+    }
+
+    #[test]
+    fn traversals_avoid_down_links() {
+        // line(3): host0 - host1 - host2; failing the only forward link of
+        // the first cable disconnects host0 from the rest.
+        let topo = builders::line(3);
+        let g0 = GraphCsr::from_network(&topo.network);
+        let hosts = topo.hosts();
+        let p = g0.shortest_path(hosts[0], hosts[2]).unwrap();
+        let first = p.links()[0];
+
+        let mut g = GraphCsr::from_network(&topo.network);
+        g.fail_link(first);
+        assert!(g.shortest_path(hosts[0], hosts[2]).is_none());
+        assert!(g.shortest_path(hosts[0], hosts[1]).is_none());
+        // The reverse direction of the cable still works.
+        assert!(g.shortest_path(hosts[2], hosts[0]).is_some());
+        // hop_distances_to walks in-links, which also exclude the link.
+        let d = g.hop_distances_to(hosts[2]);
+        assert_eq!(d[hosts[0].index()], usize::MAX);
+
+        g.restore_link(first);
+        assert_eq!(g.shortest_path(hosts[0], hosts[2]).unwrap(), p);
+    }
+
+    #[test]
+    fn epochs_never_alias_across_instances() {
+        // The recycled-allocation trap: two same-shape graphs built one
+        // after the other (the second plausibly at the first's freed
+        // address) must still have distinct epochs.
+        let topo = builders::fat_tree(4);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            let g = GraphCsr::from_network(&topo.network);
+            assert!(
+                !seen.contains(&g.epoch()),
+                "epoch {} reused across instances",
+                g.epoch()
+            );
+            seen.push(g.epoch());
+        }
+    }
+
+    #[test]
+    fn equality_ignores_the_epoch() {
+        let topo = builders::fat_tree(4);
+        let a = GraphCsr::from_network(&topo.network);
+        let b = GraphCsr::from_network(&topo.network);
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b);
     }
 
     #[test]

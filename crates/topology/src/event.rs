@@ -1,0 +1,86 @@
+//! Timed link-state changes: the typed failure/recovery stream the online
+//! scheduling layer merges into its event queue.
+
+use crate::{GraphCsr, LinkId};
+
+/// One timed change to the up/down state of a directed link.
+///
+/// Events carry the logical time they take effect at; applying one to a
+/// [`GraphCsr`] mutates the view in place ([`GraphCsr::fail_link`] /
+/// [`GraphCsr::restore_link`]) and therefore bumps its
+/// [`GraphCsr::epoch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyEvent {
+    /// The link fails at `time`: it leaves the adjacency arrays and its
+    /// capacity masks to zero until a matching [`TopologyEvent::LinkUp`].
+    LinkDown {
+        /// Logical time the failure takes effect.
+        time: f64,
+        /// The failing directed link.
+        link: LinkId,
+    },
+    /// The link recovers at `time` with its exact pre-failure capacity.
+    LinkUp {
+        /// Logical time the recovery takes effect.
+        time: f64,
+        /// The recovering directed link.
+        link: LinkId,
+    },
+}
+
+impl TopologyEvent {
+    /// The logical time the event takes effect.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TopologyEvent::LinkDown { time, .. } | TopologyEvent::LinkUp { time, .. } => time,
+        }
+    }
+
+    /// The directed link the event concerns.
+    pub fn link(&self) -> LinkId {
+        match *self {
+            TopologyEvent::LinkDown { link, .. } | TopologyEvent::LinkUp { link, .. } => link,
+        }
+    }
+
+    /// Whether this is a failure (as opposed to a recovery).
+    pub fn is_down(&self) -> bool {
+        matches!(self, TopologyEvent::LinkDown { .. })
+    }
+
+    /// Applies the event to a graph view. Returns `true` when the link
+    /// state actually changed (a `LinkDown` for an already-down link, or a
+    /// `LinkUp` for an already-up one, is a no-op that leaves the epoch
+    /// untouched).
+    pub fn apply(&self, graph: &mut GraphCsr) -> bool {
+        match *self {
+            TopologyEvent::LinkDown { link, .. } => graph.fail_link(link),
+            TopologyEvent::LinkUp { link, .. } => graph.restore_link(link),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn events_apply_and_report_state_changes() {
+        let topo = builders::fat_tree(4);
+        let mut g = GraphCsr::from_network(&topo.network);
+        let link = LinkId(3);
+        let down = TopologyEvent::LinkDown { time: 1.5, link };
+        let up = TopologyEvent::LinkUp { time: 2.5, link };
+        assert_eq!(down.time(), 1.5);
+        assert_eq!(up.link(), link);
+        assert!(down.is_down() && !up.is_down());
+
+        assert!(down.apply(&mut g));
+        assert!(!g.is_link_up(link));
+        assert!(!down.apply(&mut g), "re-failing is a no-op");
+        assert!(up.apply(&mut g));
+        assert!(g.is_link_up(link));
+        assert!(!up.apply(&mut g), "re-restoring is a no-op");
+    }
+}

@@ -49,6 +49,7 @@
 pub mod builders;
 mod csr;
 mod engine;
+mod event;
 mod ids;
 mod network;
 mod path;
@@ -57,6 +58,7 @@ mod routing;
 pub use builders::BuiltTopology;
 pub use csr::GraphCsr;
 pub use engine::ShortestPathEngine;
+pub use event::TopologyEvent;
 pub use ids::{LinkId, NodeId, NodeKind};
 pub use network::{Link, LinkEndpoints, Network, Node};
 pub use path::{Path, PathError};

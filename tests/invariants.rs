@@ -26,11 +26,13 @@
 
 use deadline_dcn::core::online::{OnlineEngine, OnlineOutcome, PolicyRegistry};
 use deadline_dcn::core::prelude::*;
+use deadline_dcn::flow::failure::FailureProcess;
 use deadline_dcn::flow::workload::{ArrivalProcess, UniformWorkload};
 use deadline_dcn::flow::FlowSet;
 use deadline_dcn::power::PowerFunction;
 use deadline_dcn::sim::Simulator;
 use deadline_dcn::topology::builders::{self, BuiltTopology};
+use deadline_dcn::topology::{GraphCsr, LinkId, TopologyEvent};
 use proptest::prelude::*;
 
 /// Generous capacity so MCF's virtual-circuit model and dcfsr's rounding
@@ -185,6 +187,54 @@ fn assert_relaxed_policy_invariants(
     );
 }
 
+/// Total volume transmitted on `link` inside `[from, to]` across a
+/// stitched schedule: per-link profiles where the stitcher split them,
+/// the uniform flow profile otherwise.
+fn link_volume_between(schedule: &Schedule, link: LinkId, from: f64, to: f64) -> f64 {
+    schedule
+        .flow_schedules()
+        .iter()
+        .map(|fs| {
+            if fs.link_profiles.is_empty() {
+                if fs.path.links().contains(&link) {
+                    fs.profile.volume_between(from, to)
+                } else {
+                    0.0
+                }
+            } else {
+                fs.link_profiles
+                    .get(&link)
+                    .map_or(0.0, |p| p.volume_between(from, to))
+            }
+        })
+        .sum()
+}
+
+/// The outage windows of every link, reconstructed from a time-sorted
+/// event stream. A link still down when the stream ends gets a window
+/// that never closes.
+fn down_windows(events: &[TopologyEvent], link_count: usize) -> Vec<(LinkId, f64, f64)> {
+    let mut open: Vec<Option<f64>> = vec![None; link_count];
+    let mut windows = Vec::new();
+    for event in events {
+        let slot = &mut open[event.link().index()];
+        match (event.is_down(), *slot) {
+            (true, None) => *slot = Some(event.time()),
+            (false, Some(since)) => {
+                windows.push((event.link(), since, event.time()));
+                *slot = None;
+            }
+            _ => {}
+        }
+    }
+    for (index, slot) in open.into_iter().enumerate() {
+        if let Some(since) = slot {
+            windows.push((LinkId(index), since, f64::INFINITY));
+        }
+    }
+    windows
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
@@ -337,6 +387,108 @@ proptest! {
                     ),
                 }
             }
+        }
+    }
+
+    /// Random failure/recovery churn against every registered policy.
+    /// Two contracts, for a seeded renewal stream of `LinkDown`/`LinkUp`
+    /// events ([`FailureProcess`]) over the whole fabric:
+    ///
+    /// * the stitched schedule never carries volume on a link inside any
+    ///   of its outage windows, and capacity holds on the surviving
+    ///   links at every breakpoint;
+    /// * recovery is exact — replaying the stream on a raw [`GraphCsr`]
+    ///   and restoring whatever is still down reproduces the pristine
+    ///   capacity vector bit-for-bit, and `run_with_events` itself hands
+    ///   the context back with the same pristine fabric.
+    #[test]
+    fn every_policy_survives_failure_churn(seed in 0u64..10_000, uptime_index in 0usize..3) {
+        let policies = PolicyRegistry::with_defaults();
+        let power = power();
+        // Mean uptimes chosen so a fat-tree(4)'s 48 links see a handful
+        // to a few dozen events over the workload horizon — enough churn
+        // to exercise stranding, revival and re-routes without turning
+        // every case into hundreds of re-solves.
+        let mean_uptime = [30.0, 60.0, 120.0][uptime_index];
+        let topo = builders::fat_tree_with_capacity(4, CAPACITY);
+        let base = UniformWorkload::paper_defaults(8, seed)
+            .generate(topo.hosts())
+            .unwrap();
+        let flows = ArrivalProcess::with_load(2.0, seed).apply(&base).unwrap();
+        let (_, horizon_end) = flows.horizon();
+        let events = FailureProcess::new(mean_uptime, 1.0, seed)
+            .generate(topo.network.link_count(), horizon_end.min(20.0));
+
+        // Raw machinery first: fail/restore round-trips to the pristine
+        // graph. The manual `PartialEq` compares capacities (the epoch is
+        // excluded), and the bit-for-bit loop pins that recovery copies
+        // `base_capacity` exactly rather than recomputing it.
+        let pristine = GraphCsr::from_network(&topo.network);
+        let before: Vec<f64> = (0..pristine.link_count())
+            .map(|i| pristine.capacity(LinkId(i)))
+            .collect();
+        let mut churned = pristine.clone();
+        for event in &events {
+            event.apply(&mut churned);
+        }
+        let still_down: Vec<LinkId> = churned.down_links().collect();
+        for link in still_down {
+            churned.restore_link(link);
+        }
+        prop_assert_eq!(churned.down_link_count(), 0);
+        for (index, &capacity) in before.iter().enumerate() {
+            prop_assert!(
+                churned.capacity(LinkId(index)).to_bits() == capacity.to_bits(),
+                "link {} recovers to {} instead of its pre-failure {}",
+                index, churned.capacity(LinkId(index)), capacity
+            );
+        }
+        prop_assert!(churned == pristine, "restored graph differs from the pristine fabric");
+
+        let windows = down_windows(&events, topo.network.link_count());
+        let mut ctx = SolverContext::from_network(&topo.network).unwrap();
+        for name in policies.names() {
+            let mut engine = OnlineEngine::builder()
+                .algorithm("dcfsr")
+                .policy(name)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let outcome = engine
+                .run_with_events(&mut ctx, &flows, &power, &events)
+                .unwrap_or_else(|e| {
+                    panic!("{name} under churn (seed {seed}, uptime {mean_uptime}): {e}")
+                });
+            prop_assert_eq!(outcome.report.topology_events, events.len());
+            // Nothing ever rides a link while it is down.
+            for &(link, from, to) in &windows {
+                let volume = link_volume_between(&outcome.schedule, link, from, to);
+                prop_assert!(
+                    volume <= 1e-9,
+                    "{} schedules {} units on down link {} during [{}, {})",
+                    name, volume, link, from, to
+                );
+            }
+            // Capacity still holds on the surviving links: the stitched
+            // profiles are piecewise constant, so segments cover every
+            // breakpoint.
+            for (link, profile) in outcome.schedule.link_profiles() {
+                let capacity = ctx.graph().capacity(link).min(power.capacity());
+                for (start, end, rate) in profile.segments() {
+                    prop_assert!(
+                        rate <= capacity * (1.0 + 1e-9) + 1e-9,
+                        "{}: link {} carries rate {} > capacity {} on [{}, {})",
+                        name, link, rate, capacity, start, end
+                    );
+                }
+            }
+            // The run hands the context back on the pristine fabric, so
+            // the next policy (and any follow-up solve) starts clean.
+            prop_assert_eq!(ctx.graph().down_link_count(), 0);
+            for (index, &capacity) in before.iter().enumerate() {
+                prop_assert!(ctx.graph().capacity(LinkId(index)).to_bits() == capacity.to_bits());
+            }
+            prop_assert!(*ctx.graph() == pristine);
         }
     }
 }

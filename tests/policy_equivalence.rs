@@ -156,6 +156,7 @@ fn legacy_run(
             admitted: s.admitted,
             delivered: s.delivered,
             missed: s.missed,
+            failure_missed: false,
         })
         .collect();
     Ok(LegacyOutcome {
